@@ -1,0 +1,53 @@
+"""Figure 3 — Kremlin's user interface: the ranked plan for ``tracking``.
+
+Paper output (excerpt)::
+
+    $> kremlin tracking --personality=openmp
+         File (lines)            Self-P   Cov.(%)
+    1    imageBlur.c (49-58)     145.3    9.7
+    2    imageBlur.c (37-45)     145.3    8.7
+    3    getInterpPatch.c (26-35) 25.3    8.86
+    4    calcSobel_dX.c (59-68)  126.2    8.1
+    ...
+
+Shape reproduced: a ranked list of concrete source regions with their
+self-parallelism and coverage; the two imageBlur convolution passes appear
+with nearly identical Self-P; the Sobel derivative passes likewise pair up.
+"""
+
+from repro.planner import OpenMPPlanner
+from repro.report import format_plan
+
+from benchmarks.conftest import write_result
+
+
+def test_fig3_tracking_plan(tracking, benchmark):
+    planner = OpenMPPlanner()
+    plan = benchmark(planner.plan, tracking.aggregated)
+
+    table = format_plan(plan)
+    write_result("fig3_tracking_plan", table)
+
+    # A real, multi-region ranked plan...
+    assert len(plan) >= 5
+    estimates = [item.est_program_speedup for item in plan]
+    assert estimates == sorted(estimates, reverse=True)
+
+    # ...containing the functions Figure 3 shows.
+    names = plan.region_names
+    assert any("imageBlur" in name for name in names)
+    assert any("calcSobel" in name for name in names)
+
+    # The two blur passes report near-identical self-parallelism (the
+    # 145.3 / 145.3 pairing in the paper's table).
+    by_name = {item.region.name: item for item in plan}
+    blur_items = [v for k, v in by_name.items() if "imageBlur" in k]
+    assert len(blur_items) >= 2
+    sp_values = sorted(item.self_parallelism for item in blur_items)[:2]
+    assert abs(sp_values[0] - sp_values[1]) / sp_values[1] < 0.25
+
+    # Every row carries the Figure 3 columns.
+    for item in plan:
+        assert "tracking.c (" in item.location
+        assert item.self_parallelism >= 5.0
+        assert item.coverage > 0

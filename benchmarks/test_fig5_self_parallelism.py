@@ -1,0 +1,69 @@
+"""Figure 5 — the self-parallelism metric on its two canonical cases.
+
+The paper's worked example: a region with n children that can execute in
+parallel has SP = n; a region whose children must execute serially has
+SP = 1. We regenerate both cases end-to-end — from source code through the
+full HCPA pipeline — rather than just from the formula.
+"""
+
+import pytest
+
+from repro.hcpa import aggregate_profile
+from repro.instrument import kremlin_cc
+from repro.kremlib import profile_program
+
+from benchmarks.conftest import write_result
+
+N = 128
+
+PARALLEL_CHILDREN = f"""
+float a[{N}];
+int main() {{
+  for (int i = 0; i < {N}; i++) {{
+    a[i] = a[i] * 2.0 + 1.0;
+  }}
+  return (int) a[0];
+}}
+"""
+
+SERIAL_CHILDREN = f"""
+float a[{N}];
+int main() {{
+  float x = 1.0;
+  for (int i = 0; i < {N}; i++) {{
+    x = x * 0.5 + 1.0;
+  }}
+  a[0] = x;
+  return (int) a[0];
+}}
+"""
+
+
+def loop_profile(source):
+    program = kremlin_cc(source, "fig5.c")
+    profile, _ = profile_program(program)
+    aggregated = aggregate_profile(profile)
+    return next(
+        p for p in aggregated.plannable() if p.region.name == "main#loop1"
+    )
+
+
+def test_fig5_self_parallelism(benchmark):
+    parallel = benchmark(loop_profile, PARALLEL_CHILDREN)
+    serial = loop_profile(SERIAL_CHILDREN)
+
+    lines = [
+        "Figure 5: self-parallelism on the two canonical cases",
+        f"  parallel children (n={N}): SP = {parallel.self_parallelism:8.1f}"
+        f"  (paper: SP = n = {N})",
+        f"  serial children   (n={N}): SP = {serial.self_parallelism:8.1f}"
+        f"  (paper: SP = 1)",
+    ]
+    write_result("fig5_self_parallelism", "\n".join(lines))
+
+    # SP(PAR) = n (within the tolerance self-work introduces)
+    assert parallel.self_parallelism == pytest.approx(N, rel=0.3)
+    # SP(SERIAL) = 1 (the latch/header glue keeps it just above 1.0)
+    assert serial.self_parallelism == pytest.approx(1.0, abs=1.0)
+    # and the contrast is stark
+    assert parallel.self_parallelism > 30 * serial.self_parallelism

@@ -1,0 +1,74 @@
+"""Figure 6(a) — plan size comparison: MANUAL vs Kremlin vs overlap.
+
+Paper (region counts)::
+
+    bench   MANUAL Kremlin overlap reduction
+    ammp      6      3       2      2.00x
+    art       3      4       1      0.75x
+    equake   10      6       6      1.67x
+    bt       54     27      27      2.00x
+    cg       22      9       9      2.44x
+    ep        1      1       1      1.00x
+    ft        6      6       5      1.00x
+    is        1      1       0      1.00x
+    lu       28     11      11      2.55x
+    mg       10      8       7      1.25x
+    sp       70     58      47      1.21x
+    overall 211    134     116      1.57x
+
+Shape asserted here: Kremlin plans are substantially smaller overall
+(~1.2–2× fewer regions), most Kremlin recommendations overlap MANUAL, ep is
+1/1/1, art is the one benchmark where Kremlin recommends *more* regions
+than MANUAL, and is has zero overlap.
+"""
+
+from repro.planner import OpenMPPlanner
+from repro.report.tables import Table
+
+from benchmarks.conftest import EVAL_ORDER, write_result
+
+
+def test_fig6a_plan_size(suite, benchmark):
+    planner = OpenMPPlanner()
+
+    def plan_all():
+        return {
+            name: planner.plan(result.aggregated)
+            for name, result in suite.items()
+        }
+
+    plans = benchmark(plan_all)
+
+    table = Table(headers=["bench", "MANUAL", "Kremlin", "overlap", "reduction"])
+    total_manual = total_kremlin = total_overlap = 0
+    rows = {}
+    for name in EVAL_ORDER:
+        manual = set(suite[name].manual_plan)
+        kremlin = set(plans[name].region_ids)
+        overlap = manual & kremlin
+        reduction = len(manual) / len(kremlin) if kremlin else float("inf")
+        rows[name] = (len(manual), len(kremlin), len(overlap), reduction)
+        table.add_row(name, len(manual), len(kremlin), len(overlap), f"{reduction:.2f}x")
+        total_manual += len(manual)
+        total_kremlin += len(kremlin)
+        total_overlap += len(overlap)
+    overall = total_manual / total_kremlin
+    table.add_row("overall", total_manual, total_kremlin, total_overlap, f"{overall:.2f}x")
+    write_result("fig6a_plan_size", table.render())
+
+    # Overall: Kremlin requires significantly fewer regions (paper: 1.57x).
+    assert 1.2 <= overall <= 2.2
+    # Most of Kremlin's recommendations are MANUAL regions too (paper:
+    # 116 of 134).
+    assert total_overlap >= 0.6 * total_kremlin
+
+    # Per-benchmark shape fidelity:
+    assert rows["ep"] == (1, 1, 1, 1.0)                # trivially aligned
+    assert rows["is"][2] == 0                          # zero overlap on is
+    assert rows["art"][1] > rows["art"][0]             # Kremlin > MANUAL on art
+    for name in ("bt", "cg", "lu", "equake", "ammp"):  # big reducers
+        manual, kremlin, _, reduction = rows[name]
+        assert reduction > 1.2, name
+    # No benchmark needs more than ~1.4x MANUAL's effort.
+    for name, (manual, kremlin, _, _) in rows.items():
+        assert kremlin <= 1.4 * max(manual, 1), name

@@ -1,0 +1,77 @@
+"""Figure 7 — marginal benefit of applying each plan recommendation in order.
+
+The paper plots, per benchmark, the incremental whole-program time reduction
+as each region in Kremlin's plan is parallelized, followed (right of the
+dotted line) by the regions MANUAL parallelized but Kremlin did not
+recommend. The headline observation: *"In a large majority of cases, regions
+not recommended by Kremlin but parallelized by MANUAL provide negligible
+benefit."*
+
+Shape asserted: the Kremlin-plan steps deliver essentially all the
+achievable reduction, and the MANUAL-only tail adds almost nothing (and
+often hurts, through fork overhead on tiny regions).
+"""
+
+from repro.exec_model import DEFAULT_MACHINE, simulate_plan
+from repro.report.tables import Table
+
+from benchmarks.conftest import EVAL_ORDER, write_result
+
+
+def marginal_curve(result, plan_ids, extra_ids, cores=16):
+    """Cumulative time reduction after each applied region."""
+    machine = DEFAULT_MACHINE.with_cores(cores)
+    reductions = []
+    applied = []
+    for region_id in list(plan_ids) + list(extra_ids):
+        applied.append(region_id)
+        sim = simulate_plan(result.profile, applied, machine)
+        reductions.append(sim.time_reduction)
+    return reductions
+
+
+def test_fig7_marginal_benefit(suite, kremlin_plans, benchmark):
+    def curves():
+        out = {}
+        for name, result in suite.items():
+            plan_ids = kremlin_plans[name].region_ids
+            manual_only = [
+                rid for rid in result.manual_plan if rid not in set(plan_ids)
+            ]
+            out[name] = (
+                marginal_curve(result, plan_ids, manual_only),
+                len(plan_ids),
+            )
+        return out
+
+    results = benchmark(curves)
+
+    table = Table(
+        headers=["bench", "plan steps", "after plan", "after +MANUAL-only", "tail gain"]
+    )
+    tail_gains = []
+    for name in EVAL_ORDER:
+        curve, plan_len = results[name]
+        after_plan = curve[plan_len - 1] if plan_len else 0.0
+        final = curve[-1]
+        tail = final - after_plan
+        tail_gains.append(tail)
+        table.add_row(
+            name,
+            plan_len,
+            f"{after_plan * 100:5.1f}%",
+            f"{final * 100:5.1f}%",
+            f"{tail * 100:+5.1f}%",
+        )
+    write_result("fig7_marginal_benefit", table.render())
+
+    # The MANUAL-only tail is negligible: on average it adds (or costs)
+    # only a few percent, while the plans themselves deliver real savings.
+    average_tail = sum(tail_gains) / len(tail_gains)
+    assert abs(average_tail) < 0.05
+    for name in EVAL_ORDER:
+        curve, plan_len = results[name]
+        assert curve[plan_len - 1] > 0.10, name  # plans achieve real benefit
+    # And no single MANUAL-only tail rescues a benchmark (paper: "little
+    # benefit came from regions ... not suggested by Kremlin").
+    assert max(tail_gains) < 0.10

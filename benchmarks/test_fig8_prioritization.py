@@ -1,0 +1,80 @@
+"""Figure 8 — effectiveness of region prioritization.
+
+The paper measures the fraction of the total realized time reduction
+attained by following the first 25%/50%/75%/100% of each plan, averaged
+across benchmarks::
+
+    average benefit          56.2%  86.4%  95.6%  100.0%
+    marginal average benefit 56.2%  30.2%   9.2%    4.4%
+
+A well-prioritized plan front-loads its benefit: the marginal contribution
+of each additional quartile decreases. We regenerate the same table and
+assert that monotone-decreasing shape, with the first quartile carrying the
+(paper: 56.2%) majority share.
+"""
+
+import math
+
+from repro.exec_model import DEFAULT_MACHINE, simulate_plan
+from repro.report.tables import Table
+
+from benchmarks.conftest import EVAL_ORDER, write_result
+
+QUARTILES = (0.25, 0.50, 0.75, 1.00)
+
+
+def quartile_benefits(result, plan_ids, cores=16):
+    """Fraction of the plan's total time reduction at each quartile."""
+    machine = DEFAULT_MACHINE.with_cores(cores)
+    total = simulate_plan(result.profile, plan_ids, machine).time_reduction
+    if total <= 0:
+        return None
+    fractions = []
+    for quartile in QUARTILES:
+        count = max(1, math.ceil(quartile * len(plan_ids)))
+        reduction = simulate_plan(
+            result.profile, plan_ids[:count], machine
+        ).time_reduction
+        fractions.append(min(1.0, reduction / total))
+    return fractions
+
+
+def test_fig8_prioritization(suite, kremlin_plans, benchmark):
+    def compute():
+        rows = {}
+        for name, result in suite.items():
+            fractions = quartile_benefits(result, kremlin_plans[name].region_ids)
+            if fractions is not None:
+                rows[name] = fractions
+        return rows
+
+    rows = benchmark(compute)
+
+    table = Table(headers=["bench", "25%", "50%", "75%", "100%"])
+    sums = [0.0, 0.0, 0.0, 0.0]
+    for name in EVAL_ORDER:
+        if name not in rows:
+            continue
+        fractions = rows[name]
+        table.add_row(name, *(f"{f * 100:5.1f}%" for f in fractions))
+        for i, f in enumerate(fractions):
+            sums[i] += f
+    count = len(rows)
+    averages = [s / count for s in sums]
+    marginals = [averages[0]] + [
+        averages[i] - averages[i - 1] for i in range(1, 4)
+    ]
+    table.add_row("average", *(f"{a * 100:5.1f}%" for a in averages))
+    table.add_row("marginal", *(f"{m * 100:5.1f}%" for m in marginals))
+    write_result("fig8_prioritization", table.render())
+
+    # Paper shape: 56.2 / 30.2 / 9.2 / 4.4 — monotone decreasing marginals
+    # with the majority of benefit in the first quartile.
+    assert marginals[0] >= 0.40
+    assert marginals[0] >= marginals[1] >= 0.0
+    assert marginals[1] >= marginals[2] - 0.02
+    assert marginals[3] <= 0.25
+    # Following the full plan captures everything, by construction.
+    assert averages[3] >= 0.999
+    # Half the plan already delivers most of the benefit (paper: 86.4%).
+    assert averages[1] >= 0.70

@@ -1,0 +1,62 @@
+"""§4.4 — profiling overhead.
+
+The paper reports that Kremlin-instrumented code runs about 50× slower than
+gprof-instrumented code (i.e., heavyweight shadow-memory analysis costs a
+constant factor over plain execution). We measure the same quantity for our
+substrate: interpreting a program with the KremLib observer attached versus
+interpreting it bare, asserting the slowdown is a bounded constant factor —
+heavyweight, but usable.
+"""
+
+import time
+
+from repro.instrument import kremlin_cc
+from repro.interp import Interpreter
+from repro.kremlib import profile_program
+
+from benchmarks.conftest import write_result
+
+WORKLOAD = """
+float a[96][96];
+int main() {
+  for (int it = 0; it < 2; it++) {
+    for (int i = 1; i < 95; i++) {
+      for (int j = 1; j < 95; j++) {
+        a[i][j] = 0.25 * (a[i-1][j] + a[i+1][j] + a[i][j-1] + a[i][j+1]);
+      }
+    }
+  }
+  return (int) a[5][5];
+}
+"""
+
+
+def test_sec44_profiling_overhead(benchmark):
+    program = kremlin_cc(WORKLOAD, "overhead.c")
+
+    start = time.perf_counter()
+    plain = Interpreter(program).run()
+    plain_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    profile, profiled = profile_program(program)
+    profiled_seconds = time.perf_counter() - start
+
+    slowdown = profiled_seconds / plain_seconds
+    write_result(
+        "sec44_overhead",
+        (
+            f"plain run:    {plain_seconds * 1000:8.1f} ms "
+            f"({plain.instructions_retired} instructions)\n"
+            f"profiled run: {profiled_seconds * 1000:8.1f} ms\n"
+            f"slowdown:     {slowdown:.1f}x (paper: ~50x over gprof-level "
+            f"instrumentation)"
+        ),
+    )
+
+    # Semantics must be identical, and the overhead a bounded constant.
+    assert plain.value == profiled.value
+    assert 1.5 < slowdown < 120
+
+    # Benchmark the profiled execution rate for the record.
+    benchmark(lambda: profile_program(program))

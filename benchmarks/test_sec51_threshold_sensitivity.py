@@ -1,0 +1,131 @@
+"""§5.1 ablations — planner threshold sensitivity and the core-count cap.
+
+Two claims from the paper's planner discussion:
+
+1. *"Our sensitivity analysis suggests that Kremlin is not particularly
+   sensitive to minor variations in the settings of these parameters"* —
+   the SP cutoff (5.0) and the DOALL/DOACROSS speedup thresholds
+   (0.1% / 3%).
+2. The initial prototype capped exploitable speedup at the core count, and
+   *"including this constraint had a negative impact on plan quality"* —
+   high self-parallelism correlates with headroom to amortize overhead, and
+   the cap erases exactly that signal.
+"""
+
+from repro.exec_model import best_configuration
+from repro.planner import OpenMPPlanner
+from repro.planner.openmp import OPENMP_PERSONALITY
+from repro.report.tables import Table
+
+from benchmarks.conftest import EVAL_ORDER, write_result
+
+VARIATIONS = {
+    "baseline (5.0/0.1/3)": {},
+    "sp cutoff 4.0": {"min_self_parallelism": 4.0},
+    "sp cutoff 6.5": {"min_self_parallelism": 6.5},
+    "doall 0.05%": {"min_doall_speedup_pct": 0.05},
+    "doall 0.5%": {"min_doall_speedup_pct": 0.5},
+    "doacross 2%": {"min_doacross_speedup_pct": 2.0},
+    "doacross 5%": {"min_doacross_speedup_pct": 5.0},
+}
+
+
+def geomean(values):
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+def plan_quality(suite, personality):
+    planner = OpenMPPlanner(personality)
+    speedups = []
+    sizes = 0
+    for result in suite.values():
+        plan = planner.plan(result.aggregated)
+        sizes += len(plan)
+        speedups.append(
+            best_configuration(result.profile, plan.region_ids).speedup
+        )
+    return geomean(speedups), sizes
+
+
+def test_sec51_threshold_sensitivity(suite, benchmark):
+    def sweep():
+        return {
+            label: plan_quality(
+                suite, OPENMP_PERSONALITY.with_overrides(**overrides)
+            )
+            for label, overrides in VARIATIONS.items()
+        }
+
+    results = benchmark(sweep)
+
+    table = Table(headers=["variation", "geomean speedup", "total plan size"])
+    for label, (speedup, size) in results.items():
+        table.add_row(label, f"{speedup:.2f}x", size)
+    write_result("sec51_threshold_sensitivity", table.render())
+
+    baseline_speedup, baseline_size = results["baseline (5.0/0.1/3)"]
+    for label, (speedup, size) in results.items():
+        # Minor threshold variations barely move achieved performance...
+        assert speedup > 0.85 * baseline_speedup, label
+        assert speedup < 1.15 * baseline_speedup, label
+        # ...or plan sizes.
+        assert abs(size - baseline_size) <= max(4, 0.35 * baseline_size), label
+
+
+def test_sec51_core_count_cap_hurts(suite, benchmark):
+    """Re-run planning with the prototype's core-count cap on exploitable
+    self-parallelism and show it degrades plan quality (the paper's reason
+    for removing it): once SP saturates at the cap, the planner can no
+    longer "differentiate between regions with self-parallelism of N and
+    those with much higher self-parallelism"."""
+
+    def compare():
+        uncapped_planner = OpenMPPlanner()
+        rows = {}
+        for name, result in suite.items():
+            uncapped = best_configuration(
+                result.profile,
+                uncapped_planner.plan(result.aggregated).region_ids,
+            ).speedup
+            capped_speedups = {}
+            for cap in (4.0, 8.0, 32.0):
+                capped_planner = OpenMPPlanner(
+                    OPENMP_PERSONALITY.with_overrides(sp_cap=cap)
+                )
+                capped_speedups[cap] = best_configuration(
+                    result.profile,
+                    capped_planner.plan(result.aggregated).region_ids,
+                ).speedup
+            rows[name] = (uncapped, capped_speedups)
+        return rows
+
+    rows = benchmark(compare)
+
+    table = Table(headers=["bench", "uncapped", "cap 32", "cap 8", "cap 4"])
+    for name in EVAL_ORDER:
+        uncapped, capped = rows[name]
+        table.add_row(
+            name,
+            f"{uncapped:.2f}x",
+            f"{capped[32.0]:.2f}x",
+            f"{capped[8.0]:.2f}x",
+            f"{capped[4.0]:.2f}x",
+        )
+    write_result("sec51_core_cap", table.render())
+
+    geomean_uncapped = geomean([u for u, _ in rows.values()])
+    for cap in (4.0, 8.0, 32.0):
+        geomean_capped = geomean([c[cap] for _, c in rows.values()])
+        # The cap never improves plan quality.
+        assert geomean_capped <= geomean_uncapped * 1.02, cap
+    # The failure mode that got the cap removed: once the cap drops below
+    # the self-parallelism cutoff (a 4-core machine under the prototype's
+    # "cap speedup at core count" semantics), *every* region saturates
+    # below the threshold and the planner prunes the entire plan.
+    tight = [c[4.0] for _, c in rows.values()]
+    uncapped_all = [u for u, _ in rows.values()]
+    assert all(t <= u for t, u in zip(tight, uncapped_all))
+    assert geomean(tight) < 0.5 * geomean_uncapped

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Planner personalities: the same profile, different target systems.
+
+Section 5 of the paper: a personality bundles the constraints of a
+parallelization system (OpenMP's non-nested fork/join vs Cilk++'s nested
+work stealing) and machine into a few thresholds. This example plans the
+same program for four targets — including a custom "manycore" personality
+built with `with_overrides` — and shows how the recommendations change.
+
+Run with:  python examples/custom_personality.py
+"""
+
+from repro import aggregate_profile, format_plan, kremlin_cc, profile_program
+from repro.planner import CilkPlanner, GprofPlanner, OpenMPPlanner
+from repro.planner.openmp import OPENMP_PERSONALITY
+
+# A program with parallelism at several granularities: a coarse outer scan,
+# medium row loops, and fine inner loops.
+SOURCE = """
+float field[8][1024];
+float checksums[8];
+
+void process_row(int r) {
+  for (int i = 0; i < 1024; i++) {
+    field[r][i] = field[r][i] * 1.5 + (float) i * 0.001;
+  }
+  float s = 0.0;
+  for (int i = 0; i < 1024; i++) {
+    s += field[r][i];
+  }
+  checksums[r] = s;
+}
+
+int main() {
+  for (int r = 0; r < 8; r++) {
+    for (int i = 0; i < 1024; i++) {
+      field[r][i] = (float) ((r * 31 + i * 7) % 100) * 0.01;
+    }
+  }
+  for (int r = 0; r < 8; r++) {
+    process_row(r);
+  }
+  float total = 0.0;
+  for (int r = 0; r < 8; r++) {
+    total += checksums[r];
+  }
+  return (int) total;
+}
+"""
+
+#: A hypothetical fine-grained manycore (the paper's "100-core Tilera"
+#: flavour): cheap synchronization lowers every threshold.
+MANYCORE_PERSONALITY = OPENMP_PERSONALITY.with_overrides(
+    name="manycore",
+    min_self_parallelism=2.0,
+    min_doall_speedup_pct=0.01,
+    min_doacross_speedup_pct=0.5,
+    min_instance_work=200.0,
+    allow_nested=True,
+    loops_only=False,
+)
+
+
+def main() -> None:
+    program = kremlin_cc(SOURCE, "granularity.c")
+    profile, _run = profile_program(program)
+    aggregated = aggregate_profile(profile)
+
+    planners = [
+        ("gprof baseline (hotspot list, no parallelism signal)",
+         GprofPlanner(coverage_min=0.02)),
+        ("OpenMP personality (non-nested, coarse-grained)",
+         OpenMPPlanner()),
+        ("Cilk++ personality (nested, finer-grained)",
+         CilkPlanner()),
+        ("custom manycore personality",
+         CilkPlanner(MANYCORE_PERSONALITY)),
+    ]
+
+    for label, planner in planners:
+        plan = planner.plan(aggregated)
+        print(f"=== {label} ===")
+        print(format_plan(plan))
+        print()
+
+    print(
+        "Note how the OpenMP planner keeps exactly one region per dynamic\n"
+        "nesting path, while the Cilk++/manycore personalities recommend\n"
+        "the nested levels too — and the gprof baseline lists hot regions\n"
+        "whether or not they are parallel."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""A miniature of the paper's section 6 evaluation (Figure 6).
+
+For a few NPB/SPEC-style benchmarks: profile the serial version, generate
+Kremlin's OpenMP plan, and compare it against the third-party MANUAL plan
+on the simulated multicore — plan sizes, overlap, and best-configuration
+speedups.
+
+Run with:  python examples/evaluate_benchmarks.py [bench ...]
+(defaults to a fast subset: ep is sp lu)
+"""
+
+import sys
+
+from repro import best_configuration, make_planner
+from repro.bench_suite import run_benchmark
+from repro.report.tables import Table
+
+DEFAULT_SUBSET = ["ep", "is", "sp", "lu"]
+
+
+def main(names: list[str]) -> None:
+    planner = make_planner("openmp")
+    table = Table(
+        headers=[
+            "bench", "MANUAL", "Kremlin", "overlap",
+            "K speedup", "M speedup", "relative",
+        ]
+    )
+
+    for name in names:
+        print(f"profiling {name} ...", flush=True)
+        result = run_benchmark(name)
+        plan = planner.plan(result.aggregated)
+
+        kremlin_ids = set(plan.region_ids)
+        manual_ids = set(result.manual_plan)
+        kremlin = best_configuration(result.profile, kremlin_ids)
+        manual = best_configuration(result.profile, manual_ids)
+
+        table.add_row(
+            name,
+            len(manual_ids),
+            len(kremlin_ids),
+            len(kremlin_ids & manual_ids),
+            f"{kremlin.speedup:.2f}x @{kremlin.machine.cores}",
+            f"{manual.speedup:.2f}x @{manual.machine.cores}",
+            f"{kremlin.speedup / manual.speedup:.2f}",
+        )
+
+    print()
+    print("=== Kremlin plans vs third-party MANUAL parallelization ===")
+    print(table.render())
+    print()
+    print(
+        "Reading the table: Kremlin plans need fewer regions (MANUAL vs\n"
+        "Kremlin columns), mostly overlap with what experts chose, and\n"
+        "match or beat MANUAL performance — with the big wins on the\n"
+        "benchmarks (is, sp) where Kremlin spots coarse-grained parallelism\n"
+        "the manual version missed."
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:] or DEFAULT_SUBSET)

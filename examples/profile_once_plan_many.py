@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Profile once, plan many times — plus multi-run aggregation.
+
+Two workflows from the paper that don't require re-running the program:
+
+* §3: the instrumented binary emits a *parallelism profile file*; the
+  planner consumes it later, possibly many times (different personalities,
+  different exclusion lists).
+* §2.4: dynamic analysis is input-dependent, so Kremlin "supports
+  aggregation of data from multiple runs" — merge profiles from several
+  inputs and plan against the aggregate.
+
+Run with:  python examples/profile_once_plan_many.py
+"""
+
+import os
+import tempfile
+
+from repro import (
+    aggregate_profile,
+    format_plan,
+    kremlin_cc,
+    load_profile,
+    make_planner,
+    merge_profiles,
+    profile_program,
+    save_profile,
+)
+
+# The heavy phase's loop bound depends on the input; with small inputs the
+# triangular phase dominates, with large ones the streaming phase does.
+SOURCE = """
+float stream[2048];
+float tri[64][64];
+float sink;
+
+void streaming(int n) {
+  for (int i = 0; i < n; i++) {
+    stream[i % 2048] = stream[i % 2048] * 1.001 + 0.5;
+  }
+}
+
+void triangular() {
+  for (int i = 1; i < 64; i++) {
+    for (int j = 1; j < 64; j++) {
+      tri[i][j] = tri[i][j] + 0.3 * tri[i - 1][j] + 0.3 * tri[i][j - 1];
+    }
+  }
+}
+
+int run(int scale) {
+  streaming(scale * 1024);
+  triangular();
+  return (int) (stream[7] + tri[5][5]);
+}
+
+int main() { return run(2); }
+"""
+
+
+def main() -> None:
+    program = kremlin_cc(SOURCE, "inputs.c")
+
+    # ------------------------------------------------------------------
+    # 1. Profile two different inputs.
+    # ------------------------------------------------------------------
+    profiles = {}
+    for scale in (1, 8):
+        profile, _run = profile_program(program, entry="run", args=(scale,))
+        profiles[scale] = profile
+        print(
+            f"input scale={scale}: total work {profile.total_work:,}, "
+            f"{len(profile.dictionary)} dictionary entries"
+        )
+    print()
+
+    # ------------------------------------------------------------------
+    # 2. Save the big run's profile and plan from the file, twice.
+    # ------------------------------------------------------------------
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "inputs.profile.json")
+        save_profile(profiles[8], path)
+        print(f"profile saved to {os.path.basename(path)} "
+              f"({os.path.getsize(path):,} bytes on disk)")
+        reloaded = aggregate_profile(load_profile(path))
+
+    for personality in ("openmp", "cilk"):
+        plan = make_planner(personality).plan(reloaded)
+        print()
+        print(format_plan(plan, limit=4))
+
+    # ------------------------------------------------------------------
+    # 3. Merge both runs and plan against the aggregate (section 2.4).
+    # ------------------------------------------------------------------
+    merged = merge_profiles([profiles[1], profiles[8]])
+    merged_plan = make_planner("openmp").plan(aggregate_profile(merged))
+    print()
+    print("=== plan from the MERGED multi-run profile ===")
+    print(format_plan(merged_plan))
+    print()
+    print(
+        "The merged profile weights each input by its work, so the plan\n"
+        "reflects behaviour across inputs rather than a single run."
+    )
+
+
+if __name__ == "__main__":
+    main()

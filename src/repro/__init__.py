@@ -1,0 +1,182 @@
+"""Kremlin reproduction: hierarchical critical path analysis,
+self-parallelism, and parallelism planning for serial programs.
+
+Reproduces *Kremlin: Rethinking and Rebooting gprof for the Multicore Age*
+(Garcia, Jeon, Louie, Taylor — PLDI 2011).
+
+Quickstart::
+
+    from repro import analyze
+
+    report = analyze(source_code, personality="openmp")
+    print(report.render_plan())        # the Figure 3 table
+    for item in report.plan:           # ranked regions to parallelize
+        print(item.region.name, item.self_parallelism)
+
+The pipeline underneath: ``kremlin_cc`` compiles MiniC source to
+instrumented IR; ``profile_program`` executes it under the KremLib HCPA
+runtime, producing a compressed parallelism profile; ``aggregate_profile``
+turns that into per-region work/coverage/self-parallelism; a planner
+personality (OpenMP, Cilk++, or the gprof baseline) selects and ranks the
+regions worth parallelizing; and ``simulate_plan`` evaluates any plan on a
+model multicore.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exec_model import (
+    DEFAULT_MACHINE,
+    MachineModel,
+    SimulationResult,
+    best_configuration,
+    simulate_plan,
+)
+from repro.hcpa import (
+    CompressionStats,
+    ParallelismProfile,
+    RegionProfile,
+    aggregate_profile,
+    compression_stats,
+    self_parallelism,
+    total_parallelism,
+)
+from repro.hcpa import (
+    load_profile,
+    merge_profiles,
+    save_profile,
+)
+from repro.hcpa.aggregate import AggregatedProfile
+from repro.instrument import CompiledProgram, StaticRegionTree, kremlin_cc
+from repro.interp import Interpreter, RunResult
+from repro.kremlib import KremlinProfiler, profile_program
+from repro.planner import (
+    CilkPlanner,
+    GprofPlanner,
+    OpenMPPlanner,
+    ParallelismPlan,
+    PlanItem,
+    Planner,
+    PlannerPersonality,
+    SelfParallelismFilterPlanner,
+)
+from repro.report import format_flat_profile, format_plan, format_region_table
+
+__version__ = "1.0.0"
+
+_PLANNERS = {
+    "openmp": OpenMPPlanner,
+    "cilk": CilkPlanner,
+    "gprof": GprofPlanner,
+    "sp-filter": SelfParallelismFilterPlanner,
+}
+
+
+def make_planner(personality: str) -> Planner:
+    """Instantiate a planner by personality name."""
+    try:
+        return _PLANNERS[personality]()
+    except KeyError:
+        raise ValueError(
+            f"unknown personality {personality!r}; "
+            f"choose from {sorted(_PLANNERS)}"
+        ) from None
+
+
+@dataclass
+class KremlinReport:
+    """Everything one ``analyze`` call produces."""
+
+    program: CompiledProgram
+    profile: ParallelismProfile
+    aggregated: AggregatedProfile
+    plan: ParallelismPlan
+    run: RunResult
+
+    def render_plan(self, limit: int | None = None) -> str:
+        return format_plan(self.plan, limit)
+
+    def render_regions(self) -> str:
+        return format_region_table(self.aggregated)
+
+    @property
+    def compression(self) -> CompressionStats:
+        return compression_stats(self.profile)
+
+    def replan(
+        self, personality: str | None = None, exclude: set[int] | None = None
+    ) -> ParallelismPlan:
+        """Re-run planning, optionally with a different personality or an
+        exclusion list (the paper's §3 workflow)."""
+        planner = make_planner(personality or self.plan.personality)
+        excluded = frozenset(self.plan.excluded | (exclude or set()))
+        new_plan = planner.plan(self.aggregated, excluded)
+        new_plan.program_name = self.plan.program_name
+        return new_plan
+
+
+def analyze(
+    source: str,
+    filename: str = "<input>",
+    personality: str = "openmp",
+    entry: str = "main",
+    args: tuple = (),
+    max_depth: int | None = None,
+) -> KremlinReport:
+    """One-shot pipeline: compile, profile, aggregate, and plan."""
+    program = kremlin_cc(source, filename)
+    profile, run = profile_program(
+        program, entry=entry, args=args, max_depth=max_depth
+    )
+    aggregated = aggregate_profile(profile)
+    plan = make_planner(personality).plan(aggregated)
+    plan.program_name = filename
+    return KremlinReport(
+        program=program,
+        profile=profile,
+        aggregated=aggregated,
+        plan=plan,
+        run=run,
+    )
+
+
+__all__ = [
+    "AggregatedProfile",
+    "CilkPlanner",
+    "CompiledProgram",
+    "CompressionStats",
+    "DEFAULT_MACHINE",
+    "GprofPlanner",
+    "Interpreter",
+    "KremlinProfiler",
+    "KremlinReport",
+    "MachineModel",
+    "OpenMPPlanner",
+    "ParallelismPlan",
+    "ParallelismProfile",
+    "PlanItem",
+    "Planner",
+    "PlannerPersonality",
+    "RegionProfile",
+    "RunResult",
+    "SelfParallelismFilterPlanner",
+    "SimulationResult",
+    "StaticRegionTree",
+    "aggregate_profile",
+    "analyze",
+    "best_configuration",
+    "compression_stats",
+    "format_flat_profile",
+    "format_plan",
+    "format_region_table",
+    "kremlin_cc",
+    "load_profile",
+    "merge_profiles",
+    "save_profile",
+    "make_planner",
+    "profile_program",
+    "self_parallelism",
+    "simulate_plan",
+    "total_parallelism",
+]

@@ -1,0 +1,41 @@
+"""Static analyses over the IR.
+
+These passes play the role of LLVM's analyses in the paper's toolchain:
+dominators and natural loops (region structure validation), postdominators
+and control dependence (the static half of Kremlin's control-dependence
+tracking, §4.1), and induction/reduction detection (dependence breaking).
+"""
+
+from repro.analysis.cfg import (
+    postorder,
+    predecessor_map,
+    reachable_blocks,
+    reverse_postorder,
+)
+from repro.analysis.control_dependence import (
+    ControlDependenceInfo,
+    compute_control_dependence,
+)
+from repro.analysis.dominators import (
+    DominatorTree,
+    dominator_tree,
+    postdominator_tree,
+)
+from repro.analysis.induction import detect_ir_dep_breaks
+from repro.analysis.loops import Loop, LoopForest, find_natural_loops
+
+__all__ = [
+    "ControlDependenceInfo",
+    "DominatorTree",
+    "Loop",
+    "LoopForest",
+    "compute_control_dependence",
+    "detect_ir_dep_breaks",
+    "dominator_tree",
+    "find_natural_loops",
+    "postdominator_tree",
+    "postorder",
+    "predecessor_map",
+    "reachable_blocks",
+    "reverse_postorder",
+]

@@ -1,0 +1,57 @@
+"""Call graph construction over the IR module."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.instructions import Call
+from repro.ir.module import Module
+
+
+@dataclass
+class CallGraph:
+    """Direct (non-builtin) call edges between functions."""
+
+    callees: dict[str, set[str]] = field(default_factory=dict)
+    callers: dict[str, set[str]] = field(default_factory=dict)
+
+    def calls(self, caller: str, callee: str) -> bool:
+        return callee in self.callees.get(caller, set())
+
+    def is_recursive(self, name: str) -> bool:
+        """True if ``name`` participates in any call cycle."""
+        seen: set[str] = set()
+        stack = list(self.callees.get(name, set()))
+        while stack:
+            current = stack.pop()
+            if current == name:
+                return True
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(self.callees.get(current, set()))
+        return False
+
+    def reachable_from(self, root: str = "main") -> set[str]:
+        out: set[str] = set()
+        stack = [root]
+        while stack:
+            current = stack.pop()
+            if current in out:
+                continue
+            out.add(current)
+            stack.extend(self.callees.get(current, set()))
+        return out
+
+
+def build_call_graph(module: Module) -> CallGraph:
+    graph = CallGraph()
+    for name, function in module.functions.items():
+        graph.callees.setdefault(name, set())
+        graph.callers.setdefault(name, set())
+    for name, function in module.functions.items():
+        for instr in function.instructions():
+            if isinstance(instr, Call) and not instr.is_builtin:
+                graph.callees[name].add(instr.callee)
+                graph.callers.setdefault(instr.callee, set()).add(name)
+    return graph

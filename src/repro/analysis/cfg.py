@@ -1,0 +1,66 @@
+"""Control-flow-graph utilities shared by the other analyses."""
+
+from __future__ import annotations
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+
+
+def reachable_blocks(function: Function) -> list[BasicBlock]:
+    """Blocks reachable from entry, in discovery (DFS preorder) order."""
+    seen: set[int] = set()
+    out: list[BasicBlock] = []
+    stack = [function.entry]
+    while stack:
+        block = stack.pop()
+        if id(block) in seen:
+            continue
+        seen.add(id(block))
+        out.append(block)
+        stack.extend(reversed(block.successors))
+    return out
+
+
+def predecessor_map(function: Function) -> dict[BasicBlock, list[BasicBlock]]:
+    """Predecessors of every reachable block."""
+    preds: dict[BasicBlock, list[BasicBlock]] = {
+        block: [] for block in reachable_blocks(function)
+    }
+    for block in preds:
+        for successor in block.successors:
+            preds[successor].append(block)
+    return preds
+
+
+def postorder(function: Function) -> list[BasicBlock]:
+    """DFS postorder over reachable blocks (iterative, deterministic)."""
+    seen: set[int] = set()
+    out: list[BasicBlock] = []
+    # (block, next-successor-index) stack
+    stack: list[tuple[BasicBlock, int]] = [(function.entry, 0)]
+    seen.add(id(function.entry))
+    while stack:
+        block, index = stack[-1]
+        successors = block.successors
+        if index < len(successors):
+            stack[-1] = (block, index + 1)
+            successor = successors[index]
+            if id(successor) not in seen:
+                seen.add(id(successor))
+                stack.append((successor, 0))
+        else:
+            stack.pop()
+            out.append(block)
+    return out
+
+
+def reverse_postorder(function: Function) -> list[BasicBlock]:
+    """Reverse postorder (topological-ish order for reducible CFGs)."""
+    return list(reversed(postorder(function)))
+
+
+def exit_blocks(function: Function) -> list[BasicBlock]:
+    """Reachable blocks whose terminator is a return."""
+    from repro.ir.instructions import Ret
+
+    return [b for b in reachable_blocks(function) if isinstance(b.terminator, Ret)]

@@ -1,0 +1,73 @@
+"""Static control-dependence analysis (Ferrante–Ottenstein–Warren).
+
+Two artifacts are produced per function:
+
+* the classic control-dependence relation ``block -> set of branch blocks it
+  is control dependent on`` (used by tests and by the IR-level dependence
+  validation); and
+* the **runtime control-stack schedule** the KremLib runtime consumes
+  (paper §4.1, *Managing Control Dependencies*): for every conditional
+  branch, the block at which its influence ends — its immediate
+  postdominator. At run time, executing the branch pushes the condition's
+  availability time onto the control-dependence stack; reaching the recorded
+  join block pops it. Because availability times only increase, reads need
+  only consult the top of the stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.dominators import postdominator_tree
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import Branch
+
+
+@dataclass
+class ControlDependenceInfo:
+    """Control-dependence facts for one function."""
+
+    #: branch block -> join block where its control influence ends
+    #: (None = the virtual exit; influence lasts until function return).
+    branch_join: dict[BasicBlock, BasicBlock | None] = field(default_factory=dict)
+    #: classic CDG: block -> branch blocks it is control dependent on.
+    dependences: dict[BasicBlock, set[BasicBlock]] = field(default_factory=dict)
+
+    def controlling_branches(self, block: BasicBlock) -> set[BasicBlock]:
+        return self.dependences.get(block, set())
+
+
+def compute_control_dependence(function: Function) -> ControlDependenceInfo:
+    info = ControlDependenceInfo()
+    pdom = postdominator_tree(function)
+
+    branch_blocks = [
+        block
+        for block in function.blocks
+        if isinstance(block.terminator, Branch)
+    ]
+
+    for block in branch_blocks:
+        join = pdom.idom.get(block)
+        # A block absent from the postdom tree can only happen for code that
+        # never reaches a return (infinite loops): its influence never ends.
+        info.branch_join[block] = join if join is not block else None
+
+    # Classic FOW control dependence: w is control dependent on branch u iff
+    # u has a successor v with w postdominating v, and w does not strictly
+    # postdominate u. Walk from each successor up the postdom tree until
+    # (but excluding) ipostdom(u).
+    for u in branch_blocks:
+        stop = pdom.idom.get(u)
+        for v in u.successors:
+            w: object = v
+            while w is not stop and w is not None:
+                info.dependences.setdefault(w, set()).add(u)  # type: ignore[arg-type]
+                if w not in pdom.idom:
+                    break
+                parent = pdom.idom[w]
+                if parent is w:
+                    break
+                w = parent
+    return info

@@ -1,0 +1,157 @@
+"""Dominator and postdominator trees (Cooper–Harvey–Kennedy algorithm).
+
+The postdominator computation introduces a virtual exit node (``None``)
+joining all return blocks, so functions with several returns — or loops whose
+only exits are ``return`` statements — still have a well-defined tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from repro.analysis.cfg import exit_blocks, postorder, predecessor_map
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+
+Node = Hashable  # BasicBlock, or None for the virtual exit
+
+
+@dataclass
+class DominatorTree:
+    """Immediate-dominator mapping plus derived queries.
+
+    ``idom[entry] is entry`` by convention; every other reachable node maps
+    to its immediate dominator.
+    """
+
+    entry: Node
+    idom: dict[Node, Node]
+    _children: dict[Node, list[Node]] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        self._children = {node: [] for node in self.idom}
+        for node, parent in self.idom.items():
+            if node is not self.entry:
+                self._children[parent].append(node)
+
+    def dominates(self, a: Node, b: Node) -> bool:
+        """True if ``a`` dominates ``b`` (reflexive)."""
+        current = b
+        while True:
+            if current is a:
+                return True
+            if current is self.entry or current not in self.idom:
+                return a is current
+            parent = self.idom[current]
+            if parent is current:
+                return a is current
+            current = parent
+
+    def strictly_dominates(self, a: Node, b: Node) -> bool:
+        return a is not b and self.dominates(a, b)
+
+    def children(self, node: Node) -> list[Node]:
+        return self._children.get(node, [])
+
+    def depth(self, node: Node) -> int:
+        depth = 0
+        current = node
+        while current is not self.entry:
+            current = self.idom[current]
+            depth += 1
+        return depth
+
+
+def _chk(
+    nodes: list[Node],
+    entry: Node,
+    preds: dict[Node, list[Node]],
+) -> dict[Node, Node]:
+    """Cooper–Harvey–Kennedy iterative dominator computation.
+
+    ``nodes`` must be in reverse postorder with ``entry`` first.
+    """
+    order_index = {node: i for i, node in enumerate(nodes)}
+    idom: dict[Node, Node] = {entry: entry}
+
+    def intersect(a: Node, b: Node) -> Node:
+        while a is not b:
+            while order_index[a] > order_index[b]:
+                a = idom[a]
+            while order_index[b] > order_index[a]:
+                b = idom[b]
+        return a
+
+    changed = True
+    missing = object()  # distinguish "unassigned" from the None exit node
+    while changed:
+        changed = False
+        for node in nodes[1:]:
+            candidates = [p for p in preds.get(node, []) if p in idom]
+            if not candidates:
+                continue
+            new_idom = candidates[0]
+            for pred in candidates[1:]:
+                new_idom = intersect(pred, new_idom)
+            if idom.get(node, missing) is not new_idom:
+                idom[node] = new_idom
+                changed = True
+    return idom
+
+
+def dominator_tree(function: Function) -> DominatorTree:
+    """Dominator tree over the reachable blocks of ``function``."""
+    nodes: list[Node] = list(reversed(postorder(function)))
+    preds_raw = predecessor_map(function)
+    preds: dict[Node, list[Node]] = {k: list(v) for k, v in preds_raw.items()}
+    idom = _chk(nodes, function.entry, preds)
+    return DominatorTree(entry=function.entry, idom=idom)
+
+
+def postdominator_tree(function: Function) -> DominatorTree:
+    """Postdominator tree with a virtual exit node (``None``).
+
+    Unreachable-in-reverse blocks (e.g. bodies of genuinely infinite loops)
+    are absent from the mapping; callers must treat a missing node as
+    "postdominated only by the virtual exit".
+    """
+    # Build the reverse CFG: successors become predecessors and the virtual
+    # exit None precedes every return block (in reverse orientation).
+    returns = exit_blocks(function)
+    reverse_succs: dict[Node, list[Node]] = {None: list(returns)}
+    reverse_preds: dict[Node, list[Node]] = {None: []}
+    for block in predecessor_map(function):
+        reverse_succs.setdefault(block, [])
+        reverse_preds.setdefault(block, [])
+    for block in list(reverse_succs):
+        if block is None:
+            continue
+        for successor in block.successors:
+            reverse_succs.setdefault(successor, [])
+            reverse_succs[successor].append(block)
+            reverse_preds.setdefault(block, [])
+            reverse_preds[block].append(successor)
+    for block in returns:
+        reverse_preds[block].append(None)
+
+    # Postorder of the reverse CFG starting from the virtual exit.
+    seen: set[int] = {id(None)}
+    order: list[Node] = []
+    stack: list[tuple[Node, int]] = [(None, 0)]
+    while stack:
+        node, index = stack[-1]
+        successors = reverse_succs.get(node, [])
+        if index < len(successors):
+            stack[-1] = (node, index + 1)
+            nxt = successors[index]
+            if id(nxt) not in seen:
+                seen.add(id(nxt))
+                stack.append((nxt, 0))
+        else:
+            stack.pop()
+            order.append(node)
+    nodes = list(reversed(order))  # reverse postorder of reverse CFG
+
+    idom = _chk(nodes, None, reverse_preds)
+    return DominatorTree(entry=None, idom=idom)

@@ -1,0 +1,117 @@
+"""IR-level induction/reduction detection.
+
+The production pipeline flags dependence-breaking updates during lowering,
+where variable identity is exact (:mod:`repro.lowering.dep_break`). This
+pass re-derives the same facts from lowered IR — the way the paper's
+LLVM-based implementation works — and is cross-checked against the lowering
+marks in the test suite. It can also be applied to IR that did not come from
+our front end.
+
+Recognized pattern (per natural loop)::
+
+    t = binop(+/-/*, r, x)   ; one operand is the variable register r
+    r = copy t               ; the only write to r inside the loop
+
+* if the op is +/- and ``x`` is loop-invariant → **induction**;
+* else if ``r`` has no other uses inside the loop → **reduction**.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.loops import Loop, find_natural_loops
+from repro.ir.function import Function
+from repro.ir.instructions import BinOp, Copy, REDUCTION_OPS
+from repro.ir.values import Constant, Register, Value
+
+
+@dataclass
+class IrDepBreaks:
+    """Detected dependence-breaking updates for one function."""
+
+    #: BinOp instruction -> ('induction' | 'reduction', old-operand index)
+    marks: dict[BinOp, tuple[str, int]] = field(default_factory=dict)
+    induction_registers: set[Register] = field(default_factory=set)
+    reduction_registers: set[Register] = field(default_factory=set)
+
+
+def _defs_in(loop: Loop) -> dict[Register, list]:
+    defs: dict[Register, list] = {}
+    for block in loop.blocks:
+        for instr in block.instructions:
+            if instr.result is not None:
+                defs.setdefault(instr.result, []).append(instr)
+    return defs
+
+
+def _uses_in(loop: Loop) -> dict[Register, int]:
+    uses: dict[Register, int] = {}
+    for block in loop.blocks:
+        for instr in block.instructions:
+            for operand in instr.operands:
+                if isinstance(operand, Register):
+                    uses[operand] = uses.get(operand, 0) + 1
+        if block.terminator is not None:
+            for operand in block.terminator.operands:
+                if isinstance(operand, Register):
+                    uses[operand] = uses.get(operand, 0) + 1
+    return uses
+
+
+def _is_loop_invariant(value: Value, defs: dict[Register, list]) -> bool:
+    if isinstance(value, Constant):
+        return True
+    if isinstance(value, Register):
+        return value not in defs
+    return False
+
+
+def detect_ir_dep_breaks(function: Function) -> IrDepBreaks:
+    """Detect induction/reduction updates per innermost enclosing loop."""
+    result = IrDepBreaks()
+    forest = find_natural_loops(function)
+
+    for loop in forest.loops:
+        defs = _defs_in(loop)
+        uses = _uses_in(loop)
+        for block in loop.blocks:
+            # Only classify updates whose innermost loop is this one.
+            if forest.loop_of(block) is not loop:
+                continue
+            for instr in block.instructions:
+                if not isinstance(instr, Copy):
+                    continue
+                target = instr.result
+                source = instr.operand
+                if target is None or not isinstance(source, Register):
+                    continue
+                if len(defs.get(target, [])) != 1:
+                    continue  # must be the only write to the variable
+                source_defs = defs.get(source, [])
+                if len(source_defs) != 1 or not isinstance(source_defs[0], BinOp):
+                    continue
+                binop = source_defs[0]
+                if binop.lhs is target:
+                    old_index, other = 0, binop.rhs
+                elif binop.rhs is target:
+                    old_index, other = 1, binop.lhs
+                else:
+                    continue
+
+                is_step = binop.op in ("+", "-") and _is_loop_invariant(other, defs)
+                if is_step:
+                    result.marks[binop] = ("induction", old_index)
+                    result.induction_registers.add(target)
+                    continue
+
+                if binop.op not in REDUCTION_OPS and binop.op != "-":
+                    continue
+                if binop.op == "-" and old_index != 0:
+                    continue  # r = x - r is not a sum reduction
+                # Reduction: target must have no uses in the loop besides
+                # this binop's old-value operand.
+                if uses.get(target, 0) == 1:
+                    result.marks[binop] = ("reduction", old_index)
+                    result.reduction_registers.add(target)
+    return result

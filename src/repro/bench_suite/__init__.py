@@ -1,0 +1,31 @@
+"""Benchmark suite: MiniC ports of the paper's evaluation programs.
+
+The paper evaluates on the 8 NAS Parallel Benchmarks, the 3 C-language
+SPEC OMP2001 programs (vs their SPEC 2000 serial versions), and motivates
+discovery with SD-VBS feature tracking. The originals are large Fortran/C
+codes; these ports reproduce each benchmark's *computational kernels* —
+loop-nest shapes, dependence structure (wavefronts, reductions, histograms,
+stencils, sparse matvecs), and work distribution — at inputs sized for the
+interpreter. Each module also carries a ``MANUAL`` region list mirroring the
+structure of the third-party OpenMP parallelization the paper compares
+against (which loops carried pragmas), authored from the published plan
+sizes and the known structure of those versions.
+"""
+
+from repro.bench_suite.registry import (
+    Benchmark,
+    BenchmarkResult,
+    all_benchmarks,
+    evaluation_benchmarks,
+    get_benchmark,
+    run_benchmark,
+)
+
+__all__ = [
+    "Benchmark",
+    "BenchmarkResult",
+    "all_benchmarks",
+    "evaluation_benchmarks",
+    "get_benchmark",
+    "run_benchmark",
+]

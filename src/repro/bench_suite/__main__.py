@@ -1,0 +1,90 @@
+"""Reproduction runner: ``python -m repro.bench_suite``.
+
+Profiles the evaluation suite and prints the paper's headline tables
+(Figure 6(a) plan sizes, Figure 6(b) best-configuration speedups, and the
+§4.4 compression column) in one go — the command-line counterpart of
+``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench_suite.registry import evaluation_benchmarks, run_benchmark
+from repro.exec_model import best_configuration
+from repro.hcpa import compression_stats
+from repro.planner import OpenMPPlanner
+from repro.report.tables import Table
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench_suite",
+        description="Profile the evaluation suite and print Figure 6.",
+    )
+    parser.add_argument(
+        "benchmarks",
+        nargs="*",
+        help="benchmark names (default: the full 11-program evaluation)",
+    )
+    options = parser.parse_args(argv)
+
+    names = options.benchmarks or [b.name for b in evaluation_benchmarks()]
+    planner = OpenMPPlanner()
+
+    table = Table(
+        headers=[
+            "bench", "MANUAL", "Kremlin", "overlap",
+            "K speedup", "M speedup", "rel", "compression",
+        ]
+    )
+    total_manual = total_kremlin = total_overlap = 0
+    for name in names:
+        started = time.perf_counter()
+        print(f"profiling {name} ...", end=" ", flush=True, file=sys.stderr)
+        result = run_benchmark(name)
+        print(f"{time.perf_counter() - started:.1f}s", file=sys.stderr)
+
+        plan = planner.plan(result.aggregated)
+        kremlin_ids = set(plan.region_ids)
+        manual_ids = set(result.manual_plan)
+        kremlin = best_configuration(result.profile, kremlin_ids)
+        manual = (
+            best_configuration(result.profile, manual_ids)
+            if manual_ids
+            else None
+        )
+        stats = compression_stats(result.profile)
+        table.add_row(
+            name,
+            len(manual_ids),
+            len(kremlin_ids),
+            len(kremlin_ids & manual_ids),
+            f"{kremlin.speedup:.2f}x @{kremlin.machine.cores}",
+            f"{manual.speedup:.2f}x @{manual.machine.cores}" if manual else "-",
+            f"{kremlin.speedup / manual.speedup:.2f}" if manual else "-",
+            f"{stats.ratio:,.0f}x",
+        )
+        total_manual += len(manual_ids)
+        total_kremlin += len(kremlin_ids)
+        total_overlap += len(kremlin_ids & manual_ids)
+
+    if total_kremlin:
+        table.add_row(
+            "overall",
+            total_manual,
+            total_kremlin,
+            total_overlap,
+            "",
+            "",
+            f"{total_manual / total_kremlin:.2f}x fewer regions",
+            "",
+        )
+    print(table.render())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,68 @@
+"""NPB ``ep`` — embarrassingly parallel.
+
+The original generates pairs of uniform pseudo-randoms, applies the
+acceptance-rejection Box–Muller transform, and tallies Gaussian deviates
+into ten annuli plus two global sums. Parallelism lives entirely in the one
+big sample loop in ``main``, whose only cross-iteration state is reductions
+— the paper singles ep out as the reduction-based main loop with "ample
+work" that *should* be parallelized (§5.1). Each sample derives its random
+stream arithmetically from the sample index (as NPB does via seed jumping),
+so iterations are genuinely independent.
+
+MANUAL plan size in the paper: 1 region; Kremlin: 1; overlap 1.
+"""
+
+from repro.bench_suite.registry import Benchmark
+
+SOURCE = """
+// NPB EP kernel (scaled): gaussian deviates via acceptance-rejection.
+int NSAMPLES = 6000;
+float q[10];
+float sx;
+float sy;
+int accepted;
+
+int main() {
+  for (int k = 0; k < NSAMPLES; k++) {
+    // Per-sample pseudo-random pair, derived from k alone (seed jumping).
+    int s1 = (k * 314159 + 271828) % 1000003;
+    if (s1 < 0) s1 = -s1;
+    int s2 = (s1 * 9301 + 49297) % 233280;
+    float u1 = (float) s1 / 1000003.0;
+    float u2 = (float) s2 / 233280.0;
+    float x1 = 2.0 * u1 - 1.0;
+    float x2 = 2.0 * u2 - 1.0;
+    float t = x1 * x1 + x2 * x2;
+    if (t <= 1.0 && t > 0.0) {
+      float f = sqrt(-2.0 * log(t) / t);
+      float gx = x1 * f;
+      float gy = x2 * f;
+      sx += gx;
+      sy += gy;
+      float ax = fabs(gx);
+      float ay = fabs(gy);
+      float am = max(ax, ay);
+      int bin = (int) am;
+      if (bin > 9) bin = 9;
+      q[bin] += 1.0;
+      accepted += 1;
+    }
+  }
+
+  float total = 0.0;
+  for (int b = 0; b < 10; b++) {
+    total += q[b];
+  }
+  print("ep: accepted", accepted, "sx", sx, "sy", sy);
+  return (int) total;
+}
+"""
+
+BENCHMARK = Benchmark(
+    name="ep",
+    suite="npb",
+    source=SOURCE,
+    manual_regions=("main#loop1",),
+    description="embarrassingly parallel gaussian-deviate tallying",
+    expected_result=None,  # filled by the self-check test, not load-bearing
+)

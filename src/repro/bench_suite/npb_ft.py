@@ -1,0 +1,157 @@
+"""NPB ``ft`` — spectral method: FFT sweeps, evolution, checksum.
+
+The NPB FT time step applies 1-D FFTs along each dimension (each sweep is a
+DOALL over lines, with the serial radix-2 butterfly stages inside), then
+evolves the spectrum by pointwise exponential factors and accumulates a
+checksum. Our port does radix-2 FFTs over the rows and columns of a 2-D
+grid, preserving exactly that two-level structure: parallelism lives at the
+line granularity, while the butterfly stages inside one FFT are a serial
+chain of DOALL sub-loops.
+
+Paper plan sizes: MANUAL 6, Kremlin 6, overlap 5 — and ft is one of the two
+benchmarks (with lu) where the greedy planner is suboptimal and the
+bottom-up DP matters (§5.1).
+"""
+
+from repro.bench_suite.registry import Benchmark
+
+SOURCE = """
+// NPB FT kernel (scaled): 2-D FFT time steps with spectrum evolution.
+int NX = 32;
+int LOGNX = 5;
+int NSTEPS = 2;
+
+float re[32][32];
+float im[32][32];
+float scratch_re[32];
+float scratch_im[32];
+float twid_re[32];
+float twid_im[32];
+float sum_re;
+float sum_im;
+
+void fft_line(float vre[32], float vim[32]) {
+  // bit-reversal permutation
+  for (int i = 0; i < NX; i++) {
+    int rev = 0;
+    int v = i;
+    for (int b = 0; b < LOGNX; b++) {
+      rev = (rev << 1) | (v & 1);
+      v = v >> 1;
+    }
+    scratch_re[rev] = vre[i];
+    scratch_im[rev] = vim[i];
+  }
+  for (int i = 0; i < NX; i++) {
+    vre[i] = scratch_re[i];
+    vim[i] = scratch_im[i];
+  }
+  // butterfly stages
+  for (int stage = 0; stage < LOGNX; stage++) {
+    int half = 1 << stage;
+    int span = half * 2;
+    for (int start = 0; start < NX; start += span) {
+      for (int k = 0; k < half; k++) {
+        float ang = -3.14159265358979 * (float) k / (float) half;
+        float wr = cos(ang);
+        float wi = sin(ang);
+        int a = start + k;
+        int b = start + k + half;
+        float tr = wr * vre[b] - wi * vim[b];
+        float ti = wr * vim[b] + wi * vre[b];
+        vre[b] = vre[a] - tr;
+        vim[b] = vim[a] - ti;
+        vre[a] = vre[a] + tr;
+        vim[a] = vim[a] + ti;
+      }
+    }
+  }
+}
+
+void cffts_rows() {
+  for (int i = 0; i < NX; i++) {
+    for (int j = 0; j < NX; j++) {
+      scratch_re[j] = re[i][j];
+      scratch_im[j] = im[i][j];
+    }
+    fft_line(scratch_re, scratch_im);
+    for (int j = 0; j < NX; j++) {
+      re[i][j] = scratch_re[j];
+      im[i][j] = scratch_im[j];
+    }
+  }
+}
+
+void cffts_cols() {
+  for (int j = 0; j < NX; j++) {
+    for (int i = 0; i < NX; i++) {
+      scratch_re[i] = re[i][j];
+      scratch_im[i] = im[i][j];
+    }
+    fft_line(scratch_re, scratch_im);
+    for (int i = 0; i < NX; i++) {
+      re[i][j] = scratch_re[i];
+      im[i][j] = scratch_im[i];
+    }
+  }
+}
+
+void evolve(int step) {
+  float t = 0.01 * (float) (step + 1);
+  for (int i = 0; i < NX; i++) {
+    for (int j = 0; j < NX; j++) {
+      float k2 = (float) (i * i + j * j);
+      float factor = exp(-1.0 * k2 * t * 0.001);
+      re[i][j] = re[i][j] * factor;
+      im[i][j] = im[i][j] * factor;
+    }
+  }
+}
+
+void checksum() {
+  float cre = 0.0;
+  float cim = 0.0;
+  for (int k = 0; k < NX; k++) {
+    int i = (k * 5) % NX;
+    int j = (k * 11) % NX;
+    cre += re[i][j];
+    cim += im[i][j];
+  }
+  sum_re += cre;
+  sum_im += cim;
+}
+
+int main() {
+  for (int i = 0; i < NX; i++) {
+    for (int j = 0; j < NX; j++) {
+      re[i][j] = (float) ((i * 31 + j * 17) % 64) / 64.0;
+      im[i][j] = (float) ((i * 13 + j * 29) % 64) / 64.0;
+    }
+  }
+  for (int step = 0; step < NSTEPS; step++) {
+    cffts_rows();
+    cffts_cols();
+    evolve(step);
+    checksum();
+  }
+  print("ft: checksum", sum_re, sum_im);
+  return (int) (sum_re + sum_im) % 1000;
+}
+"""
+
+BENCHMARK = Benchmark(
+    name="ft",
+    suite="npb",
+    source=SOURCE,
+    # The OpenMP FT parallelizes the two FFT sweeps, evolve, checksum, the
+    # grid init, and one butterfly loop inside the line FFT.
+    manual_regions=(
+        "cffts_rows#loop1",
+        "cffts_cols#loop1",
+        "evolve#loop1",
+        "checksum#loop1",
+        "main#loop1",
+        "fft_line#loop4",
+    ),
+    description="2-D FFT spectral time stepping",
+)

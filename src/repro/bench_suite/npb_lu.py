@@ -1,0 +1,118 @@
+"""NPB ``lu`` — SSOR solver with wavefront (DOACROSS) sweeps.
+
+Per SSOR iteration: RHS stencil nests (DOALL), then the famous lower- and
+upper-triangular sweeps whose (i, j) update depends on (i−1, j) and
+(i, j−1) — a 2-D wavefront. The sweep loops are the paper's canonical
+DOACROSS case: self-parallelism ≈ n/2 (pipelined diagonals), well below the
+iteration count, so they must clear the higher 3 % DOACROSS speedup
+threshold (§5.1). The third-party version annotates inner and outer loops
+of every nest plus the pipelined sweeps — the paper's largest plan-size
+reduction (2.55×: 28 MANUAL regions vs 11 Kremlin).
+"""
+
+from repro.bench_suite.registry import Benchmark
+
+SOURCE = """
+// NPB LU kernel (scaled): SSOR with lower/upper wavefront sweeps.
+int N = 24;
+int NITER = 3;
+
+float u[24][24];
+float rsd[24][24];
+float frct[24][24];
+
+void compute_rhs() {
+  for (int i = 1; i < N - 1; i++) {
+    for (int j = 1; j < N - 1; j++) {
+      rsd[i][j] = frct[i][j]
+                - 0.5 * (u[i + 1][j] - 2.0 * u[i][j] + u[i - 1][j])
+                - 0.5 * (u[i][j + 1] - 2.0 * u[i][j] + u[i][j - 1]);
+    }
+  }
+  for (int i = 1; i < N - 1; i++) {
+    for (int j = 1; j < N - 1; j++) {
+      rsd[i][j] = rsd[i][j] * 0.9;
+    }
+  }
+}
+
+void blts() {
+  // lower-triangular wavefront: (i,j) needs (i-1,j) and (i,j-1)
+  for (int i = 1; i < N - 1; i++) {
+    for (int j = 1; j < N - 1; j++) {
+      rsd[i][j] = rsd[i][j]
+                + 0.3 * rsd[i - 1][j] + 0.3 * rsd[i][j - 1];
+    }
+  }
+}
+
+void buts() {
+  // upper-triangular wavefront: (i,j) needs (i+1,j) and (i,j+1)
+  for (int i = N - 2; i >= 1; i--) {
+    for (int j = N - 2; j >= 1; j--) {
+      rsd[i][j] = rsd[i][j]
+                + 0.3 * rsd[i + 1][j] + 0.3 * rsd[i][j + 1];
+    }
+  }
+}
+
+void update() {
+  for (int i = 1; i < N - 1; i++) {
+    for (int j = 1; j < N - 1; j++) {
+      u[i][j] = u[i][j] + 0.7 * rsd[i][j];
+    }
+  }
+}
+
+float l2norm() {
+  float sum = 0.0;
+  for (int i = 1; i < N - 1; i++) {
+    for (int j = 1; j < N - 1; j++) {
+      sum += rsd[i][j] * rsd[i][j];
+    }
+  }
+  return sqrt(sum);
+}
+
+int main() {
+  for (int i = 0; i < N; i++) {
+    for (int j = 0; j < N; j++) {
+      u[i][j] = (float) ((i * 11 + j * 3) % 16) / 16.0;
+      frct[i][j] = (float) ((i + j * 7) % 8) / 8.0;
+    }
+  }
+  float norm = 0.0;
+  for (int iter = 0; iter < NITER; iter++) {
+    compute_rhs();
+    blts();
+    buts();
+    update();
+    norm = l2norm();
+  }
+  print("lu: norm", norm);
+  return (int) (norm * 100.0) % 1000;
+}
+"""
+
+BENCHMARK = Benchmark(
+    name="lu",
+    suite="npb",
+    source=SOURCE,
+    # The third-party LU: inner and outer loops of every nest, including
+    # the pipelined wavefront sweeps.
+    manual_regions=(
+        "compute_rhs#loop1",
+        "compute_rhs#loop2",
+        "compute_rhs#loop3",
+        "compute_rhs#loop4",
+        "blts#loop1",
+        "blts#loop2",
+        "buts#loop1",
+        "buts#loop2",
+        "update#loop1",
+        "update#loop2",
+        "l2norm#loop1",
+        "l2norm#loop2",
+    ),
+    description="SSOR with lower/upper wavefront sweeps",
+)

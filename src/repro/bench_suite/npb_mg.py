@@ -1,0 +1,139 @@
+"""NPB ``mg`` — multigrid V-cycles on a 2-D hierarchy.
+
+Structure mirrors NPB MG: per V-cycle, residual evaluation and smoothing
+stencils on the fine grid (DOALL nests), restriction to a coarse grid,
+coarse-grid smoothing, interpolation back, and an L2-norm reduction. All
+stencil nests are DOALL over rows; the norm is a sum reduction.
+
+Paper plan sizes: MANUAL 10, Kremlin 8, overlap 7 (1.25×).
+"""
+
+from repro.bench_suite.registry import Benchmark
+
+SOURCE = """
+// NPB MG kernel (scaled): 2-level V-cycles with stencil smoothing.
+int NF = 32;
+int NC = 16;
+int NCYCLES = 3;
+
+float u[32][32];
+float v[32][32];
+float rf[32][32];
+float uc[16][16];
+float rc[16][16];
+float norm;
+
+void resid_fine() {
+  for (int i = 1; i < NF - 1; i++) {
+    for (int j = 1; j < NF - 1; j++) {
+      rf[i][j] = v[i][j]
+               - (u[i][j] - 0.25 * (u[i - 1][j] + u[i + 1][j]
+                                  + u[i][j - 1] + u[i][j + 1]));
+    }
+  }
+}
+
+void smooth_fine() {
+  for (int i = 1; i < NF - 1; i++) {
+    for (int j = 1; j < NF - 1; j++) {
+      u[i][j] = u[i][j] + 0.6 * rf[i][j];
+    }
+  }
+}
+
+void restrict_grid() {
+  for (int i = 1; i < NC - 1; i++) {
+    for (int j = 1; j < NC - 1; j++) {
+      int fi = i * 2;
+      int fj = j * 2;
+      rc[i][j] = 0.25 * rf[fi][fj]
+               + 0.125 * (rf[fi - 1][fj] + rf[fi + 1][fj]
+                        + rf[fi][fj - 1] + rf[fi][fj + 1])
+               + 0.0625 * (rf[fi - 1][fj - 1] + rf[fi + 1][fj - 1]
+                         + rf[fi - 1][fj + 1] + rf[fi + 1][fj + 1]);
+    }
+  }
+}
+
+void smooth_coarse() {
+  for (int sweep = 0; sweep < 2; sweep++) {
+    for (int i = 1; i < NC - 1; i++) {
+      for (int j = 1; j < NC - 1; j++) {
+        uc[i][j] = uc[i][j]
+                 + 0.5 * (rc[i][j] - (uc[i][j]
+                          - 0.25 * (uc[i - 1][j] + uc[i + 1][j]
+                                  + uc[i][j - 1] + uc[i][j + 1])));
+      }
+    }
+  }
+}
+
+void interp_add() {
+  for (int i = 1; i < NC - 1; i++) {
+    for (int j = 1; j < NC - 1; j++) {
+      u[i * 2][j * 2] += uc[i][j];
+      u[i * 2 + 1][j * 2] += 0.5 * (uc[i][j] + uc[min(i + 1, NC - 1)][j]);
+      u[i * 2][j * 2 + 1] += 0.5 * (uc[i][j] + uc[i][min(j + 1, NC - 1)]);
+      u[i * 2 + 1][j * 2 + 1] += 0.25 * (uc[i][j]
+          + uc[min(i + 1, NC - 1)][j] + uc[i][min(j + 1, NC - 1)]
+          + uc[min(i + 1, NC - 1)][min(j + 1, NC - 1)]);
+    }
+  }
+}
+
+void norm2() {
+  float sum = 0.0;
+  for (int i = 1; i < NF - 1; i++) {
+    for (int j = 1; j < NF - 1; j++) {
+      sum += rf[i][j] * rf[i][j];
+    }
+  }
+  norm = sqrt(sum);
+}
+
+int main() {
+  for (int i = 0; i < NF; i++) {
+    for (int j = 0; j < NF; j++) {
+      v[i][j] = (float) ((i * 23 + j * 41) % 32) / 32.0;
+      u[i][j] = 0.0;
+    }
+  }
+  for (int cycle = 0; cycle < NCYCLES; cycle++) {
+    resid_fine();
+    restrict_grid();
+    for (int i = 0; i < NC; i++) {
+      for (int j = 0; j < NC; j++) {
+        uc[i][j] = 0.0;
+      }
+    }
+    smooth_coarse();
+    interp_add();
+    resid_fine();
+    smooth_fine();
+  }
+  norm2();
+  print("mg: norm", norm);
+  return (int) (norm * 100.0) % 1000;
+}
+"""
+
+BENCHMARK = Benchmark(
+    name="mg",
+    suite="npb",
+    source=SOURCE,
+    # The OpenMP MG annotates every stencil nest (outer loops), the norm,
+    # the init nest, and additionally two inner stencil loops.
+    manual_regions=(
+        "resid_fine#loop1",
+        "smooth_fine#loop1",
+        "restrict_grid#loop1",
+        "smooth_coarse#loop2",
+        "interp_add#loop1",
+        "norm2#loop1",
+        "main#loop1",
+        "main#loop4",
+        "resid_fine#loop2",
+        "smooth_coarse#loop3",
+    ),
+    description="2-level multigrid V-cycles",
+)

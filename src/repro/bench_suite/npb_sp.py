@@ -1,0 +1,144 @@
+"""NPB ``sp`` — scalar-pentadiagonal ADI solver.
+
+Same ADI skeleton as bt (RHS stencil nests, per-direction line solves, add)
+with an extra invert/scaling phase. ``sp`` is the paper's headline win:
+Kremlin's plan beat the third-party MANUAL version by **1.85×**, because
+"Kremlin was able to identify parallelism that was missed in the MANUAL
+version ... Kremlin recommended a coarse-grained parallelization, requiring
+privatization and refactoring" (§6.2). We reproduce that by giving MANUAL
+the inner (fine-grained) loops of the RHS nests and *no* annotation on the
+eta-direction solve at all, while Kremlin's planner finds every outer loop
+including the eta solve.
+"""
+
+from repro.bench_suite.registry import Benchmark
+
+SOURCE = """
+// NPB SP kernel (scaled): pentadiagonal ADI solver.
+int N = 24;
+int NSTEPS = 3;
+
+float u[24][24];
+float rhs[24][24];
+float forcing[24][24];
+float tmp[24][24];
+float speed[24][24];
+
+void compute_rhs() {
+  for (int i = 2; i < N - 2; i++) {
+    for (int j = 2; j < N - 2; j++) {
+      rhs[i][j] = forcing[i][j]
+                + 0.35 * (u[i + 1][j] - 2.0 * u[i][j] + u[i - 1][j])
+                + 0.05 * (u[i + 2][j] - 2.0 * u[i][j] + u[i - 2][j]);
+    }
+  }
+  for (int i = 2; i < N - 2; i++) {
+    for (int j = 2; j < N - 2; j++) {
+      rhs[i][j] = rhs[i][j]
+                + 0.35 * (u[i][j + 1] - 2.0 * u[i][j] + u[i][j - 1])
+                + 0.05 * (u[i][j + 2] - 2.0 * u[i][j] + u[i][j - 2]);
+    }
+  }
+  for (int i = 1; i < N - 1; i++) {
+    for (int j = 1; j < N - 1; j++) {
+      speed[i][j] = sqrt(fabs(u[i][j]) + 0.25);
+      rhs[i][j] = rhs[i][j] * 0.8 / speed[i][j];
+    }
+  }
+}
+
+void txinvr() {
+  for (int i = 1; i < N - 1; i++) {
+    for (int j = 1; j < N - 1; j++) {
+      rhs[i][j] = rhs[i][j] * (1.0 + 0.1 * speed[i][j]);
+    }
+  }
+}
+
+void x_solve() {
+  // xi-direction pentadiagonal sweeps: DOALL across j lines.
+  for (int j = 1; j < N - 1; j++) {
+    tmp[0][j] = rhs[0][j];
+    tmp[1][j] = rhs[1][j];
+    for (int i = 2; i < N - 2; i++) {
+      tmp[i][j] = (rhs[i][j] + 0.25 * tmp[i - 1][j]
+                 + 0.05 * tmp[i - 2][j]) * 0.6;
+    }
+  }
+  for (int j = 1; j < N - 1; j++) {
+    for (int i = N - 4; i >= 1; i--) {
+      tmp[i][j] = tmp[i][j] + 0.2 * tmp[i + 1][j];
+    }
+  }
+}
+
+void y_solve() {
+  // eta-direction sweeps: DOALL across i lines — this is the coarse
+  // parallelism the MANUAL version missed.
+  for (int i = 1; i < N - 1; i++) {
+    for (int j = 2; j < N - 2; j++) {
+      tmp[i][j] = (tmp[i][j] + 0.25 * tmp[i][j - 1]
+                 + 0.05 * tmp[i][j - 2]) * 0.6;
+    }
+  }
+  for (int i = 1; i < N - 1; i++) {
+    for (int j = N - 4; j >= 1; j--) {
+      tmp[i][j] = tmp[i][j] + 0.2 * tmp[i][j + 1];
+    }
+  }
+}
+
+void add() {
+  for (int i = 1; i < N - 1; i++) {
+    for (int j = 1; j < N - 1; j++) {
+      u[i][j] = u[i][j] + tmp[i][j];
+    }
+  }
+}
+
+int main() {
+  for (int i = 0; i < N; i++) {
+    for (int j = 0; j < N; j++) {
+      u[i][j] = (float) ((i * 5 + j * 3) % 16) / 16.0 + 0.5;
+      forcing[i][j] = (float) ((i * 2 + j) % 8) / 8.0;
+    }
+  }
+  for (int step = 0; step < NSTEPS; step++) {
+    compute_rhs();
+    txinvr();
+    x_solve();
+    y_solve();
+    add();
+  }
+  float checksum = 0.0;
+  for (int i = 1; i < N - 1; i++) {
+    for (int j = 1; j < N - 1; j++) {
+      checksum += u[i][j];
+    }
+  }
+  print("sp: checksum", checksum);
+  return (int) checksum % 1000;
+}
+"""
+
+BENCHMARK = Benchmark(
+    name="sp",
+    suite="npb",
+    source=SOURCE,
+    # The third-party SP: fine-grained inner loops on the RHS/invert nests,
+    # outer loops on the xi solve and add — but nothing on the eta solve.
+    manual_regions=(
+        "compute_rhs#loop2",
+        "compute_rhs#loop4",
+        "compute_rhs#loop6",
+        "txinvr#loop2",
+        "x_solve#loop1",
+        "x_solve#loop3",
+        "add#loop1",
+        "add#loop2",
+        "compute_rhs#loop1",
+        "compute_rhs#loop3",
+        "txinvr#loop1",
+    ),
+    description="scalar-pentadiagonal ADI solver",
+)

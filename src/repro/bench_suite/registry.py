@@ -1,0 +1,143 @@
+"""Benchmark registry, region-name resolution, and a profile cache."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from repro.hcpa.aggregate import AggregatedProfile, aggregate_profile
+from repro.hcpa.summaries import ParallelismProfile
+from repro.instrument.compile import CompiledProgram, kremlin_cc
+from repro.interp.interpreter import RunResult
+from repro.kremlib.profiler import profile_program
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One benchmark program plus its MANUAL parallelization plan."""
+
+    name: str
+    suite: str  # 'npb' | 'specomp' | 'sdvbs'
+    source: str
+    #: region names (``func`` or ``func#loopN``) the third-party MANUAL
+    #: version parallelized
+    manual_regions: tuple[str, ...]
+    description: str
+    #: expected return value of main() — a self-check that the port computes
+    #: what it claims (None = unchecked)
+    expected_result: int | None = None
+
+    def compile(self) -> CompiledProgram:
+        return kremlin_cc(self.source, f"{self.name}.c")
+
+    def resolve_regions(
+        self, program: CompiledProgram, names=None
+    ) -> list[int]:
+        """Map region names to static region ids in a compiled program."""
+        names = self.manual_regions if names is None else names
+        by_name = {region.name: region.id for region in program.regions}
+        out: list[int] = []
+        for name in names:
+            if name not in by_name:
+                raise KeyError(
+                    f"{self.name}: MANUAL region {name!r} not found; "
+                    f"known: {sorted(by_name)}"
+                )
+            out.append(by_name[name])
+        return out
+
+
+@dataclass
+class BenchmarkResult:
+    """A compiled, executed, profiled benchmark (cached per process)."""
+
+    benchmark: Benchmark
+    program: CompiledProgram
+    profile: ParallelismProfile
+    aggregated: AggregatedProfile
+    run: RunResult
+    manual_plan: list[int] = field(default_factory=list)
+
+
+def _registry() -> dict[str, Benchmark]:
+    from repro.bench_suite import (
+        npb_bt,
+        npb_cg,
+        npb_ep,
+        npb_ft,
+        npb_is,
+        npb_lu,
+        npb_mg,
+        npb_sp,
+        spec_ammp,
+        spec_art,
+        spec_equake,
+        vision_tracking,
+    )
+
+    modules = [
+        npb_bt,
+        npb_cg,
+        npb_ep,
+        npb_ft,
+        npb_is,
+        npb_lu,
+        npb_mg,
+        npb_sp,
+        spec_ammp,
+        spec_art,
+        spec_equake,
+        vision_tracking,
+    ]
+    out: dict[str, Benchmark] = {}
+    for module in modules:
+        benchmark = module.BENCHMARK
+        out[benchmark.name] = benchmark
+    return out
+
+
+def all_benchmarks() -> list[Benchmark]:
+    """Every benchmark, evaluation suite plus the tracking motivator."""
+    return list(_registry().values())
+
+
+def evaluation_benchmarks() -> list[Benchmark]:
+    """The 11 programs of the paper's §6 evaluation (NPB + SPEC OMP)."""
+    return [b for b in all_benchmarks() if b.suite in ("npb", "specomp")]
+
+
+def get_benchmark(name: str) -> Benchmark:
+    registry = _registry()
+    try:
+        return registry[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; known: {sorted(registry)}"
+        ) from None
+
+
+@lru_cache(maxsize=None)
+def run_benchmark(name: str) -> BenchmarkResult:
+    """Compile, execute, and profile a benchmark (memoized per process —
+    profiling is the expensive step and every experiment shares it)."""
+    benchmark = get_benchmark(name)
+    program = benchmark.compile()
+    profile, run = profile_program(program)
+    if (
+        benchmark.expected_result is not None
+        and run.value != benchmark.expected_result
+    ):
+        raise AssertionError(
+            f"{name}: self-check failed: main() returned {run.value}, "
+            f"expected {benchmark.expected_result}"
+        )
+    aggregated = aggregate_profile(profile)
+    manual_plan = benchmark.resolve_regions(program)
+    return BenchmarkResult(
+        benchmark=benchmark,
+        program=program,
+        profile=profile,
+        aggregated=aggregated,
+        run=run,
+        manual_plan=manual_plan,
+    )

@@ -1,0 +1,127 @@
+"""SPEC ``ammp`` — molecular dynamics (non-bonded forces + integration).
+
+Kernel structure mirrors ammp's ``mm_fv_update_nonbon``: an outer DOALL
+over atoms with an inner reduction over each atom's neighbor list
+(Lennard-Jones-flavoured force accumulation), plus bonded-force, velocity-
+and position-integration DOALLs and a small kinetic-energy reduction. The
+paper calls out ammp (with art) as having reduction loops with *too little
+work* to amortize OpenMP reduction overhead (§5.1) — our kinetic-energy
+loop plays that role and must be filtered by the planner's speedup
+threshold. Paper plan sizes: MANUAL 6, Kremlin 3 (2.0×).
+"""
+
+from repro.bench_suite.registry import Benchmark
+
+SOURCE = """
+// SPEC ammp kernel (scaled): MD non-bonded forces and integration.
+int NATOMS = 128;
+int NNEIGH = 16;
+int NSTEPS = 3;
+
+float px[128];
+float py[128];
+float vx[128];
+float vy[128];
+float fx[128];
+float fy[128];
+int neigh[2048];
+float kinetic;
+
+void build_neighbors() {
+  for (int i = 0; i < NATOMS; i++) {
+    for (int k = 0; k < NNEIGH; k++) {
+      neigh[i * NNEIGH + k] = (i + k * 13 + 1) % NATOMS;
+    }
+  }
+}
+
+void update_nonbon() {
+  for (int i = 0; i < NATOMS; i++) {
+    float fxa = 0.0;
+    float fya = 0.0;
+    for (int k = 0; k < NNEIGH; k++) {
+      int j = neigh[i * NNEIGH + k];
+      float dx = px[j] - px[i];
+      float dy = py[j] - py[i];
+      float r2 = dx * dx + dy * dy + 0.05;
+      float inv2 = 1.0 / r2;
+      float inv6 = inv2 * inv2 * inv2;
+      float force = inv6 * (inv6 - 0.5) * inv2;
+      fxa += force * dx;
+      fya += force * dy;
+    }
+    fx[i] = fxa;
+    fy[i] = fya;
+  }
+}
+
+void bonded_forces() {
+  for (int i = 1; i < NATOMS; i++) {
+    float dx = px[i] - px[i - 1];
+    float dy = py[i] - py[i - 1];
+    float stretch = sqrt(dx * dx + dy * dy) - 0.8;
+    fx[i] = fx[i] - 2.0 * stretch * dx;
+    fy[i] = fy[i] - 2.0 * stretch * dy;
+  }
+}
+
+void integrate_velocity() {
+  for (int i = 0; i < NATOMS; i++) {
+    vx[i] = 0.995 * (vx[i] + 0.01 * fx[i]);
+    vy[i] = 0.995 * (vy[i] + 0.01 * fy[i]);
+  }
+}
+
+void integrate_position() {
+  for (int i = 0; i < NATOMS; i++) {
+    px[i] = px[i] + 0.01 * vx[i];
+    py[i] = py[i] + 0.01 * vy[i];
+  }
+}
+
+void kinetic_energy() {
+  // Small reduction loop: real parallelism but too little work to pay for
+  // OpenMP reduction overhead (the paper's ammp/art observation).
+  float sum = 0.0;
+  for (int i = 0; i < NATOMS; i++) {
+    sum += vx[i] * vx[i] + vy[i] * vy[i];
+  }
+  kinetic = 0.5 * sum;
+}
+
+int main() {
+  for (int i = 0; i < NATOMS; i++) {
+    px[i] = 0.8 * (float) (i % 16);
+    py[i] = 0.8 * (float) (i / 16);
+    vx[i] = 0.0;
+    vy[i] = 0.0;
+  }
+  build_neighbors();
+  for (int step = 0; step < NSTEPS; step++) {
+    update_nonbon();
+    bonded_forces();
+    integrate_velocity();
+    integrate_position();
+    kinetic_energy();
+  }
+  print("ammp: kinetic", kinetic);
+  return (int) (kinetic * 10.0) % 1000;
+}
+"""
+
+BENCHMARK = Benchmark(
+    name="ammp",
+    suite="specomp",
+    source=SOURCE,
+    # SPEC OMP ammp: non-bonded outer + inner neighbor loop, both
+    # integration loops, the kinetic-energy reduction, and neighbor build.
+    manual_regions=(
+        "update_nonbon#loop1",
+        "update_nonbon#loop2",
+        "integrate_velocity#loop1",
+        "integrate_position#loop1",
+        "kinetic_energy#loop1",
+        "build_neighbors#loop1",
+    ),
+    description="molecular dynamics: non-bonded forces + integration",
+)

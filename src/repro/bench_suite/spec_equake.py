@@ -1,0 +1,117 @@
+"""SPEC ``equake`` — earthquake ground-motion FEM simulation.
+
+Kernel structure mirrors equake's time loop: a sparse matrix-vector product
+over the stiffness matrix (``smvp`` — outer DOALL over nodes with an inner
+per-row reduction), excitation via the source time function, and the
+explicit time-integration update loops over displacement components. The
+SPEC OMP version annotates the smvp outer loop, its inner loop, the three
+displacement loops, the two excitation loops, and three init loops (10
+regions); Kremlin keeps the outer loops with real work (6). Paper: MANUAL
+10, Kremlin 6 (1.67×).
+"""
+
+from repro.bench_suite.registry import Benchmark
+
+SOURCE = """
+// SPEC equake kernel (scaled): FEM smvp + explicit time integration.
+int NODES = 512;
+int NZROW = 6;
+int NSTEPS = 6;
+
+float K[3072];
+int Kcol[3072];
+float disp[512];
+float disptplus[512];
+float dispt[512];
+float vel[512];
+float force[512];
+float checksum;
+
+void init_matrix() {
+  for (int i = 0; i < NODES; i++) {
+    for (int k = 0; k < NZROW; k++) {
+      int idx = i * NZROW + k;
+      Kcol[idx] = (i + k * 29 + (i >> 3)) % NODES;
+      K[idx] = 0.05 + (float) ((i * 3 + k * 11) % 17) / 34.0;
+    }
+  }
+}
+
+void init_state() {
+  for (int i = 0; i < NODES; i++) {
+    disp[i] = 0.0;
+    dispt[i] = 0.0;
+    disptplus[i] = 0.0;
+    vel[i] = 0.0;
+  }
+}
+
+void smvp() {
+  for (int i = 0; i < NODES; i++) {
+    float sum = 3.0 * dispt[i];
+    for (int k = 0; k < NZROW; k++) {
+      int idx = i * NZROW + k;
+      sum += K[idx] * dispt[Kcol[idx]];
+    }
+    force[i] = sum;
+  }
+}
+
+void add_excitation(int step) {
+  float phi = exp(-0.05 * (float) step) * sin(0.3 * (float) step);
+  for (int i = 0; i < 32; i++) {
+    force[i * 16] += phi * (1.0 + 0.1 * (float) i);
+  }
+}
+
+void time_integration() {
+  for (int i = 0; i < NODES; i++) {
+    disptplus[i] = 2.0 * dispt[i] - disp[i] - 0.0004 * force[i];
+  }
+  for (int i = 0; i < NODES; i++) {
+    vel[i] = 0.5 * (disptplus[i] - disp[i]) * 50.0;
+  }
+  for (int i = 0; i < NODES; i++) {
+    disp[i] = dispt[i];
+    dispt[i] = disptplus[i];
+  }
+}
+
+int main() {
+  init_matrix();
+  init_state();
+  for (int step = 0; step < NSTEPS; step++) {
+    smvp();
+    add_excitation(step);
+    time_integration();
+  }
+  float sum = 0.0;
+  for (int i = 0; i < NODES; i++) {
+    sum += dispt[i] * dispt[i];
+  }
+  checksum = sqrt(sum);
+  print("equake: checksum", checksum);
+  return (int) (checksum * 1000.0) % 1000;
+}
+"""
+
+BENCHMARK = Benchmark(
+    name="equake",
+    suite="specomp",
+    source=SOURCE,
+    # SPEC OMP equake: smvp outer + inner, three integration loops, the
+    # excitation loop, two init loops, the init nest inner, and checksum.
+    manual_regions=(
+        "smvp#loop1",
+        "smvp#loop2",
+        "time_integration#loop1",
+        "time_integration#loop2",
+        "time_integration#loop3",
+        "add_excitation#loop1",
+        "init_matrix#loop1",
+        "init_matrix#loop2",
+        "init_state#loop1",
+        "main#loop2",
+    ),
+    description="FEM earthquake simulation: smvp + time integration",
+)

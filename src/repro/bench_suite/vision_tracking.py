@@ -1,0 +1,177 @@
+"""SD-VBS ``tracking`` — the feature-tracking benchmark of Figures 2 and 3.
+
+The paper opens with this program: Figure 3 shows Kremlin's plan for it
+(imageBlur's two convolution passes first, then the Sobel derivative passes,
+then getInterpPatch), and Figure 2 shows the ``fillFeatures`` triple nest
+whose *innermost* loop (over features ``k``) is the only parallel one —
+iterations over ``i``/``j`` conditionally overwrite the same per-feature
+records, so traditional CPA would wrongly report the outer loops as
+parallel, while HCPA localizes the parallelism to the ``k`` loop.
+"""
+
+from repro.bench_suite.registry import Benchmark
+
+SOURCE = """
+// SD-VBS feature tracking (scaled): blur, gradients, corner response,
+// feature selection, patch interpolation.
+int ROWS = 40;
+int COLS = 40;
+int WIN = 2;
+int NFEATURES = 24;
+
+float img[40][40];
+float blurred[40][40];
+float tmp[40][40];
+float dx[40][40];
+float dy[40][40];
+float lambda[40][40];
+float features[3][24];
+float patch[6][6];
+float patchsum;
+
+void imageBlur() {
+  // horizontal 1-D gaussian pass
+  for (int i = 0; i < ROWS; i++) {
+    for (int j = 2; j < COLS - 2; j++) {
+      tmp[i][j] = 0.0625 * img[i][j - 2] + 0.25 * img[i][j - 1]
+                + 0.375 * img[i][j] + 0.25 * img[i][j + 1]
+                + 0.0625 * img[i][j + 2];
+    }
+  }
+  // vertical 1-D gaussian pass
+  for (int i = 2; i < ROWS - 2; i++) {
+    for (int j = 0; j < COLS; j++) {
+      blurred[i][j] = 0.0625 * tmp[i - 2][j] + 0.25 * tmp[i - 1][j]
+                    + 0.375 * tmp[i][j] + 0.25 * tmp[i + 1][j]
+                    + 0.0625 * tmp[i + 2][j];
+    }
+  }
+}
+
+void calcSobel_dX() {
+  // smoothing pass
+  for (int i = 1; i < ROWS - 1; i++) {
+    for (int j = 0; j < COLS; j++) {
+      tmp[i][j] = blurred[i - 1][j] + 2.0 * blurred[i][j] + blurred[i + 1][j];
+    }
+  }
+  // derivative pass
+  for (int i = 0; i < ROWS; i++) {
+    for (int j = 1; j < COLS - 1; j++) {
+      dx[i][j] = tmp[i][j + 1] - tmp[i][j - 1];
+    }
+  }
+}
+
+void calcSobel_dY() {
+  for (int i = 0; i < ROWS; i++) {
+    for (int j = 1; j < COLS - 1; j++) {
+      tmp[i][j] = blurred[i][j - 1] + 2.0 * blurred[i][j] + blurred[i][j + 1];
+    }
+  }
+  for (int i = 1; i < ROWS - 1; i++) {
+    for (int j = 0; j < COLS; j++) {
+      dy[i][j] = tmp[i + 1][j] - tmp[i - 1][j];
+    }
+  }
+}
+
+void calcLambda() {
+  for (int i = WIN; i < ROWS - WIN; i++) {
+    for (int j = WIN; j < COLS - WIN; j++) {
+      float gxx = 0.0;
+      float gyy = 0.0;
+      float gxy = 0.0;
+      for (int wi = 0 - WIN; wi <= WIN; wi++) {
+        for (int wj = 0 - WIN; wj <= WIN; wj++) {
+          float vx = dx[i + wi][j + wj];
+          float vy = dy[i + wi][j + wj];
+          gxx += vx * vx;
+          gyy += vy * vy;
+          gxy += vx * vy;
+        }
+      }
+      float tr = gxx + gyy;
+      float det = gxx * gyy - gxy * gxy;
+      float disc = tr * tr - 4.0 * det;
+      if (disc < 0.0) disc = 0.0;
+      lambda[i][j] = 0.5 * (tr + sqrt(disc));
+    }
+  }
+}
+
+void fillFeatures() {
+  // Figure 2 of the paper: only the innermost loop (over k) is parallel.
+  // Each (i, j) pass conditionally improves the same per-feature records,
+  // so the i and j loops carry true dependences through features[][].
+  for (int i = WIN; i < ROWS - WIN; i++) {
+    for (int j = WIN; j < COLS - WIN; j++) {
+      float currLambda = lambda[i][j];
+      for (int k = 0; k < NFEATURES; k++) {
+        if (features[2][k] < currLambda - 0.001 * (float) k) {
+          features[0][k] = (float) j;
+          features[1][k] = (float) i;
+          features[2][k] = currLambda - 0.001 * (float) k;
+        }
+      }
+    }
+  }
+}
+
+void getInterpPatch(int fi) {
+  float fx = features[0][fi];
+  float fy = features[1][fi];
+  int bx = (int) fx;
+  int by = (int) fy;
+  if (bx > COLS - 8) bx = COLS - 8;
+  if (by > ROWS - 8) by = ROWS - 8;
+  if (bx < 0) bx = 0;
+  if (by < 0) by = 0;
+  float ax = fx - (float) bx;
+  float ay = fy - (float) by;
+  for (int i = 0; i < 6; i++) {
+    for (int j = 0; j < 6; j++) {
+      patch[i][j] = (1.0 - ax) * (1.0 - ay) * blurred[by + i][bx + j]
+                  + ax * (1.0 - ay) * blurred[by + i][bx + j + 1]
+                  + ay * (1.0 - ax) * blurred[by + i + 1][bx + j]
+                  + ax * ay * blurred[by + i + 1][bx + j + 1];
+      patchsum += patch[i][j];
+    }
+  }
+}
+
+int main() {
+  for (int i = 0; i < ROWS; i++) {
+    for (int j = 0; j < COLS; j++) {
+      int s = i * COLS + j;
+      img[i][j] = 0.000002 * (float) (s * s)
+                + 0.00001 * (float) ((i * 7 + j * 13) % 16);
+    }
+  }
+  for (int k = 0; k < NFEATURES; k++) {
+    features[2][k] = -1.0;
+  }
+
+  imageBlur();
+  calcSobel_dX();
+  calcSobel_dY();
+  calcLambda();
+  fillFeatures();
+  for (int f = 0; f < NFEATURES; f++) {
+    getInterpPatch(f);
+  }
+
+  print("tracking: patchsum", patchsum);
+  return (int) (patchsum * 0.1);
+}
+"""
+
+BENCHMARK = Benchmark(
+    name="tracking",
+    suite="sdvbs",
+    source=SOURCE,
+    # tracking is the discovery/planning showcase (Figure 3), not part of
+    # the §6 MANUAL comparison; no third-party plan exists.
+    manual_regions=(),
+    description="SD-VBS feature tracking (Figures 2 and 3)",
+)

@@ -1,0 +1,241 @@
+"""Command-line interface mirroring the paper's Figure 3 workflow.
+
+::
+
+    $ kremlin-cc tracking.c            # compile + instrument (validation)
+    $ kremlin tracking.c --personality=openmp
+    $ kremlin tracking.c --regions     # discovery table instead of a plan
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import analyze, make_planner
+from repro.frontend.errors import MiniCError
+from repro.hcpa import (
+    ProfileFormatError,
+    aggregate_profile,
+    load_profile,
+    save_profile,
+)
+from repro.instrument import kremlin_cc
+from repro.interp.errors import InterpreterError
+from repro.ir.printer import print_module
+from repro.report import format_flat_profile, format_plan, format_region_table
+
+
+def _read_source(path: str) -> str:
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``kremlin``: profile a program and print its parallelism plan."""
+    parser = argparse.ArgumentParser(
+        prog="kremlin",
+        description=(
+            "Profile a serial MiniC program with hierarchical critical path "
+            "analysis and print an ordered parallelism plan."
+        ),
+    )
+    parser.add_argument(
+        "source",
+        nargs="?",
+        help="MiniC source file (omit when planning --from-profile)",
+    )
+    parser.add_argument(
+        "--personality",
+        default="openmp",
+        choices=["openmp", "cilk", "gprof", "sp-filter"],
+        help="planner personality (default: openmp)",
+    )
+    parser.add_argument("--entry", default="main", help="entry function")
+    parser.add_argument(
+        "--limit", type=int, default=None, help="show only the first N regions"
+    )
+    parser.add_argument(
+        "--regions",
+        action="store_true",
+        help="print the full region discovery table instead of a plan",
+    )
+    parser.add_argument(
+        "--exclude",
+        default="",
+        help="comma-separated region ids to exclude before planning",
+    )
+    parser.add_argument(
+        "--max-depth",
+        type=int,
+        default=None,
+        help="limit the profiled region depth (paper's depth window flag)",
+    )
+    parser.add_argument(
+        "--compression",
+        action="store_true",
+        help="also print trace compression statistics",
+    )
+    parser.add_argument(
+        "--flat",
+        action="store_true",
+        help="also print a classic gprof-style flat profile",
+    )
+    parser.add_argument(
+        "--save-profile",
+        metavar="PATH",
+        default=None,
+        help="write the parallelism profile to a JSON file",
+    )
+    parser.add_argument(
+        "--format",
+        default="table",
+        choices=["table", "csv", "markdown"],
+        help="plan output format (default: table)",
+    )
+    parser.add_argument(
+        "--dot",
+        metavar="PATH",
+        default=None,
+        help="write the dynamic region graph (plan highlighted) as DOT",
+    )
+    parser.add_argument(
+        "--curve",
+        action="store_true",
+        help="also print the speedup-vs-cores curve for the plan",
+    )
+    parser.add_argument(
+        "--from-profile",
+        metavar="PATH",
+        default=None,
+        help="plan from a previously saved profile instead of running",
+    )
+    options = parser.parse_args(argv)
+
+    if options.from_profile is not None:
+        return _plan_from_profile(options)
+    if options.source is None:
+        parser.error("a source file (or --from-profile) is required")
+
+    try:
+        source = _read_source(options.source)
+        report = analyze(
+            source,
+            filename=options.source,
+            personality=options.personality,
+            entry=options.entry,
+            max_depth=options.max_depth,
+        )
+        if options.exclude:
+            excluded = {int(x) for x in options.exclude.split(",") if x.strip()}
+            report.plan = make_planner(options.personality).plan(
+                report.aggregated, frozenset(excluded)
+            )
+    except (MiniCError, InterpreterError, OSError, ValueError) as error:
+        print(f"kremlin: error: {error}", file=sys.stderr)
+        return 1
+
+    if options.save_profile:
+        save_profile(report.profile, options.save_profile)
+
+    if options.dot:
+        from repro.report import dynamic_region_dot
+
+        with open(options.dot, "w", encoding="utf-8") as handle:
+            handle.write(
+                dynamic_region_dot(report.aggregated, report.plan.region_ids)
+            )
+
+    if options.regions:
+        print(report.render_regions())
+    elif options.format == "csv":
+        from repro.report import plan_to_csv
+
+        print(plan_to_csv(report.plan), end="")
+    elif options.format == "markdown":
+        from repro.report import plan_to_markdown
+
+        print(plan_to_markdown(report.plan))
+    else:
+        print(report.render_plan(options.limit))
+    if options.flat:
+        print()
+        print(format_flat_profile(report.aggregated))
+    if options.compression:
+        print()
+        print(f"trace compression: {report.compression}")
+    if options.curve:
+        from repro.exec_model import format_curve, speedup_curve, upperbound_curve
+
+        print()
+        print("Speedup vs cores for this plan:")
+        print(
+            format_curve(
+                speedup_curve(report.profile, report.plan.region_ids),
+                upperbound_curve(report.profile, report.plan.region_ids),
+            )
+        )
+    return 0
+
+
+def _plan_from_profile(options) -> int:
+    """Plan from a saved parallelism profile (no compile, no run)."""
+    try:
+        profile = load_profile(options.from_profile)
+        aggregated = aggregate_profile(profile)
+        excluded = frozenset(
+            int(x) for x in options.exclude.split(",") if x.strip()
+        )
+        plan = make_planner(options.personality).plan(aggregated, excluded)
+        plan.program_name = profile.program_name
+    except (ProfileFormatError, OSError, ValueError) as error:
+        print(f"kremlin: error: {error}", file=sys.stderr)
+        return 1
+    if options.regions:
+        print(format_region_table(aggregated))
+    else:
+        print(format_plan(plan, options.limit))
+    if options.flat:
+        print()
+        print(format_flat_profile(aggregated))
+    return 0
+
+
+def main_cc(argv: list[str] | None = None) -> int:
+    """``kremlin-cc``: compile and instrument, reporting program structure."""
+    parser = argparse.ArgumentParser(
+        prog="kremlin-cc",
+        description="Compile a MiniC program with Kremlin instrumentation.",
+    )
+    parser.add_argument("source", help="MiniC source file")
+    parser.add_argument(
+        "--dump-ir", action="store_true", help="print the instrumented IR"
+    )
+    parser.add_argument(
+        "--dump-regions", action="store_true", help="print the region tree"
+    )
+    options = parser.parse_args(argv)
+
+    try:
+        source = _read_source(options.source)
+        program = kremlin_cc(source, options.source)
+    except (MiniCError, OSError) as error:
+        print(f"kremlin-cc: error: {error}", file=sys.stderr)
+        return 1
+
+    regions = program.regions
+    functions = len(program.module.functions)
+    loops = len(regions.loops())
+    print(
+        f"{options.source}: {functions} functions, {loops} loops, "
+        f"{len(regions)} static regions"
+    )
+    if options.dump_regions:
+        print(regions.format_tree())
+    if options.dump_ir:
+        print(print_module(program.module))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""Parallel execution-time simulation for evaluating plans.
+
+The paper evaluates plans by actually parallelizing the benchmarks with
+OpenMP and running them on a 32-core AMD machine, reporting each version's
+best core-count configuration (§6.1). Our substitute is an analytic
+simulator over the compressed profile: a parallelized region's time is
+bounded below by ``max(cp, work/P)`` — precisely the model the planner's
+speedup estimate assumes — plus the overhead terms the paper calls out
+(fork/join cost, per-chunk scheduling, DOACROSS per-iteration
+synchronization, and the cost of entering a parallel construct nested
+inside an already-parallel region). Like the paper, evaluation sweeps core
+counts and reports the best configuration.
+"""
+
+from repro.exec_model.curve import (
+    CurvePoint,
+    IDEAL_MACHINE,
+    format_curve,
+    saturation_point,
+    speedup_curve,
+    upperbound_curve,
+)
+from repro.exec_model.machine import DEFAULT_MACHINE, MachineModel
+from repro.exec_model.simulate import (
+    SimulationResult,
+    best_configuration,
+    simulate_plan,
+)
+
+__all__ = [
+    "CurvePoint",
+    "DEFAULT_MACHINE",
+    "IDEAL_MACHINE",
+    "MachineModel",
+    "SimulationResult",
+    "best_configuration",
+    "format_curve",
+    "saturation_point",
+    "speedup_curve",
+    "upperbound_curve",
+    "simulate_plan",
+]

@@ -1,0 +1,97 @@
+"""Speedup-vs-core-count curves: the upper-bound view of a plan.
+
+The paper's evaluation sweeps core counts and reports each version's best
+configuration (§6.1); its follow-on work (Kismet) turns the same profile
+into a predicted speedup *upper bound* as a function of core count. This
+module provides both views from one profile:
+
+* :func:`speedup_curve` — the modeled speedup of a concrete plan at each
+  core count (with the machine's overheads);
+* :func:`upperbound_curve` — the overhead-free bound from the same plan
+  (``max(cp, work/P)`` with no fork/sync costs), the number real execution
+  can approach but not exceed;
+* :func:`saturation_point` — the smallest core count within a factor of the
+  curve's best speedup, i.e. where adding cores stops paying.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exec_model.machine import CORE_SWEEP, DEFAULT_MACHINE, MachineModel
+from repro.exec_model.simulate import SimulationResult, simulate_plan
+from repro.hcpa.summaries import ParallelismProfile
+
+#: An overhead-free machine: the Kismet-style upper bound.
+IDEAL_MACHINE = MachineModel(
+    cores=1,
+    fork_cost=0,
+    chunk_cost=0,
+    doacross_sync=0,
+    nested_penalty=0,
+    migration_cost=0,
+)
+
+
+@dataclass(frozen=True)
+class CurvePoint:
+    cores: int
+    speedup: float
+    time: float
+
+
+def speedup_curve(
+    profile: ParallelismProfile,
+    plan_regions,
+    machine: MachineModel = DEFAULT_MACHINE,
+    core_sweep=CORE_SWEEP,
+) -> list[CurvePoint]:
+    """Modeled speedup of ``plan_regions`` at each core count."""
+    out = []
+    for cores in core_sweep:
+        result = simulate_plan(profile, plan_regions, machine.with_cores(cores))
+        out.append(CurvePoint(cores=cores, speedup=result.speedup, time=result.time))
+    return out
+
+
+def upperbound_curve(
+    profile: ParallelismProfile,
+    plan_regions,
+    core_sweep=CORE_SWEEP,
+) -> list[CurvePoint]:
+    """Overhead-free speedup bound for the same plan (Kismet's view)."""
+    return speedup_curve(profile, plan_regions, IDEAL_MACHINE, core_sweep)
+
+
+def saturation_point(
+    curve: list[CurvePoint], within: float = 0.9
+) -> CurvePoint:
+    """The cheapest configuration achieving ``within`` of the best speedup.
+
+    The paper notes performance "can decline as locality effects start to
+    trump the benefits due to parallelization"; this reports where the curve
+    effectively flattens, which is where a user should stop adding cores.
+    """
+    if not curve:
+        raise ValueError("empty curve")
+    best = max(point.speedup for point in curve)
+    for point in curve:
+        if point.speedup >= within * best:
+            return point
+    return curve[-1]
+
+
+def format_curve(plan_curve, bound_curve) -> str:
+    """Render both curves side by side."""
+    from repro.report.tables import Table
+
+    table = Table(headers=["cores", "modeled speedup", "upper bound"])
+    bounds = {p.cores: p for p in bound_curve}
+    for point in plan_curve:
+        bound = bounds.get(point.cores)
+        table.add_row(
+            point.cores,
+            f"{point.speedup:.2f}x",
+            f"{bound.speedup:.2f}x" if bound else "-",
+        )
+    return table.render()

@@ -1,0 +1,43 @@
+"""Machine model: the overhead parameters of the simulated multicore.
+
+Values are in the same abstract cycles as the instruction cost model.
+Defaults approximate a 32-core shared-memory NUMA box running an OpenMP
+runtime (the paper's testbed class): forking a parallel region costs
+thousands of cycles, scheduling each chunk costs hundreds, and DOACROSS
+pipelining pays a post/wait handshake every iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Overhead parameters for simulated parallel execution."""
+
+    cores: int = 32
+    #: one-time cost of forking/joining a parallel region instance
+    fork_cost: int = 3000
+    #: per-scheduled-chunk cost (a parallel loop schedules ~min(n, cores))
+    chunk_cost: int = 150
+    #: per-iteration synchronization cost of a DOACROSS (pipelined) loop
+    doacross_sync: int = 80
+    #: cost of entering a parallel construct dynamically nested inside an
+    #: already-parallel region (serialized by the runtime after a cheap
+    #: am-I-nested check, as the third-party OpenMP codes rely on)
+    nested_penalty: int = 25
+    #: fraction of a parallel region's data-movement work charged when the
+    #: region is small relative to the cores it spreads over (NUMA
+    #: first-touch / migration flavour; responsible for the paper's noisy
+    #: marginal benefits on the 32-core machine)
+    migration_cost: int = 600
+
+    def with_cores(self, cores: int) -> "MachineModel":
+        return replace(self, cores=cores)
+
+
+DEFAULT_MACHINE = MachineModel()
+
+#: The paper's evaluated configurations (§6.1).
+CORE_SWEEP = (1, 2, 4, 8, 16, 32)

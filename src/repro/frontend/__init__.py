@@ -1,0 +1,33 @@
+"""MiniC front end: lexer, parser, and AST for the Kremlin reproduction.
+
+MiniC is a small C-like language covering the constructs the Kremlin paper's
+benchmarks exercise: scalar ``int``/``float`` variables, fixed-size one- and
+two-dimensional arrays, functions, ``if``/``while``/``for`` control flow, and
+calls (including a deterministic math/builtin library).
+
+The public entry point is :func:`parse_program`, which turns source text into
+a :class:`~repro.frontend.ast_nodes.Program`.
+"""
+
+from repro.frontend.ast_nodes import Program
+from repro.frontend.errors import LexError, MiniCError, ParseError
+from repro.frontend.lexer import Lexer, tokenize
+from repro.frontend.parser import Parser, parse_program
+from repro.frontend.source import SourceFile, SourceLocation, SourceSpan
+from repro.frontend.tokens import Token, TokenKind
+
+__all__ = [
+    "Lexer",
+    "LexError",
+    "MiniCError",
+    "ParseError",
+    "Parser",
+    "Program",
+    "SourceFile",
+    "SourceLocation",
+    "SourceSpan",
+    "Token",
+    "TokenKind",
+    "parse_program",
+    "tokenize",
+]

@@ -1,0 +1,304 @@
+"""Abstract syntax tree for MiniC.
+
+The AST is intentionally small: the Kremlin benchmarks are numeric kernels,
+so MiniC needs scalars, fixed-size arrays, arithmetic, calls, and structured
+control flow — nothing more. Every node carries a :class:`SourceSpan`; loop
+spans become the ``file (start-end)`` labels in planner output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.frontend.source import SourceSpan
+
+# ----------------------------------------------------------------------
+# Types
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TypeName:
+    """A declared type: ``base`` is 'int', 'float', or 'void'; ``dims`` lists
+    array dimensions (``None`` for an unsized leading parameter dimension,
+    as in ``float a[][64]``)."""
+
+    base: str
+    dims: tuple[int | None, ...] = ()
+
+    @property
+    def is_array(self) -> bool:
+        return bool(self.dims)
+
+    @property
+    def is_void(self) -> bool:
+        return self.base == "void" and not self.dims
+
+    def __str__(self) -> str:
+        suffix = "".join(f"[{d if d is not None else ''}]" for d in self.dims)
+        return f"{self.base}{suffix}"
+
+
+# ----------------------------------------------------------------------
+# Base nodes
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Node:
+    span: SourceSpan
+
+
+@dataclass
+class Expr(Node):
+    """Base class for expressions."""
+
+
+@dataclass
+class Stmt(Node):
+    """Base class for statements."""
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class IntLiteral(Expr):
+    value: int
+
+
+@dataclass
+class FloatLiteral(Expr):
+    value: float
+
+
+@dataclass
+class StringLiteral(Expr):
+    """Only valid as the first argument of the ``print`` builtin."""
+
+    value: str
+
+
+@dataclass
+class NameExpr(Expr):
+    name: str
+
+
+@dataclass
+class IndexExpr(Expr):
+    """``base[i]`` or ``base[i][j]``; ``base`` is always a plain name in
+    MiniC (arrays are not first-class values)."""
+
+    name: str
+    indices: list[Expr]
+
+
+@dataclass
+class UnaryExpr(Expr):
+    op: str  # '-', '!', '~'(unsupported), '+'
+    operand: Expr
+
+
+@dataclass
+class BinaryExpr(Expr):
+    op: str  # '+','-','*','/','%','<','>','<=','>=','==','!=','&&','||','&','|','^','<<','>>'
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class CallExpr(Expr):
+    callee: str
+    args: list[Expr]
+
+
+@dataclass
+class CondExpr(Expr):
+    """Ternary ``cond ? then : otherwise``."""
+
+    cond: Expr
+    then: Expr
+    otherwise: Expr
+
+
+@dataclass
+class CastExpr(Expr):
+    """Explicit cast, ``(int) e`` or ``(float) e``."""
+
+    target: str  # 'int' or 'float'
+    operand: Expr
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class VarDecl(Node):
+    """A variable declaration, local or global. ``init`` may be None."""
+
+    name: str
+    type: TypeName
+    init: Expr | None = None
+
+
+@dataclass
+class DeclStmt(Stmt):
+    decls: list[VarDecl] = field(default_factory=list)
+
+
+@dataclass
+class AssignStmt(Stmt):
+    """``target op value`` where op is '=', '+=', '-=', '*=', or '/='.
+
+    ``i++`` / ``i--`` are desugared by the parser to ``i += 1`` / ``i -= 1``.
+    """
+
+    target: NameExpr | IndexExpr
+    op: str
+    value: Expr
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr
+
+
+@dataclass
+class BlockStmt(Stmt):
+    body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class IfStmt(Stmt):
+    cond: Expr
+    then_body: Stmt
+    else_body: Stmt | None = None
+
+
+@dataclass
+class WhileStmt(Stmt):
+    cond: Expr
+    body: Stmt
+
+
+@dataclass
+class DoWhileStmt(Stmt):
+    body: Stmt
+    cond: Expr
+
+
+@dataclass
+class ForStmt(Stmt):
+    """C-style ``for``. ``init`` and ``step`` are optional simple statements
+    (declaration, assignment, or expression)."""
+
+    init: Stmt | None
+    cond: Expr | None
+    step: Stmt | None
+    body: Stmt
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    value: Expr | None = None
+
+
+@dataclass
+class BreakStmt(Stmt):
+    pass
+
+
+@dataclass
+class ContinueStmt(Stmt):
+    pass
+
+
+# ----------------------------------------------------------------------
+# Declarations
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Param(Node):
+    name: str
+    type: TypeName
+
+
+@dataclass
+class FuncDecl(Node):
+    name: str
+    return_type: TypeName
+    params: list[Param]
+    body: BlockStmt
+
+
+@dataclass
+class Program(Node):
+    """A whole translation unit: global variables plus functions."""
+
+    globals: list[VarDecl] = field(default_factory=list)
+    functions: list[FuncDecl] = field(default_factory=list)
+    filename: str = "<input>"
+
+    def function(self, name: str) -> FuncDecl:
+        for func in self.functions:
+            if func.name == name:
+                return func
+        raise KeyError(f"no function named {name!r}")
+
+    @property
+    def function_names(self) -> list[str]:
+        return [func.name for func in self.functions]
+
+
+# ----------------------------------------------------------------------
+# Utility walkers
+# ----------------------------------------------------------------------
+
+
+def walk_expr(expr: Expr):
+    """Yield ``expr`` and all of its sub-expressions, preorder."""
+    yield expr
+    if isinstance(expr, UnaryExpr):
+        yield from walk_expr(expr.operand)
+    elif isinstance(expr, BinaryExpr):
+        yield from walk_expr(expr.left)
+        yield from walk_expr(expr.right)
+    elif isinstance(expr, CallExpr):
+        for arg in expr.args:
+            yield from walk_expr(arg)
+    elif isinstance(expr, IndexExpr):
+        for index in expr.indices:
+            yield from walk_expr(index)
+    elif isinstance(expr, CondExpr):
+        yield from walk_expr(expr.cond)
+        yield from walk_expr(expr.then)
+        yield from walk_expr(expr.otherwise)
+    elif isinstance(expr, CastExpr):
+        yield from walk_expr(expr.operand)
+
+
+def walk_stmts(stmt: Stmt):
+    """Yield ``stmt`` and all nested statements, preorder."""
+    yield stmt
+    if isinstance(stmt, BlockStmt):
+        for child in stmt.body:
+            yield from walk_stmts(child)
+    elif isinstance(stmt, IfStmt):
+        yield from walk_stmts(stmt.then_body)
+        if stmt.else_body is not None:
+            yield from walk_stmts(stmt.else_body)
+    elif isinstance(stmt, WhileStmt):
+        yield from walk_stmts(stmt.body)
+    elif isinstance(stmt, DoWhileStmt):
+        yield from walk_stmts(stmt.body)
+    elif isinstance(stmt, ForStmt):
+        if stmt.init is not None:
+            yield from walk_stmts(stmt.init)
+        if stmt.step is not None:
+            yield from walk_stmts(stmt.step)
+        yield from walk_stmts(stmt.body)

@@ -1,0 +1,52 @@
+"""Diagnostic exceptions raised by the MiniC front end."""
+
+from __future__ import annotations
+
+from repro.frontend.source import SourceFile, SourceSpan
+
+
+class MiniCError(Exception):
+    """Base class for all front-end diagnostics.
+
+    Carries an optional :class:`SourceSpan`; :meth:`render` produces a
+    human-readable message with a caret line when the source is available.
+    """
+
+    def __init__(self, message: str, span: SourceSpan | None = None):
+        super().__init__(message)
+        self.message = message
+        self.span = span
+
+    def render(self, source: SourceFile | None = None) -> str:
+        if self.span is None:
+            return f"error: {self.message}"
+        header = f"{self.span.filename}:{self.span.start}: error: {self.message}"
+        if source is None:
+            return header
+        try:
+            line = source.line_text(self.span.start.line)
+        except ValueError:
+            return header
+        caret = " " * (self.span.start.column - 1) + "^"
+        return f"{header}\n  {line}\n  {caret}"
+
+    def __str__(self) -> str:
+        if self.span is None:
+            return self.message
+        return f"{self.span.filename}:{self.span.start}: {self.message}"
+
+
+class LexError(MiniCError):
+    """Raised when the lexer encounters malformed input."""
+
+
+class ParseError(MiniCError):
+    """Raised when the parser encounters unexpected token structure."""
+
+
+class SemanticError(MiniCError):
+    """Raised during lowering when the program is ill-formed.
+
+    Examples: use of an undeclared variable, calling an unknown function,
+    indexing a scalar, or arity mismatches at call sites.
+    """

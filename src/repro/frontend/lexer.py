@@ -1,0 +1,190 @@
+"""Hand-written lexer for MiniC.
+
+Supports ``//`` and ``/* */`` comments, decimal and hexadecimal integer
+literals, floating literals with optional exponents, string literals (used
+only by the ``print`` builtin), and the operator set in
+:mod:`repro.frontend.tokens`.
+"""
+
+from __future__ import annotations
+
+from repro.frontend.errors import LexError
+from repro.frontend.source import SourceFile
+from repro.frontend.tokens import (
+    KEYWORDS,
+    MULTI_CHAR_OPERATORS,
+    SINGLE_CHAR_OPERATORS,
+    Token,
+    TokenKind,
+)
+
+_ESCAPES = {"n": "\n", "t": "\t", "r": "\r", "\\": "\\", '"': '"', "0": "\0"}
+
+
+class Lexer:
+    """Converts MiniC source text into a token stream."""
+
+    def __init__(self, source: SourceFile):
+        self.source = source
+        self.text = source.text
+        self.pos = 0
+
+    def tokens(self) -> list[Token]:
+        """Lex the whole input, ending with a single EOF token."""
+        out: list[Token] = []
+        while True:
+            token = self.next_token()
+            out.append(token)
+            if token.kind is TokenKind.EOF:
+                return out
+
+    # ------------------------------------------------------------------
+    # Scanning helpers
+    # ------------------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.text[index] if index < len(self.text) else ""
+
+    def _skip_trivia(self) -> None:
+        """Skip whitespace and comments; raise on unterminated comments."""
+        while self.pos < len(self.text):
+            char = self.text[self.pos]
+            if char in " \t\r\n":
+                self.pos += 1
+            elif char == "/" and self._peek(1) == "/":
+                while self.pos < len(self.text) and self.text[self.pos] != "\n":
+                    self.pos += 1
+            elif char == "/" and self._peek(1) == "*":
+                start = self.pos
+                self.pos += 2
+                while self.pos < len(self.text) and not (
+                    self.text[self.pos] == "*" and self._peek(1) == "/"
+                ):
+                    self.pos += 1
+                if self.pos >= len(self.text):
+                    raise LexError(
+                        "unterminated block comment",
+                        self.source.span(start, start + 2),
+                    )
+                self.pos += 2
+            else:
+                return
+
+    def _make(self, kind: TokenKind, start: int, value=None) -> Token:
+        text = self.text[start : self.pos]
+        return Token(kind, text, self.source.span(start, self.pos), value)
+
+    # ------------------------------------------------------------------
+    # Token producers
+    # ------------------------------------------------------------------
+
+    def next_token(self) -> Token:
+        self._skip_trivia()
+        start = self.pos
+        if self.pos >= len(self.text):
+            return Token(TokenKind.EOF, "", self.source.span(max(0, start - 1), start))
+
+        char = self.text[self.pos]
+        if char.isdigit() or (char == "." and self._peek(1).isdigit()):
+            return self._lex_number(start)
+        if char.isalpha() or char == "_":
+            return self._lex_ident(start)
+        if char == '"':
+            return self._lex_string(start)
+
+        two = self.text[self.pos : self.pos + 2]
+        for op_text, kind in MULTI_CHAR_OPERATORS:
+            if two == op_text:
+                self.pos += 2
+                return self._make(kind, start)
+        kind = SINGLE_CHAR_OPERATORS.get(char)
+        if kind is not None:
+            self.pos += 1
+            return self._make(kind, start)
+
+        raise LexError(
+            f"unexpected character {char!r}", self.source.span(start, start + 1)
+        )
+
+    def _lex_number(self, start: int) -> Token:
+        if self._peek() == "0" and self._peek(1) in ("x", "X"):
+            self.pos += 2
+            digits_start = self.pos
+            while self._peek() and self._peek() in "0123456789abcdefABCDEF":
+                self.pos += 1
+            if self.pos == digits_start:
+                raise LexError(
+                    "hexadecimal literal needs digits",
+                    self.source.span(start, self.pos),
+                )
+            return self._make(
+                TokenKind.INT_LITERAL, start, int(self.text[start : self.pos], 16)
+            )
+
+        is_float = False
+        while self._peek().isdigit():
+            self.pos += 1
+        if self._peek() == "." and self._peek(1) != ".":
+            is_float = True
+            self.pos += 1
+            while self._peek().isdigit():
+                self.pos += 1
+        if self._peek() in ("e", "E"):
+            lookahead = 1
+            if self._peek(1) in ("+", "-"):
+                lookahead = 2
+            if self._peek(lookahead).isdigit():
+                is_float = True
+                self.pos += lookahead
+                while self._peek().isdigit():
+                    self.pos += 1
+        # Swallow C float-suffixes so ported kernels lex unchanged.
+        if self._peek() in ("f", "F") and is_float:
+            text = self.text[start : self.pos]
+            self.pos += 1
+            return self._make(TokenKind.FLOAT_LITERAL, start, float(text))
+
+        text = self.text[start : self.pos]
+        if is_float:
+            return self._make(TokenKind.FLOAT_LITERAL, start, float(text))
+        return self._make(TokenKind.INT_LITERAL, start, int(text, 10))
+
+    def _lex_ident(self, start: int) -> Token:
+        while self._peek().isalnum() or self._peek() == "_":
+            self.pos += 1
+        text = self.text[start : self.pos]
+        keyword = KEYWORDS.get(text)
+        if keyword is not None:
+            return self._make(keyword, start)
+        return self._make(TokenKind.IDENT, start, text)
+
+    def _lex_string(self, start: int) -> Token:
+        self.pos += 1  # opening quote
+        chars: list[str] = []
+        while True:
+            char = self._peek()
+            if char == "" or char == "\n":
+                raise LexError(
+                    "unterminated string literal", self.source.span(start, self.pos)
+                )
+            if char == '"':
+                self.pos += 1
+                return self._make(TokenKind.STRING_LITERAL, start, "".join(chars))
+            if char == "\\":
+                escape = self._peek(1)
+                if escape not in _ESCAPES:
+                    raise LexError(
+                        f"unknown escape sequence '\\{escape}'",
+                        self.source.span(self.pos, self.pos + 2),
+                    )
+                chars.append(_ESCAPES[escape])
+                self.pos += 2
+            else:
+                chars.append(char)
+                self.pos += 1
+
+
+def tokenize(text: str, filename: str = "<input>") -> list[Token]:
+    """Convenience wrapper: lex ``text`` into a token list ending in EOF."""
+    return Lexer(SourceFile(filename, text)).tokens()

@@ -1,0 +1,158 @@
+"""Token definitions for the MiniC lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.frontend.source import SourceSpan
+
+
+class TokenKind(enum.Enum):
+    """Every token kind MiniC recognizes."""
+
+    # Literals and identifiers.
+    INT_LITERAL = "int literal"
+    FLOAT_LITERAL = "float literal"
+    STRING_LITERAL = "string literal"
+    IDENT = "identifier"
+
+    # Keywords.
+    KW_INT = "int"
+    KW_FLOAT = "float"
+    KW_VOID = "void"
+    KW_IF = "if"
+    KW_ELSE = "else"
+    KW_WHILE = "while"
+    KW_DO = "do"
+    KW_FOR = "for"
+    KW_RETURN = "return"
+    KW_BREAK = "break"
+    KW_CONTINUE = "continue"
+
+    # Punctuation.
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACE = "{"
+    RBRACE = "}"
+    LBRACKET = "["
+    RBRACKET = "]"
+    COMMA = ","
+    SEMICOLON = ";"
+
+    # Operators.
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    PERCENT = "%"
+    ASSIGN = "="
+    PLUS_ASSIGN = "+="
+    MINUS_ASSIGN = "-="
+    STAR_ASSIGN = "*="
+    SLASH_ASSIGN = "/="
+    PLUS_PLUS = "++"
+    MINUS_MINUS = "--"
+    EQ = "=="
+    NE = "!="
+    LT = "<"
+    GT = ">"
+    LE = "<="
+    GE = ">="
+    AMP_AMP = "&&"
+    PIPE_PIPE = "||"
+    BANG = "!"
+    AMP = "&"
+    PIPE = "|"
+    CARET = "^"
+    LSHIFT = "<<"
+    RSHIFT = ">>"
+    QUESTION = "?"
+    COLON = ":"
+
+    EOF = "<eof>"
+
+
+KEYWORDS: dict[str, TokenKind] = {
+    "int": TokenKind.KW_INT,
+    "float": TokenKind.KW_FLOAT,
+    "double": TokenKind.KW_FLOAT,  # treated as float in MiniC
+    "void": TokenKind.KW_VOID,
+    "if": TokenKind.KW_IF,
+    "else": TokenKind.KW_ELSE,
+    "while": TokenKind.KW_WHILE,
+    "do": TokenKind.KW_DO,
+    "for": TokenKind.KW_FOR,
+    "return": TokenKind.KW_RETURN,
+    "break": TokenKind.KW_BREAK,
+    "continue": TokenKind.KW_CONTINUE,
+}
+
+# Multi-character operators, longest first so maximal munch works by scanning
+# this list in order.
+MULTI_CHAR_OPERATORS: list[tuple[str, TokenKind]] = [
+    ("<<", TokenKind.LSHIFT),
+    (">>", TokenKind.RSHIFT),
+    ("<=", TokenKind.LE),
+    (">=", TokenKind.GE),
+    ("==", TokenKind.EQ),
+    ("!=", TokenKind.NE),
+    ("&&", TokenKind.AMP_AMP),
+    ("||", TokenKind.PIPE_PIPE),
+    ("+=", TokenKind.PLUS_ASSIGN),
+    ("-=", TokenKind.MINUS_ASSIGN),
+    ("*=", TokenKind.STAR_ASSIGN),
+    ("/=", TokenKind.SLASH_ASSIGN),
+    ("++", TokenKind.PLUS_PLUS),
+    ("--", TokenKind.MINUS_MINUS),
+]
+
+SINGLE_CHAR_OPERATORS: dict[str, TokenKind] = {
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "{": TokenKind.LBRACE,
+    "}": TokenKind.RBRACE,
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+    ",": TokenKind.COMMA,
+    ";": TokenKind.SEMICOLON,
+    "+": TokenKind.PLUS,
+    "-": TokenKind.MINUS,
+    "*": TokenKind.STAR,
+    "/": TokenKind.SLASH,
+    "%": TokenKind.PERCENT,
+    "=": TokenKind.ASSIGN,
+    "<": TokenKind.LT,
+    ">": TokenKind.GT,
+    "!": TokenKind.BANG,
+    "&": TokenKind.AMP,
+    "|": TokenKind.PIPE,
+    "^": TokenKind.CARET,
+    "?": TokenKind.QUESTION,
+    ":": TokenKind.COLON,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexed token with its source span and literal value.
+
+    ``value`` is an ``int`` for INT_LITERAL, ``float`` for FLOAT_LITERAL,
+    the string contents for STRING_LITERAL, the identifier text for IDENT,
+    and ``None`` otherwise.
+    """
+
+    kind: TokenKind
+    text: str
+    span: SourceSpan
+    value: int | float | str | None = None
+
+    def is_kind(self, *kinds: TokenKind) -> bool:
+        return self.kind in kinds
+
+    def __str__(self) -> str:
+        if self.kind in (TokenKind.INT_LITERAL, TokenKind.FLOAT_LITERAL):
+            return f"{self.kind.name}({self.value})"
+        if self.kind is TokenKind.IDENT:
+            return f"IDENT({self.text})"
+        return self.kind.name

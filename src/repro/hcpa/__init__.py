@@ -1,0 +1,51 @@
+"""Hierarchical critical path analysis: profiles, compression, aggregation.
+
+This package owns the *output* side of Kremlin's discovery phase:
+
+* :mod:`summaries` — the dynamic-region summary dictionary (the paper's
+  online, dictionary-based trace compression, §4.4) and the
+  :class:`ParallelismProfile` a profiled run produces;
+* :mod:`self_parallelism` — the self-parallelism equations (§4.3);
+* :mod:`aggregate` — per-static-region aggregation computed directly on the
+  compressed dictionary (no decompression), producing the work/coverage/
+  self-parallelism table the planner consumes;
+* :mod:`compression` — raw-trace vs compressed-size accounting (§4.4's
+  measured compression factors).
+"""
+
+from repro.hcpa.aggregate import RegionProfile, aggregate_profile
+from repro.hcpa.compression import CompressionStats, compression_stats
+from repro.hcpa.merge import ProfileMergeError, merge_profiles
+from repro.hcpa.serialize import (
+    ProfileFormatError,
+    load_profile,
+    profile_from_json,
+    profile_to_json,
+    save_profile,
+)
+from repro.hcpa.self_parallelism import self_parallelism, self_work, total_parallelism
+from repro.hcpa.summaries import (
+    CompressionDictionary,
+    DictEntry,
+    ParallelismProfile,
+)
+
+__all__ = [
+    "CompressionDictionary",
+    "CompressionStats",
+    "DictEntry",
+    "ParallelismProfile",
+    "ProfileFormatError",
+    "ProfileMergeError",
+    "RegionProfile",
+    "aggregate_profile",
+    "compression_stats",
+    "load_profile",
+    "merge_profiles",
+    "profile_from_json",
+    "profile_to_json",
+    "save_profile",
+    "self_parallelism",
+    "self_work",
+    "total_parallelism",
+]

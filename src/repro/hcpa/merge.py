@@ -1,0 +1,112 @@
+"""Multi-run profile aggregation (paper §2.4).
+
+Kremlin is a dynamic tool, so its view is input-dependent; the paper notes
+that "Kremlin supports aggregation of data from multiple runs, which reduces
+these risks". This module merges the profiles of several runs of the *same
+program* (identical static region tree) into one aggregate the planner can
+consume.
+
+The merge keeps the compressed representation: it re-interns every run's
+dictionary into a combined dictionary under a synthetic multi-run root whose
+children are the runs' root characters. All per-region statistics then sum
+across runs automatically through the ordinary decompression-free traversal;
+self-parallelism becomes the instance-weighted aggregate over all runs, and
+coverage becomes work-weighted across runs (longer runs count more, exactly
+like concatenating the executions).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.hcpa.summaries import CompressionDictionary, ParallelismProfile
+from repro.instrument.regions import RegionKind
+
+
+class ProfileMergeError(Exception):
+    """Raised when profiles of different programs are merged."""
+
+
+def _compatible(a: ParallelismProfile, b: ParallelismProfile) -> bool:
+    if len(a.regions) != len(b.regions):
+        return False
+    return all(
+        ra.kind == rb.kind and ra.name == rb.name
+        for ra, rb in zip(a.regions, b.regions)
+    )
+
+
+def merge_profiles(profiles: Sequence[ParallelismProfile]) -> ParallelismProfile:
+    """Merge several runs of one program into a single aggregate profile.
+
+    The result's root is a synthetic region (appended to a copy of the
+    region tree) whose children are the per-run roots; its work is the total
+    across runs and its cp is the sum of the runs' cps (runs execute
+    serially, one after another — the aggregate answers "over all observed
+    executions", not "runs in parallel").
+    """
+    if not profiles:
+        raise ProfileMergeError("need at least one profile to merge")
+    if len(profiles) == 1:
+        return profiles[0]
+    first = profiles[0]
+    for other in profiles[1:]:
+        if not _compatible(first, other):
+            raise ProfileMergeError(
+                "profiles come from different programs "
+                f"({first.program_name!r} vs {other.program_name!r})"
+            )
+
+    # Rebuild the region tree with one extra synthetic root region.
+    from repro.hcpa.serialize import profile_from_json, profile_to_json
+
+    regions = profile_from_json(profile_to_json(first)).regions
+    multi_root = regions.add(
+        RegionKind.FUNCTION,
+        "<multi-run>",
+        first.regions.region(first.root_entry.static_id).span,
+        None,
+        "<multi-run>",
+    )
+
+    merged = CompressionDictionary()
+    root_children: dict[int, int] = {}
+    total_work = 0
+    total_instructions = 0
+
+    for profile in profiles:
+        # Re-intern this run's dictionary bottom-up; children referenced by
+        # an entry are always already mapped (child char < parent char).
+        mapping: dict[int, int] = {}
+        for char, entry in enumerate(profile.dictionary.entries):
+            children = tuple(
+                sorted((mapping[c], n) for c, n in entry.children)
+            )
+            mapping[char] = merged.intern(
+                entry.static_id, entry.work, entry.cp, children
+            )
+        merged.raw_records += profile.dictionary.raw_records - len(
+            profile.dictionary.entries
+        )  # intern() above already counted one record per entry
+        run_root = mapping[profile.root_char]
+        root_children[run_root] = root_children.get(run_root, 0) + 1
+        total_work += profile.root_entry.work
+        total_instructions += profile.instructions_retired
+
+    total_cp = sum(p.root_entry.cp for p in profiles)
+    root_char = merged.intern(
+        multi_root.id,
+        total_work,
+        total_cp,
+        tuple(sorted(root_children.items())),
+    )
+
+    return ParallelismProfile(
+        dictionary=merged,
+        root_char=root_char,
+        regions=regions,
+        instructions_retired=total_instructions,
+        total_work=total_work,
+        program_name=first.program_name,
+        max_depth=first.max_depth,
+    )

@@ -1,0 +1,61 @@
+"""The self-parallelism metric (paper §4.3, equations 1 and 2).
+
+Given a region R with children c_1..c_n::
+
+    SW(R) = work(R) - Σ work(c_k)                      (eq. 2, self-work)
+    SP(R) = (Σ cp(c_k) + SW(R)) / cp(R)                (eq. 1)
+
+Self-parallelism factors out the children's parallelism by summing the
+children's *critical paths* (not their work): any parallelism inside a child
+collapses to its cp, so whatever ratio remains is parallelism *between*
+children plus parallelism in the region's own work — exactly the analogue of
+gprof's self-time. Figure 5's two canonical cases fall out directly:
+
+* n independent children of cp ``c`` each: cp(R)=c → SP = n·c/c = n;
+* n serialized children: cp(R)=n·c → SP = n·c/(n·c) = 1.
+
+Total-parallelism (classic CPA) is ``work / cp`` and cannot localize
+parallelism; the evaluation's §6.2 false-positive comparison contrasts the
+two.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def self_work(work: int, children_work: Iterable[int]) -> int:
+    """Equation 2: work performed exclusively in the region itself."""
+    remaining = work - sum(children_work)
+    # Profiling rounds every term independently; clamp defensively.
+    return max(0, remaining)
+
+
+def self_parallelism(
+    cp: int | float,
+    children_cp: Iterable[int | float],
+    sw: int | float,
+) -> float:
+    """Equation 1. ``cp`` must be positive for a region that did any work;
+    zero-work regions report SP = 1.0 (serial, nothing to parallelize)."""
+    if cp <= 0:
+        return 1.0
+    numerator = sum(children_cp) + sw
+    if numerator <= 0:
+        return 1.0
+    return max(1.0, numerator / cp)
+
+
+def total_parallelism(work: int | float, cp: int | float) -> float:
+    """Classic CPA average parallelism: work / critical-path length."""
+    if cp <= 0:
+        return 1.0
+    return max(1.0, work / cp)
+
+
+def parallel_time_bound(execution_time: float, sp: float) -> float:
+    """Lower bound on a parallelized region's execution time (§4.3):
+    ET(R) / SP(R)."""
+    if sp <= 1.0:
+        return execution_time
+    return execution_time / sp

@@ -1,0 +1,158 @@
+"""Profile serialization: the parallelism-profile output file.
+
+In the paper's workflow the instrumented binary "produces a parallelism
+profile output file" which the planner consumes later (§3); the compressed
+dictionary is the on-disk format (§4.4). This module provides that file:
+a JSON document carrying the dictionary, the root character, and the static
+region tree, so a program can be profiled once and re-planned many times —
+including with different personalities or exclusion lists — without
+re-running it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO
+
+from repro.frontend.source import SourceLocation, SourceSpan
+from repro.hcpa.summaries import CompressionDictionary, DictEntry, ParallelismProfile
+from repro.instrument.regions import RegionKind, StaticRegion, StaticRegionTree
+
+FORMAT_NAME = "kremlin-parallelism-profile"
+FORMAT_VERSION = 1
+
+
+class ProfileFormatError(Exception):
+    """Raised when a profile file is malformed or from an unknown version."""
+
+
+def _span_to_json(span: SourceSpan) -> dict:
+    return {
+        "file": span.filename,
+        "start": [span.start.line, span.start.column],
+        "end": [span.end.line, span.end.column],
+    }
+
+
+def _span_from_json(data: dict) -> SourceSpan:
+    return SourceSpan(
+        SourceLocation(*data["start"]),
+        SourceLocation(*data["end"]),
+        data["file"],
+    )
+
+
+def profile_to_json(profile: ParallelismProfile) -> dict:
+    """Encode a profile as a JSON-serializable dict."""
+    return {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "program": profile.program_name,
+        "instructions_retired": profile.instructions_retired,
+        "total_work": profile.total_work,
+        "max_depth": profile.max_depth,
+        "root_char": profile.root_char,
+        "raw_records": profile.dictionary.raw_records,
+        "dictionary": [
+            {
+                "static": entry.static_id,
+                "work": entry.work,
+                "cp": entry.cp,
+                "children": [list(pair) for pair in entry.children],
+            }
+            for entry in profile.dictionary.entries
+        ],
+        "regions": [
+            {
+                "id": region.id,
+                "kind": region.kind.value,
+                "name": region.name,
+                "parent": region.parent_id,
+                "function": region.function_name,
+                "loop_depth": region.loop_depth,
+                "span": _span_to_json(region.span),
+            }
+            for region in profile.regions
+        ],
+    }
+
+
+def profile_from_json(data: dict) -> ParallelismProfile:
+    """Decode a profile produced by :func:`profile_to_json`."""
+    if data.get("format") != FORMAT_NAME:
+        raise ProfileFormatError("not a kremlin parallelism profile")
+    if data.get("version") != FORMAT_VERSION:
+        raise ProfileFormatError(
+            f"unsupported profile version {data.get('version')!r}"
+        )
+
+    regions = StaticRegionTree()
+    for record in data["regions"]:
+        region = regions.add(
+            RegionKind(record["kind"]),
+            record["name"],
+            _span_from_json(record["span"]),
+            None,  # parents wired below to preserve original ids
+            record["function"],
+            loop_depth=record["loop_depth"],
+        )
+        if region.id != record["id"]:
+            raise ProfileFormatError("region ids must be dense and ordered")
+    # Re-establish parent/children links exactly as stored.
+    for record in data["regions"]:
+        if record["parent"] is not None:
+            region = regions.region(record["id"])
+            parent = regions.region(record["parent"])
+            region.parent_id = parent.id
+            parent.children_ids.append(region.id)
+
+    dictionary = CompressionDictionary()
+    for char, record in enumerate(data["dictionary"]):
+        children = tuple((int(c), int(n)) for c, n in record["children"])
+        for child_char, _count in children:
+            if child_char >= char:
+                raise ProfileFormatError(
+                    "dictionary is not in leaf-first order"
+                )
+        entry = DictEntry(
+            char, record["static"], record["work"], record["cp"], children
+        )
+        dictionary.entries.append(entry)
+        dictionary._index[(entry.static_id, entry.work, entry.cp, children)] = char
+    dictionary.raw_records = data["raw_records"]
+
+    root_char = data["root_char"]
+    if not 0 <= root_char < len(dictionary.entries):
+        raise ProfileFormatError("root character out of range")
+
+    return ParallelismProfile(
+        dictionary=dictionary,
+        root_char=root_char,
+        regions=regions,
+        instructions_retired=data["instructions_retired"],
+        total_work=data["total_work"],
+        program_name=data.get("program", "<program>"),
+        max_depth=data.get("max_depth"),
+    )
+
+
+def save_profile(profile: ParallelismProfile, path_or_file: str | IO[str]) -> None:
+    """Write a profile to a JSON file (path or open text file)."""
+    data = profile_to_json(profile)
+    if isinstance(path_or_file, str):
+        with open(path_or_file, "w", encoding="utf-8") as handle:
+            json.dump(data, handle)
+    else:
+        json.dump(data, path_or_file)
+
+
+def load_profile(path_or_file: str | IO[str]) -> ParallelismProfile:
+    """Read a profile written by :func:`save_profile`."""
+    if isinstance(path_or_file, str):
+        with open(path_or_file, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    else:
+        data = json.load(path_or_file)
+    if not isinstance(data, dict):
+        raise ProfileFormatError("profile file must contain a JSON object")
+    return profile_from_json(data)

@@ -1,0 +1,126 @@
+"""Dynamic-region summaries and the online compression dictionary.
+
+Kremlin produces a summary for *every* dynamic region instance — for a loop
+executing a million iterations, that is a million loop-body records. §4.4's
+key observation is that most summaries are identical, so an online
+dictionary compressor interns each ``(static region, work, critical path,
+children)`` tuple as a *character*; children are described as a sorted list
+of (character, count) pairs, i.e. in terms of the existing alphabet. The
+alphabet necessarily grows from the leaves upward, which gives the crucial
+property used everywhere downstream: **a child character id is always
+smaller than its parent's**, so a single descending/ascending scan of the
+alphabet is a topological traversal and the planner never needs to
+decompress.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.instrument.regions import StaticRegionTree
+
+#: Children of a dynamic region, as ((char, count), ...) sorted by char.
+ChildSummary = tuple[tuple[int, int], ...]
+
+
+class DictEntry:
+    """One dictionary character: a deduplicated dynamic-region summary."""
+
+    __slots__ = ("char", "static_id", "work", "cp", "children")
+
+    def __init__(
+        self,
+        char: int,
+        static_id: int,
+        work: int,
+        cp: int,
+        children: ChildSummary,
+    ):
+        self.char = char
+        self.static_id = static_id
+        self.work = work
+        self.cp = cp
+        self.children = children
+
+    @property
+    def num_children(self) -> int:
+        return sum(count for _, count in self.children)
+
+    def __repr__(self) -> str:
+        return (
+            f"<char {self.char}: region #{self.static_id} work={self.work} "
+            f"cp={self.cp} children={self.children}>"
+        )
+
+
+class CompressionDictionary:
+    """The online dictionary: interns region summaries as characters."""
+
+    def __init__(self) -> None:
+        self.entries: list[DictEntry] = []
+        self._index: dict[tuple, int] = {}
+        #: total dynamic region instances summarized (the raw trace length)
+        self.raw_records: int = 0
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def intern(
+        self, static_id: int, work: int, cp: int, children: ChildSummary
+    ) -> int:
+        """Intern one dynamic-region summary, returning its character."""
+        self.raw_records += 1
+        key = (static_id, work, cp, children)
+        char = self._index.get(key)
+        if char is None:
+            char = len(self.entries)
+            self._index[key] = char
+            self.entries.append(DictEntry(char, static_id, work, cp, children))
+        return char
+
+    def entry(self, char: int) -> DictEntry:
+        return self.entries[char]
+
+
+@dataclass
+class ParallelismProfile:
+    """Everything one profiled run produces.
+
+    ``root_char`` is the character of the outermost dynamic region (main's
+    function region); together with the dictionary it encodes the entire
+    dynamic region graph of the execution.
+    """
+
+    dictionary: CompressionDictionary
+    root_char: int
+    regions: StaticRegionTree
+    instructions_retired: int = 0
+    total_work: int = 0
+    program_name: str = "<program>"
+    #: profiling depth limit that was in effect (None = unlimited)
+    max_depth: int | None = None
+
+    def char_counts(self) -> list[int]:
+        """How many dynamic region instances each character stands for.
+
+        Computed by one descending pass over the alphabet (parents before
+        children, since child chars are always smaller) — the
+        decompression-free traversal of §4.4.
+        """
+        counts = [0] * len(self.dictionary.entries)
+        counts[self.root_char] = 1
+        for char in range(len(counts) - 1, -1, -1):
+            count = counts[char]
+            if count == 0:
+                continue
+            for child_char, child_count in self.dictionary.entries[char].children:
+                counts[child_char] += count * child_count
+        return counts
+
+    @property
+    def dynamic_region_count(self) -> int:
+        return self.dictionary.raw_records
+
+    @property
+    def root_entry(self) -> DictEntry:
+        return self.dictionary.entry(self.root_char)

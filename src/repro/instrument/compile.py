@@ -1,0 +1,56 @@
+"""``kremlin-cc``: the one-call compile-and-instrument driver.
+
+``kremlin_cc(source)`` is the library equivalent of the paper's
+``make CC=kremlin-cc``: parse → lower (regions + dependence breaking) →
+verify → instrument. The result bundles everything the interpreter and the
+KremLib runtime need to execute and profile the program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.frontend.parser import parse_program
+from repro.instrument.costs import DEFAULT_COST_MODEL, CostModel
+from repro.instrument.passes import ModuleInstrumentation, instrument_module
+from repro.instrument.regions import StaticRegionTree
+from repro.ir.module import Module
+from repro.ir.verifier import verify_module
+from repro.lowering.lower import lower_program
+
+
+@dataclass
+class CompiledProgram:
+    """An instrumented program, ready to run (with or without profiling)."""
+
+    module: Module
+    instrumentation: ModuleInstrumentation
+    source: str
+    filename: str
+
+    @property
+    def regions(self) -> StaticRegionTree:
+        assert self.module.regions is not None
+        return self.module.regions
+
+    @property
+    def cost_model(self) -> CostModel:
+        return self.instrumentation.cost_model
+
+
+def kremlin_cc(
+    source: str,
+    filename: str = "<input>",
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+) -> CompiledProgram:
+    """Compile MiniC source into an instrumented, verified program."""
+    program = parse_program(source, filename)
+    module = lower_program(program)
+    verify_module(module)
+    instrumentation = instrument_module(module, cost_model)
+    return CompiledProgram(
+        module=module,
+        instrumentation=instrumentation,
+        source=source,
+        filename=filename,
+    )

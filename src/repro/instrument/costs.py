@@ -1,0 +1,86 @@
+"""Instruction cost model.
+
+Every IR instruction is assigned a latency in abstract cycles; availability
+times and critical-path lengths are sums of these latencies. The table is
+representative of a generic out-of-order core (the paper uses LLVM
+instruction latencies); the exact values shift absolute work/cp numbers but
+not the *ratios* (parallelism) Kremlin reasons about, which is why the paper
+can afford a simple latency model too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.interp.builtins import BUILTINS
+
+_DEFAULT_TABLE: dict[str, int] = {
+    # integer arithmetic
+    "binop.+": 1,
+    "binop.-": 1,
+    "binop.*": 3,
+    "binop./": 12,
+    "binop.%": 12,
+    # comparisons / logical / bitwise
+    "binop.==": 1,
+    "binop.!=": 1,
+    "binop.<": 1,
+    "binop.<=": 1,
+    "binop.>": 1,
+    "binop.>=": 1,
+    "binop.&&": 1,
+    "binop.||": 1,
+    "binop.&": 1,
+    "binop.|": 1,
+    "binop.^": 1,
+    "binop.<<": 1,
+    "binop.>>": 1,
+    "unop.-": 1,
+    "unop.!": 1,
+    "copy": 0,
+    "cast.int": 1,
+    "cast.float": 1,
+    "load": 2,
+    "store": 1,
+    "alloca": 1,
+    "call": 5,  # user-call overhead (args/ret handling)
+    "region_enter": 0,
+    "region_exit": 0,
+    # terminators
+    "jump": 0,
+    "branch": 1,
+    "ret": 1,
+}
+
+#: Extra latency for float arithmetic over the int table entries.
+_FLOAT_EXTRA: dict[str, int] = {
+    "binop.+": 1,
+    "binop.-": 1,
+    "binop.*": 1,
+    "binop./": 3,
+}
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Maps instruction opcodes (plus builtin names) to latencies."""
+
+    table: dict[str, int] = field(default_factory=lambda: dict(_DEFAULT_TABLE))
+    float_extra: dict[str, int] = field(default_factory=lambda: dict(_FLOAT_EXTRA))
+
+    def cost_of(self, opcode: str, is_float: bool = False) -> int:
+        if opcode.startswith("call."):
+            name = opcode.split(".", 1)[1]
+            spec = BUILTINS.get(name)
+            if spec is not None:
+                return spec.cost
+            return self.table["call"]
+        base = self.table.get(opcode)
+        if base is None:
+            raise KeyError(f"no cost for opcode {opcode!r}")
+        if is_float:
+            return base + self.float_extra.get(opcode, 0)
+        return base
+
+
+DEFAULT_COST_MODEL = CostModel()

@@ -1,0 +1,22 @@
+"""IR interpreter: the execution substrate for Kremlin profiling.
+
+The paper runs an instrumented native binary; here the interpreter executes
+the instrumented IR deterministically and drives an optional
+:class:`~repro.interp.interpreter.ExecutionObserver` with every retired
+instruction. The KremLib runtime (:mod:`repro.kremlib`) is one such observer;
+a plain run with no observer is the "uninstrumented" execution.
+"""
+
+from repro.interp.builtins import BUILTINS, BuiltinSpec, is_builtin
+from repro.interp.errors import InterpreterError
+from repro.interp.interpreter import ExecutionObserver, Interpreter, RunResult
+
+__all__ = [
+    "BUILTINS",
+    "BuiltinSpec",
+    "ExecutionObserver",
+    "Interpreter",
+    "InterpreterError",
+    "RunResult",
+    "is_builtin",
+]

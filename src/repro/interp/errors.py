@@ -1,0 +1,20 @@
+"""Runtime errors raised by the IR interpreter."""
+
+from __future__ import annotations
+
+from repro.frontend.source import SourceSpan
+
+
+class InterpreterError(Exception):
+    """A runtime fault: out-of-bounds access, division by zero, stack
+    overflow, or a malformed module reaching execution."""
+
+    def __init__(self, message: str, span: SourceSpan | None = None):
+        super().__init__(message)
+        self.message = message
+        self.span = span
+
+    def __str__(self) -> str:
+        if self.span is None:
+            return self.message
+        return f"{self.span.filename}:{self.span.start}: {self.message}"

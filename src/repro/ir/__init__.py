@@ -1,0 +1,86 @@
+"""Register-based intermediate representation for the Kremlin reproduction.
+
+This package plays the role LLVM IR plays in the paper: a typed, basic-block
+IR that the front end lowers MiniC into, that the static analyses (dominators,
+loops, control dependence, induction/reduction detection) run over, that the
+instrumentation pass annotates, and that the interpreter executes.
+
+Design notes
+------------
+* **Virtual registers, not SSA.** Kremlin's shadow *register table* tracks the
+  availability time of the value currently in each register, which already
+  ignores anti- and output-dependencies — the property the paper obtains from
+  LLVM's SSA form. Using one virtual register per source variable keeps
+  lowering and interpretation simple while preserving the true-dependence-only
+  semantics the analysis needs.
+* **Explicit index arithmetic.** Array accesses are lowered to explicit
+  multiply/add address computation followed by a single-index ``load`` /
+  ``store``, so addressing work participates in critical-path analysis just
+  as compiled code's address arithmetic would.
+* **Region markers.** ``region_enter`` / ``region_exit`` pseudo-instructions
+  (zero cost) delimit function, loop, and loop-body regions; they are inserted
+  by lowering and consumed by the KremLib runtime.
+"""
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Alloca,
+    BinOp,
+    Branch,
+    Call,
+    Cast,
+    Copy,
+    Instruction,
+    Jump,
+    Load,
+    RegionEnter,
+    RegionExit,
+    Ret,
+    Store,
+    Terminator,
+    UnOp,
+)
+from repro.ir.module import GlobalVar, Module
+from repro.ir.printer import print_function, print_module
+from repro.ir.types import FLOAT, INT, VOID, ArrayType, ScalarType, Type
+from repro.ir.values import Constant, GlobalRef, Register, Value
+from repro.ir.verifier import VerificationError, verify_module
+
+__all__ = [
+    "Alloca",
+    "ArrayType",
+    "BasicBlock",
+    "BinOp",
+    "Branch",
+    "Call",
+    "Cast",
+    "Copy",
+    "Constant",
+    "FLOAT",
+    "Function",
+    "GlobalRef",
+    "GlobalVar",
+    "INT",
+    "IRBuilder",
+    "Instruction",
+    "Jump",
+    "Load",
+    "Module",
+    "RegionEnter",
+    "RegionExit",
+    "Register",
+    "Ret",
+    "ScalarType",
+    "Store",
+    "Terminator",
+    "Type",
+    "UnOp",
+    "VOID",
+    "Value",
+    "VerificationError",
+    "print_function",
+    "print_module",
+    "verify_module",
+]

@@ -1,0 +1,63 @@
+"""IR functions and the per-function register allocator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.frontend.source import SourceSpan
+from repro.ir.basicblock import BasicBlock
+from repro.ir.types import ScalarType, Type
+from repro.ir.values import Register
+
+
+@dataclass(eq=False)
+class Function:
+    """A function: parameter registers plus a list of basic blocks.
+
+    Blocks are kept in creation order; ``blocks[0]`` is the entry block.
+    ``region_id`` is the static region representing the whole function body.
+    """
+
+    name: str
+    return_type: ScalarType
+    span: SourceSpan
+    params: list[Register] = field(default_factory=list)
+    blocks: list[BasicBlock] = field(default_factory=list)
+    region_id: int = -1
+    _next_register: int = 0
+    _next_label: int = 0
+
+    @property
+    def entry(self) -> BasicBlock:
+        if not self.blocks:
+            raise ValueError(f"function {self.name} has no blocks")
+        return self.blocks[0]
+
+    def new_register(self, type_: Type, name: str = "") -> Register:
+        register = Register(index=self._next_register, type=type_, name=name)
+        self._next_register += 1
+        return register
+
+    def new_block(self, hint: str = "bb") -> BasicBlock:
+        block = BasicBlock(label=f"{hint}{self._next_label}")
+        self._next_label += 1
+        self.blocks.append(block)
+        return block
+
+    @property
+    def num_registers(self) -> int:
+        return self._next_register
+
+    def block_by_label(self, label: str) -> BasicBlock:
+        for block in self.blocks:
+            if block.label == label:
+                return block
+        raise KeyError(f"no block {label!r} in {self.name}")
+
+    def instructions(self):
+        """Iterate over every instruction (not terminators) in block order."""
+        for block in self.blocks:
+            yield from block.instructions
+
+    def __repr__(self) -> str:
+        return f"<function {self.name} ({len(self.blocks)} blocks)>"

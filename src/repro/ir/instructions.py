@@ -1,0 +1,269 @@
+"""IR instruction set.
+
+Every instruction carries a source ``span`` (for diagnostics and region
+labeling) and a ``cost`` (its latency in the machine cost model, filled in by
+the instrumentation pass; see :mod:`repro.instrument.costs`).
+
+Dependence-breaking metadata: ``BinOp.dep_break`` marks induction- and
+reduction-variable updates. The KremLib shadow-memory update rule ignores the
+old-value operand of such instructions (paper §4.1, *Resolving False and
+Easy-to-Break Dependencies*), so an accumulation like ``s += a[i]`` does not
+serialize an otherwise parallel loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.frontend.source import SourceSpan
+from repro.ir.types import ArrayType, ScalarType, Type
+from repro.ir.values import Register, Value
+
+if TYPE_CHECKING:
+    from repro.ir.basicblock import BasicBlock
+
+# Ops whose result is int regardless of operand types.
+COMPARISON_OPS = frozenset({"==", "!=", "<", "<=", ">", ">="})
+LOGICAL_OPS = frozenset({"&&", "||"})
+BITWISE_OPS = frozenset({"&", "|", "^", "<<", ">>"})
+ARITHMETIC_OPS = frozenset({"+", "-", "*", "/", "%"})
+
+ALL_BINARY_OPS = COMPARISON_OPS | LOGICAL_OPS | BITWISE_OPS | ARITHMETIC_OPS
+
+#: Associative/commutative ops eligible for reduction-dependence breaking.
+REDUCTION_OPS = frozenset({"+", "*", "&", "|", "^"})
+
+
+@dataclass(eq=False)
+class Instruction:
+    """Base class for non-terminator instructions."""
+
+    span: SourceSpan
+    result: Register | None = field(default=None, kw_only=True)
+    cost: int = field(default=0, kw_only=True)
+
+    @property
+    def operands(self) -> tuple[Value, ...]:
+        return ()
+
+    @property
+    def opcode(self) -> str:
+        return type(self).__name__.lower()
+
+
+@dataclass(eq=False)
+class BinOp(Instruction):
+    op: str = ""
+    lhs: Value = None  # type: ignore[assignment]
+    rhs: Value = None  # type: ignore[assignment]
+    #: None, 'induction', or 'reduction'. When set, ``break_operand`` names
+    #: the operand index (0=lhs, 1=rhs) whose dependence is ignored by the
+    #: shadow update rule.
+    dep_break: str | None = field(default=None, kw_only=True)
+    break_operand: int = field(default=0, kw_only=True)
+
+    @property
+    def operands(self) -> tuple[Value, ...]:
+        return (self.lhs, self.rhs)
+
+    @property
+    def opcode(self) -> str:
+        return f"binop.{self.op}"
+
+
+@dataclass(eq=False)
+class UnOp(Instruction):
+    op: str = ""  # '-' or '!'
+    operand: Value = None  # type: ignore[assignment]
+
+    @property
+    def operands(self) -> tuple[Value, ...]:
+        return (self.operand,)
+
+    @property
+    def opcode(self) -> str:
+        return f"unop.{self.op}"
+
+
+@dataclass(eq=False)
+class Copy(Instruction):
+    """Copy a value into a named register.
+
+    Lowering assigns every source variable a single virtual register; ``copy``
+    is how assignments reach it. Zero latency in the cost model — it models a
+    register rename, and keeping one register per variable is what makes the
+    shadow *register table* (paper §4.1) line up with source variables.
+    """
+
+    operand: Value = None  # type: ignore[assignment]
+
+    @property
+    def operands(self) -> tuple[Value, ...]:
+        return (self.operand,)
+
+
+@dataclass(eq=False)
+class Cast(Instruction):
+    target: ScalarType = None  # type: ignore[assignment]
+    operand: Value = None  # type: ignore[assignment]
+
+    @property
+    def operands(self) -> tuple[Value, ...]:
+        return (self.operand,)
+
+    @property
+    def opcode(self) -> str:
+        return f"cast.{self.target}"
+
+
+@dataclass(eq=False)
+class Load(Instruction):
+    """Load a scalar from memory. ``mem`` is an array reference (register or
+    global) or a scalar global cell; ``index`` is a linearized element index
+    (None for scalar globals)."""
+
+    mem: Value = None  # type: ignore[assignment]
+    index: Value | None = None
+
+    @property
+    def operands(self) -> tuple[Value, ...]:
+        if self.index is None:
+            return (self.mem,)
+        return (self.mem, self.index)
+
+
+@dataclass(eq=False)
+class Store(Instruction):
+    """Store ``value`` to memory; mirror of :class:`Load`."""
+
+    mem: Value = None  # type: ignore[assignment]
+    index: Value | None = None
+    value: Value = None  # type: ignore[assignment]
+
+    @property
+    def operands(self) -> tuple[Value, ...]:
+        if self.index is None:
+            return (self.mem, self.value)
+        return (self.mem, self.index, self.value)
+
+
+@dataclass(eq=False)
+class Call(Instruction):
+    """Call a user function or builtin. ``result`` is None for void calls."""
+
+    callee: str = ""
+    args: list[Value] = field(default_factory=list)
+    #: True when the callee is a KremLib/libc-style builtin rather than a
+    #: user-defined MiniC function.
+    is_builtin: bool = field(default=False, kw_only=True)
+
+    @property
+    def operands(self) -> tuple[Value, ...]:
+        return tuple(self.args)
+
+    @property
+    def opcode(self) -> str:
+        return f"call.{self.callee}" if self.is_builtin else "call"
+
+
+@dataclass(eq=False)
+class Alloca(Instruction):
+    """Allocate a local array; the result register holds its reference."""
+
+    array_type: ArrayType = None  # type: ignore[assignment]
+
+    @property
+    def opcode(self) -> str:
+        return "alloca"
+
+
+@dataclass(eq=False)
+class RegionEnter(Instruction):
+    """Marks entry into a static region (function, loop, or loop body)."""
+
+    region_id: int = -1
+
+    @property
+    def opcode(self) -> str:
+        return "region_enter"
+
+
+@dataclass(eq=False)
+class RegionExit(Instruction):
+    """Marks exit from a static region."""
+
+    region_id: int = -1
+
+    @property
+    def opcode(self) -> str:
+        return "region_exit"
+
+
+# ----------------------------------------------------------------------
+# Terminators
+# ----------------------------------------------------------------------
+
+
+@dataclass(eq=False)
+class Terminator:
+    """Base class for block terminators."""
+
+    span: SourceSpan
+    cost: int = field(default=0, kw_only=True)
+
+    @property
+    def successors(self) -> tuple["BasicBlock", ...]:
+        return ()
+
+    @property
+    def operands(self) -> tuple[Value, ...]:
+        return ()
+
+    @property
+    def opcode(self) -> str:
+        return type(self).__name__.lower()
+
+
+@dataclass(eq=False)
+class Jump(Terminator):
+    target: "BasicBlock" = None  # type: ignore[assignment]
+
+    @property
+    def successors(self) -> tuple["BasicBlock", ...]:
+        return (self.target,)
+
+
+@dataclass(eq=False)
+class Branch(Terminator):
+    cond: Value = None  # type: ignore[assignment]
+    then_block: "BasicBlock" = None  # type: ignore[assignment]
+    else_block: "BasicBlock" = None  # type: ignore[assignment]
+
+    @property
+    def successors(self) -> tuple["BasicBlock", ...]:
+        return (self.then_block, self.else_block)
+
+    @property
+    def operands(self) -> tuple[Value, ...]:
+        return (self.cond,)
+
+
+@dataclass(eq=False)
+class Ret(Terminator):
+    value: Value | None = None
+
+    @property
+    def operands(self) -> tuple[Value, ...]:
+        return (self.value,) if self.value is not None else ()
+
+
+def result_type_of_binop(op: str, lhs: Type, rhs: Type) -> Type:
+    """Result type of a binary op under MiniC's conversion rules."""
+    from repro.ir.types import INT, common_type
+
+    if op in COMPARISON_OPS or op in LOGICAL_OPS:
+        return INT
+    if op in BITWISE_OPS or op == "%":
+        return INT
+    return common_type(lhs, rhs)

@@ -1,0 +1,68 @@
+"""IR modules: a translation unit's globals, functions, and region table."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.ir.function import Function
+from repro.ir.types import ArrayType, ScalarType, Type
+
+if TYPE_CHECKING:
+    from repro.instrument.regions import StaticRegionTree
+
+
+@dataclass(frozen=True)
+class GlobalVar:
+    """A module-level variable: scalar cell or array storage."""
+
+    name: str
+    type: Type
+    init: int | float | None = None  # scalar initializer only
+
+    @property
+    def is_array(self) -> bool:
+        return isinstance(self.type, ArrayType)
+
+
+@dataclass(eq=False)
+class Module:
+    """A compiled MiniC translation unit.
+
+    ``regions`` (the static region tree: one node per function, loop, and
+    loop body) is attached by lowering and consumed by the instrumentation
+    pass, the KremLib runtime, and the planner.
+    """
+
+    name: str = "<module>"
+    globals: dict[str, GlobalVar] = field(default_factory=dict)
+    functions: dict[str, Function] = field(default_factory=dict)
+    regions: "StaticRegionTree | None" = None
+
+    def add_global(self, var: GlobalVar) -> GlobalVar:
+        if var.name in self.globals:
+            raise ValueError(f"duplicate global {var.name!r}")
+        self.globals[var.name] = var
+        return var
+
+    def add_function(self, function: Function) -> Function:
+        if function.name in self.functions:
+            raise ValueError(f"duplicate function {function.name!r}")
+        self.functions[function.name] = function
+        return function
+
+    def function(self, name: str) -> Function:
+        try:
+            return self.functions[name]
+        except KeyError:
+            raise KeyError(f"no function {name!r} in module {self.name}") from None
+
+    @property
+    def main(self) -> Function:
+        return self.function("main")
+
+    def scalar_globals(self) -> list[GlobalVar]:
+        return [g for g in self.globals.values() if not g.is_array]
+
+    def array_globals(self) -> list[GlobalVar]:
+        return [g for g in self.globals.values() if g.is_array]

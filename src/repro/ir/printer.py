@@ -1,0 +1,104 @@
+"""Textual IR dumps, for debugging and golden tests."""
+
+from __future__ import annotations
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Alloca,
+    BinOp,
+    Branch,
+    Call,
+    Cast,
+    Copy,
+    Instruction,
+    Jump,
+    Load,
+    RegionEnter,
+    RegionExit,
+    Ret,
+    Store,
+    UnOp,
+)
+from repro.ir.module import Module
+from repro.ir.values import Constant, GlobalRef, Register, Value
+
+
+def _value(value: Value | None) -> str:
+    if value is None:
+        return "<none>"
+    if isinstance(value, Register):
+        return f"%{value.index}" + (f".{value.name}" if value.name else "")
+    if isinstance(value, Constant):
+        return repr(value.value)
+    if isinstance(value, GlobalRef):
+        return f"@{value.name}"
+    return repr(value)
+
+
+def print_instruction(instr: Instruction) -> str:
+    dest = f"{_value(instr.result)} = " if instr.result is not None else ""
+    if isinstance(instr, BinOp):
+        flags = f" !{instr.dep_break}[{instr.break_operand}]" if instr.dep_break else ""
+        return f"{dest}{instr.op} {_value(instr.lhs)}, {_value(instr.rhs)}{flags}"
+    if isinstance(instr, UnOp):
+        return f"{dest}{instr.op} {_value(instr.operand)}"
+    if isinstance(instr, Copy):
+        return f"{dest}copy {_value(instr.operand)}"
+    if isinstance(instr, Cast):
+        return f"{dest}cast.{instr.target} {_value(instr.operand)}"
+    if isinstance(instr, Load):
+        index = f"[{_value(instr.index)}]" if instr.index is not None else ""
+        return f"{dest}load {_value(instr.mem)}{index}"
+    if isinstance(instr, Store):
+        index = f"[{_value(instr.index)}]" if instr.index is not None else ""
+        return f"store {_value(instr.mem)}{index}, {_value(instr.value)}"
+    if isinstance(instr, Call):
+        args = ", ".join(_value(a) for a in instr.args)
+        marker = "builtin " if instr.is_builtin else ""
+        return f"{dest}call {marker}{instr.callee}({args})"
+    if isinstance(instr, Alloca):
+        return f"{dest}alloca {instr.array_type}"
+    if isinstance(instr, RegionEnter):
+        return f"region_enter #{instr.region_id}"
+    if isinstance(instr, RegionExit):
+        return f"region_exit #{instr.region_id}"
+    return f"{dest}{instr.opcode}"
+
+
+def print_block(block: BasicBlock) -> str:
+    lines = [f"{block.label}:"]
+    for instr in block.instructions:
+        lines.append(f"  {print_instruction(instr)}")
+    term = block.terminator
+    if isinstance(term, Jump):
+        lines.append(f"  jump {term.target.label}")
+    elif isinstance(term, Branch):
+        lines.append(
+            f"  branch {_value(term.cond)} ? {term.then_block.label} : {term.else_block.label}"
+        )
+    elif isinstance(term, Ret):
+        lines.append(f"  ret {_value(term.value)}" if term.value else "  ret")
+    else:
+        lines.append("  <unterminated>")
+    return "\n".join(lines)
+
+
+def print_function(function: Function) -> str:
+    params = ", ".join(f"{_value(p)}: {p.type}" for p in function.params)
+    lines = [f"func {function.name}({params}) -> {function.return_type} {{"]
+    for block in function.blocks:
+        lines.append(print_block(block))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_module(module: Module) -> str:
+    lines = [f"module {module.name}"]
+    for global_var in module.globals.values():
+        init = f" = {global_var.init}" if global_var.init is not None else ""
+        lines.append(f"global @{global_var.name}: {global_var.type}{init}")
+    for function in module.functions.values():
+        lines.append("")
+        lines.append(print_function(function))
+    return "\n".join(lines)

@@ -1,0 +1,102 @@
+"""IR type system: scalar ``int``/``float``/``void`` plus array types."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class Type:
+    """Base class for IR types."""
+
+    @property
+    def is_scalar(self) -> bool:
+        return isinstance(self, ScalarType) and self.name != "void"
+
+    @property
+    def is_array(self) -> bool:
+        return isinstance(self, ArrayType)
+
+    @property
+    def is_void(self) -> bool:
+        return isinstance(self, ScalarType) and self.name == "void"
+
+
+@dataclass(frozen=True)
+class ScalarType(Type):
+    name: str  # 'int' | 'float' | 'void'
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class ArrayType(Type):
+    """A (possibly multi-dimensional) array of scalars.
+
+    ``dims`` may contain ``None`` in the leading position for array
+    parameters whose extent is supplied by the caller.
+    """
+
+    element: ScalarType
+    dims: tuple[int | None, ...]
+
+    def __post_init__(self) -> None:
+        if not self.dims:
+            raise ValueError("ArrayType requires at least one dimension")
+        if any(d is None for d in self.dims[1:]):
+            raise ValueError("only the first dimension may be unsized")
+
+    @property
+    def rank(self) -> int:
+        return len(self.dims)
+
+    @property
+    def element_count(self) -> int | None:
+        """Total elements, or None if the first dimension is unsized."""
+        count = 1
+        for dim in self.dims:
+            if dim is None:
+                return None
+            count *= dim
+        return count
+
+    def row_stride(self, axis: int) -> int:
+        """Number of elements one step along ``axis`` advances.
+
+        Only inner (sized) dimensions contribute, so an unsized first
+        dimension is fine for any axis except the (never-needed) stride of a
+        rank-0 step.
+        """
+        stride = 1
+        for dim in self.dims[axis + 1 :]:
+            assert dim is not None
+            stride *= dim
+        return stride
+
+    def __str__(self) -> str:
+        suffix = "".join(f"[{d if d is not None else ''}]" for d in self.dims)
+        return f"{self.element}{suffix}"
+
+
+INT = ScalarType("int")
+FLOAT = ScalarType("float")
+VOID = ScalarType("void")
+
+_SCALARS = {"int": INT, "float": FLOAT, "void": VOID}
+
+
+def scalar(name: str) -> ScalarType:
+    """Intern a scalar type by name."""
+    try:
+        return _SCALARS[name]
+    except KeyError:
+        raise ValueError(f"unknown scalar type {name!r}") from None
+
+
+def common_type(a: Type, b: Type) -> ScalarType:
+    """Usual arithmetic conversion: float wins over int."""
+    if not (a.is_scalar and b.is_scalar):
+        raise ValueError(f"cannot combine non-scalar types {a} and {b}")
+    if FLOAT in (a, b):
+        return FLOAT
+    return INT

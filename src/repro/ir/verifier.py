@@ -1,0 +1,153 @@
+"""Structural verifier for IR modules.
+
+Checks invariants that lowering and instrumentation must uphold; run in tests
+after every pipeline stage that creates or mutates IR.
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    ALL_BINARY_OPS,
+    Alloca,
+    BinOp,
+    Branch,
+    Call,
+    Cast,
+    Jump,
+    Load,
+    RegionEnter,
+    RegionExit,
+    Ret,
+    Store,
+    UnOp,
+)
+from repro.ir.module import Module
+from repro.ir.types import ArrayType, ScalarType
+from repro.ir.values import Constant, GlobalRef, Register
+
+
+class VerificationError(Exception):
+    """Raised when an IR module violates a structural invariant."""
+
+
+def _fail(function: Function, block_label: str, message: str) -> None:
+    raise VerificationError(f"{function.name}/{block_label}: {message}")
+
+
+def verify_function(function: Function, module: Module | None = None) -> None:
+    seen_labels: set[str] = set()
+    block_set = set(id(b) for b in function.blocks)
+    defined: set[int] = {id(p) for p in function.params}
+
+    if not function.blocks:
+        raise VerificationError(f"{function.name}: function has no blocks")
+
+    # First pass: gather all definitions (non-SSA IR, so a use may precede the
+    # textual definition only across blocks via loops; we check that every
+    # used register is defined *somewhere* in the function).
+    for block in function.blocks:
+        for instr in block.instructions:
+            if instr.result is not None:
+                defined.add(id(instr.result))
+
+    for block in function.blocks:
+        if block.label in seen_labels:
+            _fail(function, block.label, "duplicate block label")
+        seen_labels.add(block.label)
+
+        if block.terminator is None:
+            _fail(function, block.label, "block is not terminated")
+
+        for instr in block.instructions:
+            for operand in instr.operands:
+                if isinstance(operand, Register) and id(operand) not in defined:
+                    _fail(
+                        function,
+                        block.label,
+                        f"use of undefined register {operand!r} in {instr.opcode}",
+                    )
+                if isinstance(operand, GlobalRef) and module is not None:
+                    if operand.name not in module.globals:
+                        _fail(function, block.label, f"unknown global @{operand.name}")
+            _verify_instruction(function, block.label, instr)
+
+        terminator = block.terminator
+        for successor in terminator.successors:
+            if id(successor) not in block_set:
+                _fail(
+                    function,
+                    block.label,
+                    f"terminator targets foreign block {successor.label!r}",
+                )
+        if isinstance(terminator, Ret):
+            if function.return_type.is_void and terminator.value is not None:
+                _fail(function, block.label, "void function returns a value")
+            if not function.return_type.is_void and terminator.value is None:
+                _fail(function, block.label, "non-void function returns nothing")
+        elif isinstance(terminator, Branch):
+            if not isinstance(terminator.cond.type, ScalarType):
+                _fail(function, block.label, "branch condition must be scalar")
+
+    _verify_region_markers(function)
+
+
+def _verify_instruction(function: Function, label: str, instr) -> None:
+    if isinstance(instr, BinOp):
+        if instr.op not in ALL_BINARY_OPS:
+            _fail(function, label, f"unknown binary op {instr.op!r}")
+        if instr.dep_break not in (None, "induction", "reduction"):
+            _fail(function, label, f"bad dep_break {instr.dep_break!r}")
+        if instr.dep_break is not None and instr.break_operand not in (0, 1):
+            _fail(function, label, "break_operand must be 0 or 1")
+        if instr.result is None:
+            _fail(function, label, "binop must produce a result")
+    elif isinstance(instr, UnOp):
+        if instr.op not in ("-", "!"):
+            _fail(function, label, f"unknown unary op {instr.op!r}")
+    elif isinstance(instr, Cast):
+        if instr.target.is_void:
+            _fail(function, label, "cannot cast to void")
+    elif isinstance(instr, (Load, Store)):
+        mem_type = instr.mem.type
+        if isinstance(mem_type, ArrayType):
+            if instr.index is None:
+                _fail(function, label, "array access requires an index")
+        elif isinstance(mem_type, ScalarType):
+            if instr.index is not None:
+                _fail(function, label, "scalar access must not have an index")
+            if not isinstance(instr.mem, GlobalRef):
+                _fail(function, label, "scalar load/store must target a global")
+        if isinstance(instr, Load) and instr.result is None:
+            _fail(function, label, "load must produce a result")
+    elif isinstance(instr, Call):
+        if not instr.callee:
+            _fail(function, label, "call with empty callee")
+    elif isinstance(instr, Alloca):
+        if not isinstance(instr.array_type, ArrayType):
+            _fail(function, label, "alloca requires an array type")
+        if instr.array_type.element_count is None:
+            _fail(function, label, "alloca requires fully-sized dimensions")
+    elif isinstance(instr, (RegionEnter, RegionExit)):
+        if instr.region_id < 0:
+            _fail(function, label, "region marker with invalid id")
+
+
+def _verify_region_markers(function: Function) -> None:
+    """Check that region enter/exit markers appear only with valid ids.
+
+    Full dynamic nesting discipline is enforced (and asserted) by the
+    KremLib region stack at run time; statically we only validate ids.
+    """
+    for block in function.blocks:
+        for instr in block.instructions:
+            if isinstance(instr, (RegionEnter, RegionExit)) and instr.region_id < 0:
+                _fail(function, block.label, "region marker with negative id")
+
+
+def verify_module(module: Module) -> None:
+    """Verify every function in the module; raises on the first violation."""
+    if "main" not in module.functions:
+        raise VerificationError("module has no main function")
+    for function in module.functions.values():
+        verify_function(function, module)

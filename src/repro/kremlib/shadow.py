@@ -1,0 +1,52 @@
+"""Shadow state structures for the KremLib runtime.
+
+Shadow entries are ``(times, tags)`` pairs: ``times[d]`` is the value's
+availability time relative to the entry of the region active at depth ``d``
+when the value was written, and ``tags[d]`` is that region's instance id.
+
+Validity is **prefix-closed**: region instance ids are globally unique and a
+region instance has a fixed chain of ancestors, so if ``tags[d]`` no longer
+matches the current region stack, no deeper level can match either.
+Resolution therefore reduces to a common-prefix length, with an identity
+fast path (values written since the last region event share the *same* tags
+tuple). Depths beyond the valid prefix read as time 0 — exactly the paper's
+rule that data written by an exited sibling region instance "is discarded
+... assuming time 0 instead" (§4.2).
+"""
+
+from __future__ import annotations
+
+
+class ShadowFrame:
+    """Per-activation shadow state: register table + control-dep stack.
+
+    ``registers[i]`` is a shadow entry or None (never written). The control
+    stack holds ``[branch_block_id, join_block_id, times, tags]`` records;
+    see :class:`~repro.kremlib.profiler.KremlinProfiler` for the push/pop
+    discipline.
+    """
+
+    __slots__ = ("registers", "control")
+
+    def __init__(self, num_registers: int):
+        self.registers: list = [None] * num_registers
+        self.control: list = []
+
+
+def resolve_entry(entry, current_tags):
+    """Resolve a shadow entry against the current region stack.
+
+    Returns ``(times, valid_depth)`` or None when nothing is valid.
+    """
+    if entry is None:
+        return None
+    times, tags = entry
+    if tags is current_tags:
+        return (times, len(times))
+    limit = min(len(tags), len(current_tags), len(times))
+    valid = 0
+    while valid < limit and tags[valid] == current_tags[valid]:
+        valid += 1
+    if valid == 0:
+        return None
+    return (times, valid)

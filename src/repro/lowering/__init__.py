@@ -1,0 +1,13 @@
+"""Lowering from the MiniC AST to the register IR.
+
+This stage also performs the front-end half of Kremlin's static
+instrumentation: it builds the static region tree (one region per function,
+loop, and loop body), emits ``region_enter``/``region_exit`` markers, and
+flags induction- and reduction-variable updates for the dependence-breaking
+shadow update rule (paper §4.1).
+"""
+
+from repro.lowering.dep_break import LoopDepInfo, analyze_loop_dependences
+from repro.lowering.lower import lower_program
+
+__all__ = ["LoopDepInfo", "analyze_loop_dependences", "lower_program"]

@@ -1,0 +1,41 @@
+"""Parallelism planning (paper §5).
+
+A *planner* turns an aggregated HCPA profile into an ordered list of regions
+the programmer should parallelize — the paper's answer to "which parts of
+the program should I parallelize first?". Planners are parameterized by a
+**personality** capturing the target system's constraints:
+
+* :class:`~repro.planner.openmp.OpenMPPlanner` — no nested parallel regions
+  (selected via bottom-up dynamic programming over the region graph),
+  self-parallelism cutoff 5.0, minimum ideal whole-program speedup 0.1 % for
+  DOALL and 3 % for DOACROSS regions (§5.1);
+* :class:`~repro.planner.cilk.CilkPlanner` — nesting-aware, lower thresholds
+  (§5.2);
+* :class:`~repro.planner.gprof.GprofPlanner` — the work-coverage-only
+  baseline a serial profiler would give (Figure 9's first bar);
+* :class:`~repro.planner.gprof.SelfParallelismFilterPlanner` — work +
+  self-parallelism filtering without the full planner (Figure 9's second
+  bar).
+"""
+
+from repro.planner.base import Planner, PlannerPersonality
+from repro.planner.cilk import CILK_PERSONALITY, CilkPlanner
+from repro.planner.gprof import GprofPlanner, SelfParallelismFilterPlanner
+from repro.planner.openmp import OPENMP_PERSONALITY, OpenMPPlanner
+from repro.planner.plan import ParallelismPlan, PlanItem
+from repro.planner.speedup import estimate_program_speedup, saved_work
+
+__all__ = [
+    "CILK_PERSONALITY",
+    "CilkPlanner",
+    "GprofPlanner",
+    "OPENMP_PERSONALITY",
+    "OpenMPPlanner",
+    "ParallelismPlan",
+    "PlanItem",
+    "Planner",
+    "PlannerPersonality",
+    "SelfParallelismFilterPlanner",
+    "estimate_program_speedup",
+    "saved_work",
+]

@@ -1,0 +1,68 @@
+"""The Cilk++ planner personality (§5.2).
+
+Cilk++'s work-stealing runtime makes nested and fine-grained parallelism
+cheap, so this personality (a) allows nested selections — no path
+constraint, every eligible region is recommended — and (b) uses lower
+self-parallelism and speedup thresholds. Function (task) regions are fair
+game too, since ``cilk_spawn`` parallelizes call sites directly.
+"""
+
+from __future__ import annotations
+
+from repro.hcpa.aggregate import AggregatedProfile
+from repro.planner.base import Planner, PlannerPersonality
+from repro.planner.plan import ParallelismPlan
+from repro.planner.speedup import saved_work
+
+CILK_PERSONALITY = PlannerPersonality(
+    name="cilk",
+    min_self_parallelism=2.0,
+    min_doall_speedup_pct=0.02,
+    min_doacross_speedup_pct=1.0,
+    allow_nested=True,
+    loops_only=False,
+    # Work stealing amortizes spawns at a much finer granularity than an
+    # OpenMP fork/join does.
+    min_instance_work=500.0,
+)
+
+
+class CilkPlanner(Planner):
+    def __init__(self, personality: PlannerPersonality = CILK_PERSONALITY):
+        super().__init__(personality)
+
+    def plan(
+        self,
+        aggregated: AggregatedProfile,
+        excluded: frozenset[int] | set[int] = frozenset(),
+    ) -> ParallelismPlan:
+        excluded = frozenset(excluded)
+        total_work = aggregated.total_work
+        candidates = self.candidates(aggregated, excluded)
+
+        if not self.personality.allow_nested:
+            # A Cilk-derived personality may still be configured non-nested;
+            # fall back to greedy outermost-wins selection in that case.
+            candidates.sort(
+                key=lambda p: -saved_work(p, self.personality.sp_cap)
+            )
+            kept = []
+            blocked: set[int] = set()
+            for profile in candidates:
+                if profile.static_id in blocked:
+                    continue
+                descendants = aggregated.descendants_of(profile.static_id)
+                if any(k.static_id in descendants for k in kept):
+                    continue
+                kept.append(profile)
+                blocked |= descendants
+            candidates = kept
+
+        items = [self.make_item(p, total_work) for p in candidates]
+        plan = ParallelismPlan(
+            items=items,
+            personality=self.personality.name,
+            excluded=excluded,
+        )
+        plan.sort()
+        return plan

@@ -1,0 +1,94 @@
+"""Baseline planners for the Figure 9 ablation.
+
+Figure 9 decomposes Kremlin's plan-size reduction into three stages:
+
+1. **work only** (:class:`GprofPlanner`) — what a programmer armed with a
+   serial profiler has: every region with non-negligible work coverage is a
+   candidate they must examine (58.9 % of all regions, on average);
+2. **+ self-parallelism** (:class:`SelfParallelismFilterPlanner`) — drop the
+   low-parallelism regions (25.4 %);
+3. **full planner** — OpenMP constraints + DP selection (3.0 %).
+"""
+
+from __future__ import annotations
+
+from repro.hcpa.aggregate import AggregatedProfile
+from repro.planner.base import Planner, PlannerPersonality
+from repro.planner.plan import ParallelismPlan
+
+#: A region is "hot enough to examine" when it holds at least this fraction
+#: of program work. Serial profilers show a flat list, so the effective
+#: cutoff is what a programmer would bother reading.
+DEFAULT_WORK_COVERAGE_MIN = 0.005
+
+GPROF_PERSONALITY = PlannerPersonality(
+    name="gprof",
+    min_self_parallelism=0.0,
+    min_doall_speedup_pct=0.0,
+    min_doacross_speedup_pct=0.0,
+    allow_nested=True,
+    loops_only=False,
+)
+
+
+class GprofPlanner(Planner):
+    """Work-coverage-only 'planning': the serial-hotspot list (§2.1)."""
+
+    def __init__(
+        self,
+        coverage_min: float = DEFAULT_WORK_COVERAGE_MIN,
+        personality: PlannerPersonality = GPROF_PERSONALITY,
+    ):
+        super().__init__(personality)
+        self.coverage_min = coverage_min
+
+    def plan(
+        self,
+        aggregated: AggregatedProfile,
+        excluded: frozenset[int] | set[int] = frozenset(),
+    ) -> ParallelismPlan:
+        excluded = frozenset(excluded)
+        total_work = aggregated.total_work
+        items = [
+            self.make_item(profile, total_work)
+            for profile in aggregated.plannable()
+            if profile.static_id not in excluded
+            and profile.coverage >= self.coverage_min
+        ]
+        # A hotspot list is ordered by time spent, not estimated speedup.
+        items.sort(key=lambda item: -item.profile.work)
+        return ParallelismPlan(
+            items=items, personality=self.personality.name, excluded=excluded
+        )
+
+
+class SelfParallelismFilterPlanner(GprofPlanner):
+    """Work coverage + self-parallelism cutoff, no full-planner constraints."""
+
+    def __init__(
+        self,
+        coverage_min: float = DEFAULT_WORK_COVERAGE_MIN,
+        min_self_parallelism: float = 5.0,
+    ):
+        super().__init__(
+            coverage_min,
+            GPROF_PERSONALITY.with_overrides(
+                name="sp-filter", min_self_parallelism=min_self_parallelism
+            ),
+        )
+
+    def plan(
+        self,
+        aggregated: AggregatedProfile,
+        excluded: frozenset[int] | set[int] = frozenset(),
+    ) -> ParallelismPlan:
+        base = super().plan(aggregated, excluded)
+        threshold = self.personality.min_self_parallelism
+        items = [
+            item for item in base.items if item.self_parallelism >= threshold
+        ]
+        return ParallelismPlan(
+            items=items,
+            personality=self.personality.name,
+            excluded=base.excluded,
+        )

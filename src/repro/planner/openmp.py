@@ -1,0 +1,135 @@
+"""The OpenMP planner personality (§5.1).
+
+OpenMP constraints encoded here:
+
+* **No nested parallel regions** — on the paper's 32-core testbed, nested
+  parallelism never amortized its spawning cost. Formally: in any path of
+  the dynamic region graph, at most one selected region (|P ∩ R| ≤ 1).
+* **Thresholds** — self-parallelism ≥ 5.0; ideal whole-program speedup
+  ≥ 0.1 % for DOALL regions and ≥ 3 % for DOACROSS regions (synchronization-
+  heavy and more programmer effort, so they must promise more); and enough
+  work per dynamic instance to amortize fork/scheduling costs.
+
+Selection uses the paper's bottom-up dynamic programming: the optimal plan
+for a node is the better of (a) parallelizing the node itself, or (b) the
+union of its children's optimal plans. A greedy "pick the largest region"
+strategy is suboptimal exactly where the paper observed it (ft, lu): a
+parent with good speedup can preclude a *set* of children whose combined
+speedup is higher.
+
+The DP runs over the **compressed dynamic region graph** — the dictionary's
+character DAG — rather than over static regions. This matters whenever a
+function is called from several places (ft's line-FFT under both the row
+and the column sweep): per-static aggregation would credit such shared
+children with their *global* benefit under every parent, double-counting
+them and starving the outer loops. Characters are context-specific, and
+because the alphabet grows from the leaves up (a child character id is
+always smaller than its parent's), the whole DP is a single ascending scan
+— planning never decompresses the trace (§4.4).
+"""
+
+from __future__ import annotations
+
+from repro.hcpa.aggregate import AggregatedProfile
+from repro.hcpa.summaries import ParallelismProfile
+from repro.planner.base import Planner, PlannerPersonality
+from repro.planner.plan import ParallelismPlan
+
+OPENMP_PERSONALITY = PlannerPersonality(
+    name="openmp",
+    min_self_parallelism=5.0,
+    min_doall_speedup_pct=0.1,
+    min_doacross_speedup_pct=3.0,
+    allow_nested=False,
+    loops_only=True,
+)
+
+
+class OpenMPPlanner(Planner):
+    def __init__(self, personality: PlannerPersonality = OPENMP_PERSONALITY):
+        super().__init__(personality)
+
+    def plan(
+        self,
+        aggregated: AggregatedProfile,
+        excluded: frozenset[int] | set[int] = frozenset(),
+        profile: ParallelismProfile | None = None,
+    ) -> ParallelismPlan:
+        excluded = frozenset(excluded)
+        total_work = aggregated.total_work
+        eligible = {p.static_id: p for p in self.candidates(aggregated, excluded)}
+
+        if profile is None:
+            profile = aggregated.source_profile
+        if profile is None:
+            raise ValueError(
+                "OpenMPPlanner needs the compressed profile; pass profile="
+            )
+        entries = profile.dictionary.entries
+
+        # Per-character benefit of parallelizing this region *in this
+        # context*: the work this instance removes from the serial schedule,
+        # bounded by the instance's own (context-local) self-parallelism.
+        benefit = [0.0] * len(entries)
+        for char, entry in enumerate(entries):
+            if entry.static_id not in eligible or entry.cp <= 0:
+                continue
+            children_cp = 0
+            children_work = 0
+            for child_char, count in entry.children:
+                child = entries[child_char]
+                children_cp += count * child.cp
+                children_work += count * child.work
+            sw = max(0, entry.work - children_work)
+            sp = (children_cp + sw) / entry.cp
+            cap = self.personality.sp_cap
+            if cap is not None:
+                sp = min(sp, cap)
+            if sp > 1.0:
+                benefit[char] = entry.work * (1.0 - 1.0 / sp)
+
+        # Bottom-up DP: child characters always have smaller ids, so one
+        # ascending pass computes every subtree's best achievable saving.
+        value = [0.0] * len(entries)
+        for char, entry in enumerate(entries):
+            children_total = 0.0
+            for child_char, count in entry.children:
+                children_total += count * value[child_char]
+            own = benefit[char]
+            value[char] = own if own >= children_total else children_total
+
+        # Extraction: walk down from the root; take a character where its
+        # own benefit wins, otherwise descend. A character is only reached
+        # through contexts where no ancestor was selected, so every selected
+        # region has at least one non-nested occurrence.
+        selected: set[int] = set()
+        seen: set[int] = set()
+        stack = [profile.root_char]
+        while stack:
+            char = stack.pop()
+            if char in seen:
+                continue
+            seen.add(char)
+            entry = entries[char]
+            children_total = 0.0
+            for child_char, count in entry.children:
+                children_total += count * value[child_char]
+            own = benefit[char]
+            if own > 0.0 and own >= children_total:
+                selected.add(entry.static_id)
+                continue
+            for child_char, _count in entry.children:
+                stack.append(child_char)
+
+        items = [
+            self.make_item(eligible[static_id], total_work)
+            for static_id in selected
+            if static_id in eligible
+        ]
+        plan = ParallelismPlan(
+            items=items,
+            personality=self.personality.name,
+            excluded=excluded,
+        )
+        plan.sort()
+        return plan

@@ -1,0 +1,92 @@
+"""Plan data model: ranked region recommendations (the Figure 3 output)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hcpa.aggregate import RegionProfile
+from repro.instrument.regions import StaticRegion
+
+
+@dataclass
+class PlanItem:
+    """One recommended region."""
+
+    profile: RegionProfile
+    #: estimated ideal whole-program speedup from parallelizing this region
+    #: alone (Amdahl with SP as the region's parallelism)
+    est_program_speedup: float
+    #: 'DOALL' or 'DOACROSS' for loops, 'TASK' for functions
+    classification: str
+
+    @property
+    def region(self) -> StaticRegion:
+        return self.profile.region
+
+    @property
+    def static_id(self) -> int:
+        return self.profile.static_id
+
+    @property
+    def self_parallelism(self) -> float:
+        return self.profile.self_parallelism
+
+    @property
+    def coverage(self) -> float:
+        return self.profile.coverage
+
+    @property
+    def location(self) -> str:
+        return self.region.location
+
+    def __repr__(self) -> str:
+        return (
+            f"<plan item #{self.static_id} {self.region.name} "
+            f"SP={self.self_parallelism:.1f} cov={self.coverage:.1%} "
+            f"est={self.est_program_speedup:.3f}x>"
+        )
+
+
+@dataclass
+class ParallelismPlan:
+    """An ordered parallelism plan.
+
+    Items are sorted by decreasing estimated whole-program speedup, the
+    order in which the programmer should attack them (§3). ``personality``
+    names the planner personality that produced the plan.
+    """
+
+    items: list[PlanItem] = field(default_factory=list)
+    personality: str = ""
+    program_name: str = "<program>"
+    #: regions the user excluded in a replanning round
+    excluded: frozenset[int] = frozenset()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self):
+        return iter(self.items)
+
+    def __getitem__(self, index: int) -> PlanItem:
+        return self.items[index]
+
+    @property
+    def region_ids(self) -> list[int]:
+        return [item.static_id for item in self.items]
+
+    @property
+    def region_names(self) -> list[str]:
+        return [item.region.name for item in self.items]
+
+    def prefix(self, count: int) -> "ParallelismPlan":
+        """The first ``count`` recommendations (for marginal-benefit sweeps)."""
+        return ParallelismPlan(
+            items=self.items[:count],
+            personality=self.personality,
+            program_name=self.program_name,
+            excluded=self.excluded,
+        )
+
+    def sort(self) -> None:
+        self.items.sort(key=lambda item: -item.est_program_speedup)

@@ -1,0 +1,53 @@
+"""Speedup estimation: Amdahl's Law with self-parallelism (§2.2, §4.3).
+
+Parallelizing region R bounds its execution time by ``ET(R) / SP(R)``;
+serial execution time is total work, so the ideal whole-program speedup of
+parallelizing R alone is::
+
+    S(R) = T / (T - W(R) + W(R)/SP(R))
+
+``saved_work`` is the numerator the planner's dynamic program maximizes.
+"""
+
+from __future__ import annotations
+
+from repro.hcpa.aggregate import RegionProfile
+
+
+def saved_work(profile: RegionProfile, sp_cap: float | None = None) -> float:
+    """Work removed from the serial schedule by parallelizing this region.
+
+    ``sp_cap`` optionally caps exploitable self-parallelism (e.g. at the
+    core count). The paper found the cap *hurts* plan quality (§5.1) —
+    higher SP correlates with more overhead-amortization headroom — so it is
+    off by default; it exists for the ablation benchmarks.
+    """
+    sp = profile.self_parallelism
+    if sp_cap is not None:
+        sp = min(sp, sp_cap)
+    if sp <= 1.0:
+        return 0.0
+    return profile.work * (1.0 - 1.0 / sp)
+
+
+def estimate_program_speedup(
+    profile: RegionProfile, total_work: int, sp_cap: float | None = None
+) -> float:
+    """Ideal whole-program speedup from parallelizing this region alone."""
+    if total_work <= 0:
+        return 1.0
+    saved = saved_work(profile, sp_cap)
+    remaining = total_work - saved
+    if remaining <= 0:
+        return float("inf")
+    return total_work / remaining
+
+
+def combined_speedup(saved_total: float, total_work: int) -> float:
+    """Whole-program speedup when the plan saves ``saved_total`` work."""
+    if total_work <= 0:
+        return 1.0
+    remaining = total_work - saved_total
+    if remaining <= 0:
+        return float("inf")
+    return total_work / remaining

@@ -1,0 +1,20 @@
+"""Output formatting: Figure 3-style plan tables and experiment tables."""
+
+from repro.report.gprof_flat import FlatProfileRow, flat_profile, format_flat_profile
+from repro.report.export import plan_rows, plan_to_csv, plan_to_markdown
+from repro.report.graphviz import dynamic_region_dot, static_region_dot
+from repro.report.tables import Table, format_plan, format_region_table
+
+__all__ = [
+    "FlatProfileRow",
+    "Table",
+    "flat_profile",
+    "format_flat_profile",
+    "format_plan",
+    "format_region_table",
+    "dynamic_region_dot",
+    "plan_rows",
+    "plan_to_csv",
+    "plan_to_markdown",
+    "static_region_dot",
+]

@@ -1,0 +1,71 @@
+"""Machine-readable plan exports: CSV and Markdown.
+
+The Figure 3 text table is for terminals; these exports feed spreadsheets,
+issue trackers, and docs. Columns match the plan table: rank, location,
+region name, classification, self-parallelism, coverage, and the estimated
+whole-program speedup.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+
+from repro.planner.plan import ParallelismPlan
+
+_COLUMNS = [
+    "rank",
+    "location",
+    "region",
+    "type",
+    "self_parallelism",
+    "coverage_pct",
+    "est_program_speedup",
+]
+
+
+def plan_rows(plan: ParallelismPlan) -> list[dict]:
+    """The plan as a list of plain dicts (one per recommendation)."""
+    rows = []
+    for rank, item in enumerate(plan, start=1):
+        rows.append(
+            {
+                "rank": rank,
+                "location": item.location,
+                "region": item.region.name,
+                "type": item.classification,
+                "self_parallelism": round(item.self_parallelism, 2),
+                "coverage_pct": round(item.coverage * 100.0, 2),
+                "est_program_speedup": round(item.est_program_speedup, 4),
+            }
+        )
+    return rows
+
+
+def plan_to_csv(plan: ParallelismPlan) -> str:
+    """The plan as CSV text (header + one row per recommendation)."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=_COLUMNS, lineterminator="\n")
+    writer.writeheader()
+    for row in plan_rows(plan):
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def plan_to_markdown(plan: ParallelismPlan) -> str:
+    """The plan as a GitHub-flavoured Markdown table."""
+    lines = [
+        f"**Parallelism plan** ({plan.personality} personality, "
+        f"{len(plan)} regions)",
+        "",
+        "| # | File (lines) | Region | Type | Self-P | Cov (%) | Est |",
+        "|---|---|---|---|---|---|---|",
+    ]
+    for row in plan_rows(plan):
+        lines.append(
+            f"| {row['rank']} | {row['location']} | `{row['region']}` "
+            f"| {row['type']} | {row['self_parallelism']:.1f} "
+            f"| {row['coverage_pct']:.1f} "
+            f"| {row['est_program_speedup']:.2f}x |"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,108 @@
+"""A classic gprof-style flat profile, derived from the same HCPA data.
+
+The paper frames Kremlin as "rethinking and rebooting gprof": self-
+parallelism is to parallelism what gprof's *self time* is to time. This
+module closes the loop by rendering the traditional gprof flat profile —
+self time, cumulative time, call counts — straight from the compressed
+parallelism profile, so the familiar serial view and the parallel view come
+from one run of one tool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hcpa.aggregate import AggregatedProfile
+from repro.report.tables import Table
+
+
+@dataclass(frozen=True)
+class FlatProfileRow:
+    """One function's line in the flat profile."""
+
+    name: str
+    self_work: int
+    total_work: int
+    calls: int
+    self_percent: float
+
+    @property
+    def average_total(self) -> float:
+        return self.total_work / self.calls if self.calls else 0.0
+
+
+def flat_profile(aggregated: AggregatedProfile) -> list[FlatProfileRow]:
+    """gprof-style rows, one per executed function, by decreasing self work.
+
+    *Self work* is everything a function executes outside its callees —
+    the function's exclusive work plus its own loops' work (gprof
+    attributes a function's loops to the function itself). Computed
+    context-exactly with one ascending pass over the compressed dictionary:
+    for each character, the work of function-region children reachable
+    without crossing another function region.
+    """
+    profile = aggregated.source_profile
+    if profile is None:
+        raise ValueError("aggregated profile lost its source profile")
+    entries = profile.dictionary.entries
+    regions = profile.regions
+    counts = profile.char_counts()
+
+    # callee_work[char]: work spent in called functions below this char,
+    # stopping at the first function region on each path.
+    callee_work = [0] * len(entries)
+    for char, entry in enumerate(entries):
+        total = 0
+        for child_char, count in entry.children:
+            child = entries[child_char]
+            if regions.region(child.static_id).is_function:
+                total += count * child.work
+            else:
+                total += count * callee_work[child_char]
+        callee_work[char] = total
+
+    per_function_self: dict[int, int] = {}
+    for char, entry in enumerate(entries):
+        if counts[char] == 0:
+            continue
+        if not regions.region(entry.static_id).is_function:
+            continue
+        self_work = max(0, entry.work - callee_work[char])
+        per_function_self[entry.static_id] = (
+            per_function_self.get(entry.static_id, 0) + counts[char] * self_work
+        )
+
+    total_program_work = aggregated.total_work or 1
+    rows = []
+    for static_id, self_work in per_function_self.items():
+        region_profile = aggregated.profiles[static_id]
+        rows.append(
+            FlatProfileRow(
+                name=region_profile.region.name,
+                self_work=self_work,
+                total_work=region_profile.work,
+                calls=region_profile.instances,
+                self_percent=100.0 * self_work / total_program_work,
+            )
+        )
+    rows.sort(key=lambda row: -row.self_work)
+    return rows
+
+
+def format_flat_profile(aggregated: AggregatedProfile) -> str:
+    """Render the classic gprof header and table."""
+    table = Table(
+        headers=["% self", "self work", "cumulative", "calls", "total/call", "name"]
+    )
+    cumulative = 0
+    for row in flat_profile(aggregated):
+        cumulative += row.self_work
+        table.add_row(
+            f"{row.self_percent:5.1f}",
+            row.self_work,
+            cumulative,
+            row.calls,
+            f"{row.average_total:.0f}",
+            row.name,
+        )
+    return "Flat profile (gprof view):\n" + table.render()

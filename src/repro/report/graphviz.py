@@ -1,0 +1,91 @@
+"""Graphviz (DOT) export of region structure.
+
+Two views:
+
+* :func:`static_region_dot` — the lexical region tree lowering built
+  (functions > loops > bodies);
+* :func:`dynamic_region_dot` — the observed dynamic region graph from a
+  profile (includes nesting created by calls), annotated with work,
+  self-parallelism, and coverage, with plan regions highlighted.
+
+Render with ``dot -Tsvg out.dot -o out.svg``.
+"""
+
+from __future__ import annotations
+
+from repro.hcpa.aggregate import AggregatedProfile
+from repro.instrument.regions import StaticRegionTree
+
+
+def _escape(text: str) -> str:
+    return text.replace('"', '\\"')
+
+
+def static_region_dot(regions: StaticRegionTree, name: str = "regions") -> str:
+    """The static region tree as a DOT digraph."""
+    lines = [f'digraph "{_escape(name)}" {{', "  node [shape=box, fontsize=10];"]
+    for region in regions:
+        shape = {
+            "function": "box",
+            "loop": "ellipse",
+            "body": "note",
+        }[region.kind.value]
+        label = f"{region.name}\\n{region.location}"
+        lines.append(
+            f'  r{region.id} [label="{_escape(label)}", shape={shape}];'
+        )
+    for region in regions:
+        for child_id in region.children_ids:
+            lines.append(f"  r{region.id} -> r{child_id};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def dynamic_region_dot(
+    aggregated: AggregatedProfile,
+    plan_regions=frozenset(),
+    name: str = "dynamic-regions",
+    include_bodies: bool = False,
+) -> str:
+    """The observed dynamic region graph, annotated with profile data."""
+    plan = frozenset(plan_regions)
+    lines = [f'digraph "{_escape(name)}" {{', "  node [shape=box, fontsize=10];"]
+
+    def keep(static_id: int) -> bool:
+        profile = aggregated.profiles.get(static_id)
+        if profile is None:
+            return False
+        return include_bodies or not profile.region.is_body
+
+    for static_id, profile in aggregated.profiles.items():
+        if not keep(static_id):
+            continue
+        region = profile.region
+        label = (
+            f"{region.name}\\n"
+            f"work {profile.work:,} ({profile.coverage:.1%})\\n"
+            f"SP {profile.self_parallelism:.1f}"
+        )
+        style = ' style=filled fillcolor="palegreen"' if static_id in plan else ""
+        lines.append(f'  r{static_id} [label="{_escape(label)}"{style}];')
+
+    def visible_targets(static_id: int, seen: set[int]) -> set[int]:
+        """Children, skipping over hidden (body) nodes."""
+        out: set[int] = set()
+        for child in aggregated.children_of(static_id):
+            if child in seen:
+                continue
+            seen.add(child)
+            if keep(child):
+                out.add(child)
+            else:
+                out |= visible_targets(child, seen)
+        return out
+
+    for static_id in aggregated.profiles:
+        if not keep(static_id):
+            continue
+        for target in sorted(visible_targets(static_id, {static_id})):
+            lines.append(f"  r{static_id} -> r{target};")
+    lines.append("}")
+    return "\n".join(lines)

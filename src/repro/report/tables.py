@@ -1,0 +1,84 @@
+"""Plain-text tables, including the Figure 3 plan rendering.
+
+Figure 3 of the paper::
+
+    $> kremlin tracking --personality=openmp
+         File (lines)               Self-P    Cov (%)
+    1    imageBlur.c (49-58)        145.3     9.7
+    2    imageBlur.c (37-45)        145.3     8.7
+    ...
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hcpa.aggregate import AggregatedProfile
+from repro.planner.plan import ParallelismPlan
+
+
+@dataclass
+class Table:
+    """A minimal fixed-width text table."""
+
+    headers: list[str]
+    rows: list[list[str]] = field(default_factory=list)
+
+    def add_row(self, *cells) -> None:
+        self.rows.append([str(cell) for cell in cells])
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [
+            "  ".join(h.ljust(w) for h, w in zip(self.headers, widths)).rstrip()
+        ]
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append(
+                "  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip()
+            )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def format_plan(plan: ParallelismPlan, limit: int | None = None) -> str:
+    """Render a plan in the paper's Figure 3 layout."""
+    table = Table(headers=["#", "File (lines)", "Self-P", "Cov (%)", "Type", "Est"])
+    items = plan.items if limit is None else plan.items[:limit]
+    for rank, item in enumerate(items, start=1):
+        table.add_row(
+            rank,
+            item.location,
+            f"{item.self_parallelism:.1f}",
+            f"{item.coverage * 100:.1f}",
+            item.classification,
+            f"{item.est_program_speedup:.2f}x",
+        )
+    header = (
+        f"Parallelism plan ({plan.personality} personality, "
+        f"{len(plan.items)} regions)"
+    )
+    return f"{header}\n{table.render()}"
+
+
+def format_region_table(aggregated: AggregatedProfile) -> str:
+    """Dump every executed plannable region's profile (discovery view)."""
+    table = Table(
+        headers=["Region", "Kind", "Location", "Work", "Self-P", "Total-P", "Cov (%)"]
+    )
+    for profile in aggregated.plannable():
+        table.add_row(
+            profile.region.name,
+            profile.region.kind.value,
+            profile.region.location,
+            profile.work,
+            f"{profile.self_parallelism:.1f}",
+            f"{profile.total_parallelism:.1f}",
+            f"{profile.coverage * 100:.1f}",
+        )
+    return table.render()

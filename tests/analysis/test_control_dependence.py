@@ -1,0 +1,123 @@
+"""Control-dependence analysis tests."""
+
+from repro.analysis.control_dependence import compute_control_dependence
+from repro.ir.instructions import Branch
+from tests.conftest import compile_source
+
+
+def analyze(source, name="main"):
+    program = compile_source(source)
+    function = program.module.function(name)
+    return program, function, compute_control_dependence(function)
+
+
+class TestBranchJoins:
+    def test_if_join(self):
+        _, function, info = analyze(
+            """
+            int main() {
+              int x = 1;
+              if (x > 0) { x = 2; }
+              return x;
+            }
+            """
+        )
+        branch_block = function.entry
+        assert isinstance(branch_block.terminator, Branch)
+        join = info.branch_join[branch_block]
+        assert join.label == "if.join2"
+
+    def test_if_else_join(self):
+        _, function, info = analyze(
+            """
+            int main() {
+              int x = 1;
+              if (x > 0) { x = 2; } else { x = 3; }
+              return x;
+            }
+            """
+        )
+        join = info.branch_join[function.entry]
+        assert join.label == "if.join2"
+
+    def test_branch_with_return_arm_joins_at_exit(self):
+        _, function, info = analyze(
+            """
+            int main() {
+              int x = 1;
+              if (x > 0) { return 1; }
+              return 2;
+            }
+            """
+        )
+        # One arm returns: influence lasts until the virtual exit.
+        assert info.branch_join[function.entry] is None
+
+    def test_loop_header_join_is_loop_exit(self):
+        _, function, info = analyze(
+            "int main() { int s = 0; for (int i = 0; i < 3; i++) s += i; return s; }"
+        )
+        header = function.block_by_label("loop.header1")
+        assert info.branch_join[header].label == "loop.exit3"
+
+
+class TestDependenceRelation:
+    def test_then_block_depends_on_branch(self):
+        _, function, info = analyze(
+            """
+            int main() {
+              int x = 1;
+              if (x > 0) { x = 2; }
+              return x;
+            }
+            """
+        )
+        then_block = function.block_by_label("if.then1")
+        assert function.entry in info.controlling_branches(then_block)
+
+    def test_join_does_not_depend_on_branch(self):
+        _, function, info = analyze(
+            """
+            int main() {
+              int x = 1;
+              if (x > 0) { x = 2; }
+              return x;
+            }
+            """
+        )
+        join = function.block_by_label("if.join2")
+        assert function.entry not in info.controlling_branches(join)
+
+    def test_loop_body_depends_on_header(self):
+        _, function, info = analyze(
+            "int main() { int s = 0; for (int i = 0; i < 3; i++) s += i; return s; }"
+        )
+        body = function.block_by_label("loop.body4")
+        header = function.block_by_label("loop.header1")
+        assert header in info.controlling_branches(body)
+
+    def test_nested_if_dependence_chains(self):
+        _, function, info = analyze(
+            """
+            int main() {
+              int x = 1;
+              if (x > 0) {
+                if (x > 1) { x = 5; }
+              }
+              return x;
+            }
+            """
+        )
+        inner_then = function.block_by_label("if.then3")
+        controlling = info.controlling_branches(inner_then)
+        # FOW control dependence is direct (not transitive): the inner then
+        # depends only on the inner branch, which lives in if.then1; the
+        # chain to the outer branch flows through if.then1's own dependence.
+        assert controlling == {function.block_by_label("if.then1")}
+        outer_dep = info.controlling_branches(function.block_by_label("if.then1"))
+        assert outer_dep == {function.entry}
+
+    def test_straight_line_code_has_no_dependences(self):
+        _, function, info = analyze("int main() { int x = 1; x = x + 1; return x; }")
+        assert info.branch_join == {}
+        assert all(not deps for deps in info.dependences.values())

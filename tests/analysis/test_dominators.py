@@ -1,0 +1,167 @@
+"""Dominator / postdominator tests over lowered CFGs."""
+
+from repro.analysis.cfg import postorder, predecessor_map, reachable_blocks, reverse_postorder
+from repro.analysis.dominators import dominator_tree, postdominator_tree
+from tests.conftest import compile_source
+
+
+def get_cfg(source, name="main"):
+    program = compile_source(source)
+    return program.module.function(name)
+
+
+DIAMOND = """
+int main() {
+  int x = 1;
+  if (x > 0) { x = 2; } else { x = 3; }
+  return x;
+}
+"""
+
+LOOP = """
+int main() {
+  int s = 0;
+  for (int i = 0; i < 4; i++) { s += i; }
+  return s;
+}
+"""
+
+
+def block(function, label):
+    return function.block_by_label(label)
+
+
+class TestCfgUtilities:
+    def test_reachable_includes_entry_first(self):
+        function = get_cfg(DIAMOND)
+        blocks = reachable_blocks(function)
+        assert blocks[0] is function.entry
+        assert set(blocks) == set(function.blocks)
+
+    def test_predecessor_map_consistency(self):
+        function = get_cfg(LOOP)
+        preds = predecessor_map(function)
+        for blk, pred_list in preds.items():
+            for pred in pred_list:
+                assert blk in pred.successors
+
+    def test_postorder_visits_all_reachable(self):
+        function = get_cfg(LOOP)
+        assert set(postorder(function)) == set(reachable_blocks(function))
+
+    def test_reverse_postorder_entry_first(self):
+        function = get_cfg(LOOP)
+        order = reverse_postorder(function)
+        assert order[0] is function.entry
+
+    def test_rpo_parents_before_children_in_dag(self):
+        function = get_cfg(DIAMOND)
+        order = reverse_postorder(function)
+        index = {b: i for i, b in enumerate(order)}
+        # In an acyclic CFG every edge goes forward in RPO.
+        for blk in order:
+            for successor in blk.successors:
+                assert index[successor] > index[blk]
+
+
+class TestDominators:
+    def test_entry_dominates_everything(self):
+        function = get_cfg(DIAMOND)
+        dom = dominator_tree(function)
+        for blk in reachable_blocks(function):
+            assert dom.dominates(function.entry, blk)
+
+    def test_dominance_is_reflexive(self):
+        function = get_cfg(DIAMOND)
+        dom = dominator_tree(function)
+        for blk in reachable_blocks(function):
+            assert dom.dominates(blk, blk)
+
+    def test_branch_arms_dominated_only_by_entry_chain(self):
+        function = get_cfg(DIAMOND)
+        dom = dominator_tree(function)
+        then_block = block(function, "if.then1")
+        else_block = block(function, "if.else3")
+        join = block(function, "if.join2")
+        assert not dom.dominates(then_block, join)
+        assert not dom.dominates(else_block, join)
+        assert dom.idom[join] is function.entry
+
+    def test_loop_header_dominates_body_and_latch(self):
+        function = get_cfg(LOOP)
+        dom = dominator_tree(function)
+        header = block(function, "loop.header1")
+        body = block(function, "loop.body4")
+        latch = block(function, "loop.latch2")
+        assert dom.dominates(header, body)
+        assert dom.dominates(header, latch)
+        assert dom.strictly_dominates(header, body)
+
+    def test_depth(self):
+        function = get_cfg(LOOP)
+        dom = dominator_tree(function)
+        assert dom.depth(function.entry) == 0
+        header = block(function, "loop.header1")
+        assert dom.depth(header) == 1
+
+    def test_children_partition(self):
+        function = get_cfg(DIAMOND)
+        dom = dominator_tree(function)
+        children = dom.children(function.entry)
+        # entry immediately dominates then/else/join
+        assert len(children) == 3
+
+
+class TestPostdominators:
+    def test_virtual_exit_postdominates_all(self):
+        function = get_cfg(DIAMOND)
+        pdom = postdominator_tree(function)
+        for blk in reachable_blocks(function):
+            assert pdom.dominates(None, blk)
+
+    def test_join_postdominates_branch_arms(self):
+        function = get_cfg(DIAMOND)
+        pdom = postdominator_tree(function)
+        join = block(function, "if.join2")
+        assert pdom.dominates(join, block(function, "if.then1"))
+        assert pdom.dominates(join, block(function, "if.else3"))
+        assert pdom.idom[function.entry] is join
+
+    def test_loop_exit_postdominates_header(self):
+        function = get_cfg(LOOP)
+        pdom = postdominator_tree(function)
+        header = block(function, "loop.header1")
+        exit_block = block(function, "loop.exit3")
+        assert pdom.idom[header] is exit_block
+
+    def test_multiple_returns(self):
+        function = get_cfg(
+            """
+            int main() {
+              int x = 1;
+              if (x > 0) { return 1; }
+              return 2;
+            }
+            """
+        )
+        pdom = postdominator_tree(function)
+        # The only common postdominator of both returns is the virtual exit.
+        assert pdom.idom[function.entry] is None
+
+    def test_break_only_loop(self):
+        function = get_cfg(
+            """
+            int main() {
+              int i = 0;
+              while (1) {
+                i++;
+                if (i > 3) break;
+              }
+              return i;
+            }
+            """
+        )
+        pdom = postdominator_tree(function)
+        # Every reachable block except the virtual exit must have an ipd.
+        for blk in reachable_blocks(function):
+            assert blk in pdom.idom

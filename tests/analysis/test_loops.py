@@ -1,0 +1,165 @@
+"""Natural-loop detection tests, cross-checked against lowering's regions."""
+
+from repro.analysis.loops import find_natural_loops
+from tests.conftest import compile_source
+
+
+def loops_of(source, name="main"):
+    program = compile_source(source)
+    function = program.module.function(name)
+    return program, function, find_natural_loops(function)
+
+
+class TestLoopDetection:
+    def test_no_loops(self):
+        _, _, forest = loops_of("int main() { return 0; }")
+        assert forest.loops == []
+
+    def test_single_for_loop(self):
+        _, function, forest = loops_of(
+            "int main() { int s = 0; for (int i = 0; i < 3; i++) s += i; return s; }"
+        )
+        assert len(forest.loops) == 1
+        loop = forest.loops[0]
+        assert loop.header.label == "loop.header1"
+        assert loop.parent is None
+        assert loop.depth == 1
+
+    def test_while_loop(self):
+        _, _, forest = loops_of(
+            "int main() { int i = 0; while (i < 5) { i++; } return i; }"
+        )
+        assert len(forest.loops) == 1
+
+    def test_do_while_loop(self):
+        _, _, forest = loops_of(
+            "int main() { int i = 0; do { i++; } while (i < 5); return i; }"
+        )
+        assert len(forest.loops) == 1
+
+    def test_nested_loops_nest(self):
+        _, _, forest = loops_of(
+            """
+            int main() {
+              int s = 0;
+              for (int i = 0; i < 3; i++) {
+                for (int j = 0; j < 3; j++) {
+                  s += i * j;
+                }
+              }
+              return s;
+            }
+            """
+        )
+        assert len(forest.loops) == 2
+        inner = next(l for l in forest.loops if l.parent is not None)
+        outer = next(l for l in forest.loops if l.parent is None)
+        assert inner.parent is outer
+        assert inner.depth == 2
+        assert outer.children == [inner]
+        assert inner.blocks < outer.blocks
+
+    def test_sequential_loops_are_siblings(self):
+        _, _, forest = loops_of(
+            """
+            int main() {
+              int s = 0;
+              for (int i = 0; i < 3; i++) s += i;
+              for (int j = 0; j < 3; j++) s += j;
+              return s;
+            }
+            """
+        )
+        assert len(forest.loops) == 2
+        assert all(l.parent is None for l in forest.loops)
+        headers = {l.header for l in forest.loops}
+        assert len(headers) == 2
+
+    def test_innermost_loop_wins_block_assignment(self):
+        _, _, forest = loops_of(
+            """
+            int main() {
+              int s = 0;
+              for (int i = 0; i < 2; i++) {
+                s += 1;
+                for (int j = 0; j < 2; j++) { s += 2; }
+              }
+              return s;
+            }
+            """
+        )
+        inner = next(l for l in forest.loops if l.parent is not None)
+        for blk in inner.blocks:
+            assert forest.loop_of(blk) is inner
+
+    def test_loop_count_matches_region_tree(self):
+        program, function, forest = loops_of(
+            """
+            int main() {
+              int s = 0;
+              for (int i = 0; i < 2; i++) {
+                int j = 0;
+                while (j < 2) {
+                  j++;
+                  do { s += 1; } while (s % 7 != 0);
+                }
+              }
+              return s;
+            }
+            """
+        )
+        loop_regions = [
+            r
+            for r in program.regions.loops()
+            if r.function_name == "main"
+        ]
+        assert len(forest.loops) == len(loop_regions) == 3
+
+    def test_nesting_depths_match_region_tree(self):
+        program, function, forest = loops_of(
+            """
+            int main() {
+              int s = 0;
+              for (int i = 0; i < 2; i++)
+                for (int j = 0; j < 2; j++)
+                  for (int k = 0; k < 2; k++)
+                    s += i + j + k;
+              return s;
+            }
+            """
+        )
+        natural_depths = sorted(l.depth for l in forest.loops)
+        region_depths = sorted(
+            r.loop_depth for r in program.regions.loops() if r.function_name == "main"
+        )
+        assert natural_depths == region_depths == [1, 2, 3]
+
+    def test_break_keeps_loop_detected(self):
+        _, _, forest = loops_of(
+            """
+            int main() {
+              int i = 0;
+              while (1) { i++; if (i == 4) break; }
+              return i;
+            }
+            """
+        )
+        assert len(forest.loops) == 1
+
+    def test_continue_block_inside_loop(self):
+        _, _, forest = loops_of(
+            """
+            int main() {
+              int s = 0;
+              for (int i = 0; i < 9; i++) {
+                if (i % 2 == 0) continue;
+                s += i;
+              }
+              return s;
+            }
+            """
+        )
+        loop = forest.loops[0]
+        # the latch (continue target) must be part of the loop
+        labels = {b.label for b in loop.blocks}
+        assert any(label.startswith("loop.latch") for label in labels)

@@ -1,0 +1,168 @@
+"""Per-benchmark behavioural assertions beyond basic health.
+
+These pin the *parallelism structure* each port was built to exhibit — the
+properties the paper's evaluation relies on.
+"""
+
+import pytest
+
+from repro.bench_suite import run_benchmark
+from repro.planner import OpenMPPlanner
+
+
+def profiles_of(name):
+    result = run_benchmark(name)
+    return result, {p.region.name: p for p in result.aggregated.plannable()}
+
+
+class TestBt:
+    def test_line_solves_doall_across_lines(self):
+        _, profiles = profiles_of("bt")
+        for name in ("x_solve#loop1", "x_solve#loop3", "y_solve#loop1", "y_solve#loop3"):
+            outer = profiles[name]
+            assert outer.self_parallelism > 0.5 * outer.average_iterations, name
+
+    def test_sweep_inner_loops_serial(self):
+        _, profiles = profiles_of("bt")
+        # forward elimination along a line is a recurrence
+        assert profiles["x_solve#loop2"].self_parallelism < 4.0
+        assert profiles["y_solve#loop2"].self_parallelism < 4.0
+
+    def test_rhs_nests_doall(self):
+        _, profiles = profiles_of("bt")
+        for name in ("compute_rhs#loop1", "compute_rhs#loop3", "add#loop1"):
+            assert profiles[name].is_doall, name
+
+    def test_plan_prefers_outer_loops(self):
+        result, _ = profiles_of("bt")
+        plan = OpenMPPlanner().plan(result.aggregated)
+        for item in plan:
+            # all selected loops are outer loops of their nests
+            assert item.region.loop_depth == 1
+
+
+class TestSp:
+    def test_eta_solve_parallel_but_not_in_manual(self):
+        result, profiles = profiles_of("sp")
+        manual_names = {
+            result.program.regions.region(rid).name for rid in result.manual_plan
+        }
+        assert not any(name.startswith("y_solve") for name in manual_names)
+        outer = profiles["y_solve#loop1"]
+        assert outer.self_parallelism > 0.5 * outer.average_iterations
+
+    def test_kremlin_finds_eta_solve(self):
+        result, _ = profiles_of("sp")
+        plan = OpenMPPlanner().plan(result.aggregated)
+        assert any(name.startswith("y_solve") for name in plan.region_names)
+
+
+class TestCg:
+    def test_matvec_outer_doall_inner_reduction(self):
+        _, profiles = profiles_of("cg")
+        outer = profiles["matvec#loop1"]
+        assert outer.is_doall
+        inner = profiles["matvec#loop2"]
+        assert inner.self_parallelism > 5  # reduction broken
+
+    def test_cg_iteration_loop_serial(self):
+        _, profiles = profiles_of("cg")
+        # main#loop2 is the CG iteration loop: iterations are dependent.
+        assert profiles["main#loop2"].self_parallelism < 3.0
+
+    def test_dot_product_parallel(self):
+        _, profiles = profiles_of("cg")
+        assert profiles["dot#loop1"].self_parallelism > 50
+
+
+class TestFt:
+    def test_line_sweeps_parallel_across_lines(self):
+        _, profiles = profiles_of("ft")
+        for name in ("cffts_rows#loop1", "cffts_cols#loop1"):
+            sweep = profiles[name]
+            assert sweep.self_parallelism > 0.7 * sweep.average_iterations, name
+
+    def test_butterfly_stage_loop_serial(self):
+        _, profiles = profiles_of("ft")
+        # stages of one FFT are strictly ordered
+        assert profiles["fft_line#loop4"].self_parallelism < 5.0
+
+    def test_shared_fft_line_not_double_counted_by_planner(self):
+        """The context-sensitive DP must pick both outer sweeps instead of
+        the fft_line internals shared between them."""
+        result, _ = profiles_of("ft")
+        plan = OpenMPPlanner().plan(result.aggregated)
+        names = set(plan.region_names)
+        assert "cffts_rows#loop1" in names
+        assert "cffts_cols#loop1" in names
+        assert not any(name.startswith("fft_line") for name in names)
+
+
+class TestAmmp:
+    def test_nonbonded_outer_doall(self):
+        _, profiles = profiles_of("ammp")
+        outer = profiles["update_nonbon#loop1"]
+        assert outer.is_doall
+        assert outer.coverage > 0.5
+
+    def test_kinetic_energy_parallel_but_too_small(self):
+        """The paper's §5.1 observation: ammp's reduction loop has real
+        parallelism but too little work to amortize OpenMP overheads — the
+        planner must reject it on the instance-work threshold."""
+        result, profiles = profiles_of("ammp")
+        kinetic = profiles["kinetic_energy#loop1"]
+        assert kinetic.self_parallelism > 20  # genuinely parallel...
+        plan = OpenMPPlanner().plan(result.aggregated)
+        assert "kinetic_energy#loop1" not in plan.region_names  # ...rejected
+
+    def test_bonded_forces_serial_chain(self):
+        _, profiles = profiles_of("ammp")
+        # fx[i] -= f(px[i], px[i-1]): neighbours overlap, but the loop reads
+        # only position arrays (written elsewhere), so it is parallel here.
+        assert profiles["bonded_forces#loop1"].self_parallelism > 10
+
+
+class TestArt:
+    def test_window_scan_serial_through_training(self):
+        _, profiles = profiles_of("art")
+        # training updates weights read by the next window's activation
+        assert profiles["main#loop4"].self_parallelism < 4.0
+
+    def test_layer_loops_parallel(self):
+        _, profiles = profiles_of("art")
+        assert profiles["compute_f1#loop1"].self_parallelism > 20
+        assert profiles["compute_f2#loop1"].self_parallelism > 5
+
+    def test_winner_search_serial(self):
+        _, profiles = profiles_of("art")
+        assert profiles["find_winner#loop1"].self_parallelism < 12
+
+
+class TestEquake:
+    def test_smvp_structure(self):
+        _, profiles = profiles_of("equake")
+        assert profiles["smvp#loop1"].is_doall
+        assert profiles["smvp#loop1"].coverage > 0.4
+
+    def test_time_loop_serial(self):
+        _, profiles = profiles_of("equake")
+        assert profiles["main#loop1"].self_parallelism < 4.0
+
+    def test_integration_loops_doall(self):
+        _, profiles = profiles_of("equake")
+        for name in ("time_integration#loop1", "time_integration#loop2"):
+            assert profiles[name].is_doall, name
+
+
+class TestMg:
+    def test_stencils_doall(self):
+        _, profiles = profiles_of("mg")
+        for name in ("resid_fine#loop1", "smooth_fine#loop1", "restrict_grid#loop1"):
+            assert profiles[name].is_doall, name
+
+    def test_gauss_seidel_coarse_smoother_not_doall(self):
+        _, profiles = profiles_of("mg")
+        # smooth_coarse reads updated neighbours: wavefront, not DOALL.
+        sweep = profiles["smooth_coarse#loop2"]
+        assert not sweep.is_doall
+        assert sweep.self_parallelism < 0.7 * sweep.average_iterations

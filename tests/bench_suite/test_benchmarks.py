@@ -1,0 +1,180 @@
+"""Benchmark suite health: every program compiles, runs, profiles, and its
+MANUAL plan resolves. Per-benchmark behavioural expectations live here too.
+
+These reuse the process-wide profile cache (`run_benchmark`), so the suite
+profiles each program exactly once no matter how many tests touch it.
+"""
+
+import math
+
+import pytest
+
+from repro.bench_suite import (
+    all_benchmarks,
+    evaluation_benchmarks,
+    get_benchmark,
+    run_benchmark,
+)
+from repro.planner import OpenMPPlanner
+
+ALL_NAMES = [b.name for b in all_benchmarks()]
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+class TestEveryBenchmark:
+    def test_compiles_and_runs(self, name):
+        result = run_benchmark(name)
+        assert result.run.value is not None
+        assert result.run.instructions_retired > 50_000
+
+    def test_manual_plan_resolves(self, name):
+        result = run_benchmark(name)
+        manual = result.benchmark.manual_regions
+        assert len(result.manual_plan) == len(manual)
+        region_names = {
+            result.program.regions.region(rid).name for rid in result.manual_plan
+        }
+        assert region_names == set(manual)
+
+    def test_profile_is_well_formed(self, name):
+        result = run_benchmark(name)
+        profile = result.profile
+        assert profile.total_work > 0
+        for entry in profile.dictionary.entries:
+            assert 0 <= entry.cp <= entry.work
+
+    def test_kremlin_plan_nonempty(self, name):
+        result = run_benchmark(name)
+        plan = OpenMPPlanner().plan(result.aggregated)
+        assert len(plan) >= 1
+
+    def test_compression_is_substantial(self, name):
+        from repro.hcpa import compression_stats
+
+        stats = compression_stats(run_benchmark(name).profile)
+        assert stats.ratio > 20
+
+
+class TestRegistry:
+    def test_twelve_benchmarks(self):
+        assert len(ALL_NAMES) == 12
+
+    def test_eleven_evaluation_benchmarks(self):
+        names = {b.name for b in evaluation_benchmarks()}
+        assert names == {
+            "bt", "cg", "ep", "ft", "is", "lu", "mg", "sp",
+            "ammp", "art", "equake",
+        }
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            get_benchmark("linpack")
+
+    def test_cache_returns_same_object(self):
+        assert run_benchmark("ep") is run_benchmark("ep")
+
+
+class TestEp:
+    def test_single_region_plans(self):
+        result = run_benchmark("ep")
+        plan = OpenMPPlanner().plan(result.aggregated)
+        assert plan.region_names == ["main#loop1"]
+        assert result.manual_plan == plan.region_ids  # overlap 1/1
+
+    def test_sample_loop_is_massively_parallel(self):
+        result = run_benchmark("ep")
+        loop = next(
+            p for p in result.aggregated.plannable()
+            if p.region.name == "main#loop1"
+        )
+        assert loop.self_parallelism > 1000
+        assert loop.is_doall
+
+
+class TestIs:
+    def test_kremlin_and_manual_plans_disjoint(self):
+        """The paper's is row: plan sizes 1 and 1, overlap 0."""
+        result = run_benchmark("is")
+        plan = OpenMPPlanner().plan(result.aggregated)
+        assert len(plan) == 1
+        assert not set(plan.region_ids) & set(result.manual_plan)
+
+    def test_kremlin_recommends_coarse_pass_loop(self):
+        result = run_benchmark("is")
+        plan = OpenMPPlanner().plan(result.aggregated)
+        assert plan.region_names == ["main#loop1"]
+
+    def test_pass_loop_parallel_despite_shared_count_array(self):
+        result = run_benchmark("is")
+        loop = next(
+            p for p in result.aggregated.plannable()
+            if p.region.name == "main#loop1"
+        )
+        # 8 passes; the count[] reset kills cross-pass true dependences.
+        assert loop.self_parallelism == pytest.approx(8, rel=0.2)
+
+
+class TestLu:
+    def test_wavefronts_are_doacross(self):
+        result = run_benchmark("lu")
+        for name in ("blts#loop1", "buts#loop1"):
+            sweep = next(
+                p for p in result.aggregated.plannable() if p.region.name == name
+            )
+            assert not sweep.is_doall
+            n = sweep.average_iterations
+            assert 3.0 < sweep.self_parallelism < 0.7 * n
+
+    def test_planner_still_selects_wavefronts(self):
+        """DOACROSS regions with enough coverage clear the 3% threshold."""
+        result = run_benchmark("lu")
+        plan = OpenMPPlanner().plan(result.aggregated)
+        assert "blts#loop1" in plan.region_names
+        assert "buts#loop1" in plan.region_names
+
+
+class TestTracking:
+    def test_figure2_localization(self):
+        """fillFeatures: only the innermost (k) loop is parallel."""
+        result = run_benchmark("tracking")
+        profiles = {p.region.name: p for p in result.aggregated.plannable()}
+        k_loop = profiles["fillFeatures#loop3"]
+        j_loop = profiles["fillFeatures#loop2"]
+        i_loop = profiles["fillFeatures#loop1"]
+        assert k_loop.self_parallelism > 0.8 * k_loop.average_iterations
+        assert i_loop.self_parallelism < 3.0
+        assert j_loop.self_parallelism < 0.5 * j_loop.average_iterations
+
+    def test_figure3_plan_has_blur_and_sobel(self):
+        result = run_benchmark("tracking")
+        plan = OpenMPPlanner().plan(result.aggregated)
+        names = set(plan.region_names)
+        assert any("imageBlur" in n for n in names)
+        assert any("calcSobel" in n for n in names)
+
+    def test_blur_passes_report_similar_sp(self):
+        """Figure 3 shows imageBlur's two passes with identical Self-P."""
+        result = run_benchmark("tracking")
+        profiles = {p.region.name: p for p in result.aggregated.plannable()}
+        first = profiles["imageBlur#loop1"].self_parallelism
+        second = profiles["imageBlur#loop3"].self_parallelism
+        assert first == pytest.approx(second, rel=0.25)
+
+
+class TestSelfChecks:
+    def test_ep_accepts_reasonable_fraction(self):
+        # acceptance-rejection admits ~pi/4 of samples in the unit square
+        result = run_benchmark("ep")
+        accepted = int(result.run.output[0].split()[2])
+        fraction = accepted / 6000.0
+        assert 0.6 < fraction < 0.95
+
+    def test_cg_converges(self):
+        result = run_benchmark("cg")
+        rnorm = float(result.run.output[0].split()[2])
+        assert math.isfinite(rnorm)
+
+    def test_mg_norm_finite_positive(self):
+        result = run_benchmark("mg")
+        norm = float(result.run.output[0].split()[2])
+        assert math.isfinite(norm) and norm >= 0

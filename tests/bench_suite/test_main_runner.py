@@ -1,0 +1,20 @@
+"""Tests for the `python -m repro.bench_suite` reproduction runner."""
+
+from repro.bench_suite.__main__ import main
+
+
+class TestRunner:
+    def test_subset_table(self, capsys):
+        assert main(["ep"]) == 0
+        captured = capsys.readouterr()
+        assert "Kremlin" in captured.out
+        assert "ep" in captured.out
+        assert "compression" in captured.out
+        # progress goes to stderr, the table to stdout
+        assert "profiling ep" in captured.err
+
+    def test_overall_row_with_multiple(self, capsys):
+        assert main(["ep", "is"]) == 0
+        out = capsys.readouterr().out
+        assert "overall" in out
+        assert "fewer regions" in out

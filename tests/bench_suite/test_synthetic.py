@@ -1,0 +1,104 @@
+"""Discovery-accuracy validation on generated workloads.
+
+The synthetic generator labels every phase with its parallelism class by
+construction; HCPA must recover those labels. This is the systematic
+counterpart to the hand-written canonical tests.
+"""
+
+import pytest
+
+from repro.bench_suite.synthetic import (
+    EXPECTED_SP_RANGE,
+    PHASE_KINDS,
+    generate_program,
+)
+from repro.hcpa import aggregate_profile
+from repro.instrument import kremlin_cc
+from repro.kremlib import profile_program
+from repro.planner import OpenMPPlanner
+
+
+def discover(program_spec):
+    program = kremlin_cc(program_spec.source, f"synthetic{program_spec.seed}.c")
+    profile, run = profile_program(program)
+    aggregated = aggregate_profile(profile)
+    by_name = {p.region.name: p for p in aggregated.plannable()}
+    return program, aggregated, by_name
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = generate_program(n_phases=4, seed=7)
+        b = generate_program(n_phases=4, seed=7)
+        assert a.source == b.source
+        assert [p.kind for p in a.phases] == [p.kind for p in b.phases]
+
+    def test_seed_changes_mix(self):
+        kinds = {
+            tuple(p.kind for p in generate_program(n_phases=6, seed=s).phases)
+            for s in range(5)
+        }
+        assert len(kinds) > 1
+
+    def test_every_kind_generable(self):
+        for kind in PHASE_KINDS:
+            spec = generate_program(n_phases=1, seed=0, kinds=(kind,))
+            assert spec.phases[0].kind == kind
+            # and it must be valid MiniC
+            kremlin_cc(spec.source)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_discovery_recovers_ground_truth(seed):
+    """For randomized phase mixes, every phase's measured self-parallelism
+    must fall in its class's expected band."""
+    spec = generate_program(n_phases=5, seed=seed, iterations=192)
+    _, _, by_name = discover(spec)
+    for phase in spec.phases:
+        profile = by_name[phase.region_name]
+        low, high = EXPECTED_SP_RANGE[phase.kind]
+        sp_fraction = profile.self_parallelism / phase.iterations
+        assert low <= sp_fraction <= high, (
+            f"seed {seed} phase {phase.index} ({phase.kind}): "
+            f"SP={profile.self_parallelism:.1f} over {phase.iterations} "
+            f"iterations -> fraction {sp_fraction:.2f} outside [{low}, {high}]"
+        )
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_planner_selects_only_parallel_phases(seed):
+    """The OpenMP plan must never contain a serial phase, and must contain
+    every heavyweight DOALL phase."""
+    spec = generate_program(n_phases=6, seed=seed, iterations=1024)
+    _, aggregated, by_name = discover(spec)
+    plan = OpenMPPlanner().plan(aggregated)
+    planned = set(plan.region_names)
+
+    serial_regions = {
+        p.region_name for p in spec.phases if p.kind == "serial"
+    }
+    assert not planned & serial_regions
+
+    for phase in spec.phases:
+        if phase.kind == "doall":
+            assert phase.region_name in planned, (
+                f"seed {seed}: heavyweight doall phase {phase.index} missing"
+            )
+
+
+def test_all_serial_program_plans_no_phase():
+    spec = generate_program(n_phases=4, seed=1, kinds=("serial",))
+    _, aggregated, _ = discover(spec)
+    plan = OpenMPPlanner().plan(aggregated)
+    phase_regions = {p.region_name for p in spec.phases}
+    # main's init loops are genuine DOALLs and may be planned; none of the
+    # serial phases may be.
+    assert not set(plan.region_names) & phase_regions
+
+
+def test_all_doall_program_plans_every_phase():
+    spec = generate_program(n_phases=4, seed=2, iterations=1024, kinds=("doall",))
+    _, aggregated, _ = discover(spec)
+    plan = OpenMPPlanner().plan(aggregated)
+    phase_regions = {p.region_name for p in spec.phases}
+    assert phase_regions <= set(plan.region_names)

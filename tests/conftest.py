@@ -1,0 +1,96 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import analyze
+from repro.hcpa.aggregate import aggregate_profile
+from repro.instrument.compile import kremlin_cc
+from repro.interp.interpreter import Interpreter
+from repro.kremlib.profiler import profile_program
+
+
+def compile_source(source: str, filename: str = "test.c"):
+    return kremlin_cc(source, filename)
+
+
+def run_source(source: str, entry: str = "main", args: tuple = ()):
+    """Compile and execute without profiling; returns RunResult."""
+    program = kremlin_cc(source, "test.c")
+    return Interpreter(program).run(entry=entry, args=args)
+
+
+def profile_source(source: str):
+    """Compile, profile, aggregate. Returns (program, profile, aggregated)."""
+    program = kremlin_cc(source, "test.c")
+    profile, _run = profile_program(program)
+    return program, profile, aggregate_profile(profile)
+
+
+def region_profile(aggregated, name: str):
+    """Find a region profile by region name."""
+    for profile in aggregated.profiles.values():
+        if profile.region.name == name:
+            return profile
+    raise KeyError(f"no region named {name!r}")
+
+
+@pytest.fixture(scope="session")
+def canonical_loops_report():
+    """One profiled program containing the canonical loop shapes used by
+    many HCPA tests: DOALL, serial recurrence, scalar reduction, histogram,
+    and wavefront."""
+    source = """
+    float a[512];
+    float b[512];
+    int hist[16];
+    float acc;
+
+    void doall(int n) {
+      for (int i = 0; i < n; i++) {
+        a[i] = a[i] * 2.0 + 1.0;
+      }
+    }
+
+    void serial_chain(int n) {
+      float x = 1.0;
+      for (int i = 0; i < n; i++) {
+        x = x * 0.99 + 0.1;
+      }
+      b[0] = x;
+    }
+
+    void reduction(int n) {
+      float s = 0.0;
+      for (int i = 0; i < n; i++) {
+        s += a[i] * b[i];
+      }
+      acc = s;
+    }
+
+    void histogram(int n) {
+      for (int i = 0; i < n; i++) {
+        hist[(i * 7 + 3) % 16] += 1;
+      }
+    }
+
+    void wavefront(int n) {
+      for (int i = 1; i < n; i++) {
+        a[i] = a[i - 1] * 0.5 + b[i];
+      }
+    }
+
+    int main() {
+      for (int i = 0; i < 512; i++) {
+        b[i] = (float) i * 0.25;
+      }
+      doall(512);
+      serial_chain(512);
+      reduction(512);
+      histogram(512);
+      wavefront(512);
+      return 0;
+    }
+    """
+    return analyze(source, "canonical.c")

@@ -1,0 +1,88 @@
+"""Speedup-curve (Kismet-style bound) tests."""
+
+import pytest
+
+from repro.exec_model.curve import (
+    CurvePoint,
+    format_curve,
+    saturation_point,
+    speedup_curve,
+    upperbound_curve,
+)
+from repro.exec_model.machine import CORE_SWEEP
+from repro.planner import OpenMPPlanner
+from tests.conftest import profile_source
+
+
+@pytest.fixture(scope="module")
+def planned_program():
+    _, profile, aggregated = profile_source(
+        """
+        float a[4096];
+        int main() {
+          float x = 1.0;
+          for (int i = 0; i < 4096; i++) {
+            a[i] = a[i] * 1.5 + 2.0;
+          }
+          for (int i = 0; i < 600; i++) {
+            x = x * 0.999 + 0.001;   // serial tail
+          }
+          return (int) (a[7] + x);
+        }
+        """
+    )
+    plan = OpenMPPlanner().plan(aggregated)
+    return profile, plan.region_ids
+
+
+class TestCurves:
+    def test_curve_covers_sweep(self, planned_program):
+        profile, plan = planned_program
+        curve = speedup_curve(profile, plan)
+        assert [p.cores for p in curve] == list(CORE_SWEEP)
+
+    def test_upper_bound_dominates_modeled(self, planned_program):
+        profile, plan = planned_program
+        modeled = speedup_curve(profile, plan)
+        bound = upperbound_curve(profile, plan)
+        for m, b in zip(modeled, bound):
+            assert b.speedup >= m.speedup - 1e-9
+
+    def test_upper_bound_monotone_in_cores(self, planned_program):
+        profile, plan = planned_program
+        bound = upperbound_curve(profile, plan)
+        speedups = [p.speedup for p in bound]
+        assert speedups == sorted(speedups)
+
+    def test_bound_saturates_at_amdahl_limit(self, planned_program):
+        """The serial tail caps the bound: huge core counts approach but
+        never exceed T / (T_serial_part + cp_parallel_part)."""
+        profile, plan = planned_program
+        bound = upperbound_curve(profile, plan, core_sweep=(1024,))
+        total = profile.root_entry.work
+        # the serial tail is ~600 iterations * ~6 cycles
+        assert bound[0].speedup < total  # sanity
+        assert bound[0].speedup > 3  # the parallel phase dominates
+
+    def test_saturation_point(self, planned_program):
+        profile, plan = planned_program
+        curve = upperbound_curve(profile, plan)
+        saturation = saturation_point(curve, within=0.9)
+        best = max(p.speedup for p in curve)
+        assert saturation.speedup >= 0.9 * best
+        # every cheaper configuration is below the bar
+        for point in curve:
+            if point.cores < saturation.cores:
+                assert point.speedup < 0.9 * best
+
+    def test_saturation_empty_curve_rejected(self):
+        with pytest.raises(ValueError):
+            saturation_point([])
+
+    def test_format(self, planned_program):
+        profile, plan = planned_program
+        text = format_curve(
+            speedup_curve(profile, plan), upperbound_curve(profile, plan)
+        )
+        assert "cores" in text and "upper bound" in text
+        assert "32" in text

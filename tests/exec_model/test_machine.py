@@ -1,0 +1,47 @@
+"""Machine model and simulation-result tests."""
+
+import pytest
+
+from repro.exec_model.machine import CORE_SWEEP, DEFAULT_MACHINE, MachineModel
+from repro.exec_model.simulate import SimulationResult
+
+
+class TestMachineModel:
+    def test_defaults_match_paper_testbed_class(self):
+        assert DEFAULT_MACHINE.cores == 32
+        assert DEFAULT_MACHINE.fork_cost > 0
+        assert DEFAULT_MACHINE.doacross_sync > 0
+
+    def test_with_cores_is_pure(self):
+        machine = DEFAULT_MACHINE.with_cores(8)
+        assert machine.cores == 8
+        assert DEFAULT_MACHINE.cores == 32
+        assert machine.fork_cost == DEFAULT_MACHINE.fork_cost
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            DEFAULT_MACHINE.cores = 64  # type: ignore[misc]
+
+    def test_core_sweep_matches_paper(self):
+        assert CORE_SWEEP == (1, 2, 4, 8, 16, 32)
+
+    def test_custom_machine(self):
+        machine = MachineModel(cores=4, fork_cost=100)
+        assert machine.cores == 4
+        assert machine.fork_cost == 100
+
+
+class TestSimulationResult:
+    def test_speedup_and_reduction(self):
+        result = SimulationResult(time=500.0, serial_time=1000.0, machine=DEFAULT_MACHINE)
+        assert result.speedup == 2.0
+        assert result.time_reduction == 0.5
+
+    def test_slowdown_clamps_reduction(self):
+        result = SimulationResult(time=2000.0, serial_time=1000.0, machine=DEFAULT_MACHINE)
+        assert result.speedup == 0.5
+        assert result.time_reduction == 0.0
+
+    def test_zero_time_edge(self):
+        result = SimulationResult(time=0.0, serial_time=1000.0, machine=DEFAULT_MACHINE)
+        assert result.speedup == float("inf")

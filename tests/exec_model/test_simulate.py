@@ -1,0 +1,182 @@
+"""Execution-model tests: the plan simulator's invariants."""
+
+import pytest
+
+from repro.exec_model.machine import DEFAULT_MACHINE, MachineModel
+from repro.exec_model.simulate import best_configuration, simulate_plan
+from tests.conftest import profile_source, region_profile
+
+
+@pytest.fixture(scope="module")
+def doall_program():
+    _, profile, aggregated = profile_source(
+        """
+        float a[4096];
+        int main() {
+          for (int i = 0; i < 4096; i++) {
+            a[i] = a[i] * 1.5 + 2.0;
+          }
+          return (int) a[7];
+        }
+        """
+    )
+    loop = region_profile(aggregated, "main#loop1")
+    return profile, loop.static_id
+
+
+@pytest.fixture(scope="module")
+def serial_program():
+    _, profile, aggregated = profile_source(
+        """
+        int main() {
+          float x = 1.0;
+          for (int i = 0; i < 2000; i++) {
+            x = x * 0.999 + 0.001;
+          }
+          return (int) x;
+        }
+        """
+    )
+    loop = region_profile(aggregated, "main#loop1")
+    return profile, loop.static_id
+
+
+class TestBasicInvariants:
+    def test_empty_plan_is_exactly_serial(self, doall_program):
+        profile, _ = doall_program
+        result = simulate_plan(profile, set())
+        assert result.time == result.serial_time
+        assert result.speedup == 1.0
+        assert result.time_reduction == 0.0
+
+    def test_single_core_never_speeds_up(self, doall_program):
+        profile, loop = doall_program
+        result = simulate_plan(profile, {loop}, DEFAULT_MACHINE.with_cores(1))
+        assert result.speedup <= 1.0 + 1e-9
+
+    def test_doall_scales_with_cores(self, doall_program):
+        profile, loop = doall_program
+        times = {}
+        for cores in (2, 4, 8, 16):
+            times[cores] = simulate_plan(
+                profile, {loop}, DEFAULT_MACHINE.with_cores(cores)
+            ).time
+        assert times[4] < times[2]
+        assert times[8] < times[4]
+        assert times[16] < times[8]
+
+    def test_speedup_bounded_by_cores_plus_epsilon(self, doall_program):
+        profile, loop = doall_program
+        for cores in (2, 4, 8):
+            result = simulate_plan(profile, {loop}, DEFAULT_MACHINE.with_cores(cores))
+            assert result.speedup <= cores
+
+    def test_serial_loop_gains_nothing(self, serial_program):
+        profile, loop = serial_program
+        result = simulate_plan(profile, {loop}, DEFAULT_MACHINE.with_cores(32))
+        # The critical path pins execution: parallelizing it is pure overhead.
+        assert result.speedup < 1.05
+
+    def test_parallel_time_never_below_critical_path(self, doall_program):
+        profile, loop = doall_program
+        root_cp = profile.root_entry.cp
+        for cores in (2, 8, 32, 128):
+            result = simulate_plan(profile, {loop}, DEFAULT_MACHINE.with_cores(cores))
+            assert result.time >= root_cp * 0.5  # cp of the loop ≤ root cp
+
+
+class TestOverheads:
+    def test_fork_cost_hurts_small_regions(self):
+        _, profile, aggregated = profile_source(
+            """
+            float a[16];
+            int main() {
+              for (int r = 0; r < 100; r++) {
+                for (int i = 0; i < 16; i++) { a[i] = a[i] + 1.0; }
+              }
+              return (int) a[0];
+            }
+            """
+        )
+        inner = region_profile(aggregated, "main#loop2").static_id
+        result = simulate_plan(profile, {inner}, DEFAULT_MACHINE.with_cores(8))
+        # 100 forks for 16-element loops: a slowdown, not a speedup.
+        assert result.speedup < 1.0
+
+    def test_zero_overhead_machine_recovers_ideal_behaviour(self, doall_program):
+        profile, loop = doall_program
+        ideal = MachineModel(
+            cores=8, fork_cost=0, chunk_cost=0, doacross_sync=0,
+            nested_penalty=0, migration_cost=0,
+        )
+        result = simulate_plan(profile, {loop}, ideal)
+        assert result.speedup == pytest.approx(8, rel=0.35)
+
+    def test_nested_selection_pays_penalty_only(self):
+        _, profile, aggregated = profile_source(
+            """
+            float m[16][256];
+            int main() {
+              for (int i = 0; i < 16; i++) {
+                for (int j = 0; j < 256; j++) {
+                  m[i][j] = (float) (i + j) * 0.5;
+                }
+              }
+              return (int) m[3][3];
+            }
+            """
+        )
+        outer = region_profile(aggregated, "main#loop1").static_id
+        inner = region_profile(aggregated, "main#loop2").static_id
+        machine = DEFAULT_MACHINE.with_cores(8)
+        outer_only = simulate_plan(profile, {outer}, machine)
+        both = simulate_plan(profile, {outer, inner}, machine)
+        # Adding the nested inner region costs 16 nested-entry checks.
+        assert both.time >= outer_only.time
+        assert both.time - outer_only.time <= 16 * machine.nested_penalty + 1
+
+    def test_doacross_pays_per_iteration_sync(self):
+        _, profile, aggregated = profile_source(
+            """
+            float g[64][64];
+            int main() {
+              for (int i = 1; i < 64; i++) {
+                for (int j = 1; j < 64; j++) {
+                  g[i][j] = g[i][j] + 0.3 * g[i-1][j] + 0.3 * g[i][j-1];
+                }
+              }
+              return (int) g[9][9];
+            }
+            """
+        )
+        sweep = region_profile(aggregated, "main#loop1")
+        assert not sweep.is_doall  # sanity: it is a wavefront
+        machine = DEFAULT_MACHINE.with_cores(8)
+        no_sync = MachineModel(
+            cores=8, fork_cost=machine.fork_cost, chunk_cost=machine.chunk_cost,
+            doacross_sync=0, nested_penalty=machine.nested_penalty,
+            migration_cost=machine.migration_cost,
+        )
+        with_sync = simulate_plan(profile, {sweep.static_id}, machine)
+        without = simulate_plan(profile, {sweep.static_id}, no_sync)
+        assert with_sync.time > without.time
+
+
+class TestBestConfiguration:
+    def test_best_config_returns_minimum_time(self, doall_program):
+        profile, loop = doall_program
+        best = best_configuration(profile, {loop})
+        for cores in (1, 2, 4, 8, 16, 32):
+            result = simulate_plan(profile, {loop}, DEFAULT_MACHINE.with_cores(cores))
+            assert best.time <= result.time
+
+    def test_best_config_for_serial_plan_is_one_core(self, serial_program):
+        profile, loop = serial_program
+        best = best_configuration(profile, {loop})
+        assert best.machine.cores == 1
+        assert best.speedup == pytest.approx(1.0)
+
+    def test_time_reduction_matches_speedup(self, doall_program):
+        profile, loop = doall_program
+        best = best_configuration(profile, {loop})
+        assert best.time_reduction == pytest.approx(1.0 - 1.0 / best.speedup)

@@ -1,0 +1,79 @@
+"""Diagnostic quality: errors point at the offending source location."""
+
+import pytest
+
+from repro.frontend.errors import LexError, ParseError, SemanticError
+from repro.frontend.parser import parse_program
+from repro.lowering.lower import lower_program
+
+
+def parse_error_of(source):
+    with pytest.raises(ParseError) as info:
+        parse_program(source, "diag.c")
+    return info.value
+
+
+def semantic_error_of(source):
+    with pytest.raises(SemanticError) as info:
+        lower_program(parse_program(source, "diag.c"))
+    return info.value
+
+
+class TestParseErrorLocations:
+    def test_missing_semicolon_points_at_next_token(self):
+        error = parse_error_of("int main() {\n  int x = 1\n  return x;\n}")
+        assert error.span.start.line == 3
+
+    def test_bad_expression_points_at_token(self):
+        error = parse_error_of("int main() {\n  int x = * 2;\n  return x;\n}")
+        assert error.span.start.line == 2
+
+    def test_unclosed_paren(self):
+        error = parse_error_of("int main() {\n  return (1 + 2;\n}")
+        assert error.span.start.line == 2
+
+    def test_message_names_expected_token(self):
+        error = parse_error_of("int main( { return 0; }")
+        assert "expected" in error.message
+
+    def test_filename_in_str(self):
+        error = parse_error_of("int main() { return }")
+        assert "diag.c" in str(error)
+
+
+class TestSemanticErrorLocations:
+    def test_undeclared_variable_location(self):
+        error = semantic_error_of(
+            "int main() {\n  int x = 1;\n  return ghost;\n}"
+        )
+        assert error.span.start.line == 3
+        assert "ghost" in error.message
+
+    def test_call_arity_location(self):
+        error = semantic_error_of(
+            "int f(int a) { return a; }\nint main() {\n  return f(1, 2);\n}"
+        )
+        assert error.span.start.line == 3
+
+    def test_break_location(self):
+        error = semantic_error_of("int main() {\n  break;\n  return 0;\n}")
+        assert error.span.start.line == 2
+
+    def test_render_with_source_shows_caret(self):
+        from repro.frontend.source import SourceFile
+
+        source = "int main() {\n  return ghost;\n}"
+        error = semantic_error_of(source)
+        rendered = error.render(SourceFile("diag.c", source))
+        lines = rendered.splitlines()
+        assert lines[0].startswith("diag.c:2:")
+        assert "return ghost;" in lines[1]
+        assert lines[2].strip() == "^"
+
+
+class TestLexErrorLocations:
+    def test_bad_character_location(self):
+        with pytest.raises(LexError) as info:
+            parse_program("int main() {\n  int x = 1 @ 2;\n}", "diag.c")
+        assert info.value.span.start.line == 2
+        assert "@" in info.value.message

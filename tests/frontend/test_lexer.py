@@ -1,0 +1,222 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.frontend.errors import LexError
+from repro.frontend.lexer import tokenize
+from repro.frontend.tokens import TokenKind
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)]
+
+
+def values(text):
+    return [t.value for t in tokenize(text)[:-1]]
+
+
+class TestBasicTokens:
+    def test_empty_input_yields_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_whitespace_only_yields_eof(self):
+        assert kinds("  \t\n\r\n ") == [TokenKind.EOF]
+
+    def test_identifier(self):
+        token = tokenize("hello_world2")[0]
+        assert token.kind is TokenKind.IDENT
+        assert token.value == "hello_world2"
+
+    def test_identifier_with_leading_underscore(self):
+        assert tokenize("_x")[0].value == "_x"
+
+    def test_keywords_are_not_identifiers(self):
+        assert kinds("int float void if else while do for return break continue") == [
+            TokenKind.KW_INT,
+            TokenKind.KW_FLOAT,
+            TokenKind.KW_VOID,
+            TokenKind.KW_IF,
+            TokenKind.KW_ELSE,
+            TokenKind.KW_WHILE,
+            TokenKind.KW_DO,
+            TokenKind.KW_FOR,
+            TokenKind.KW_RETURN,
+            TokenKind.KW_BREAK,
+            TokenKind.KW_CONTINUE,
+            TokenKind.EOF,
+        ]
+
+    def test_double_is_treated_as_float(self):
+        assert kinds("double")[0] is TokenKind.KW_FLOAT
+
+    def test_keyword_prefix_is_identifier(self):
+        token = tokenize("interval")[0]
+        assert token.kind is TokenKind.IDENT
+
+
+class TestNumbers:
+    def test_integer_literal(self):
+        token = tokenize("42")[0]
+        assert token.kind is TokenKind.INT_LITERAL
+        assert token.value == 42
+
+    def test_zero(self):
+        assert tokenize("0")[0].value == 0
+
+    def test_hex_literal(self):
+        token = tokenize("0xFF")[0]
+        assert token.kind is TokenKind.INT_LITERAL
+        assert token.value == 255
+
+    def test_hex_literal_lowercase(self):
+        assert tokenize("0x1a")[0].value == 26
+
+    def test_hex_without_digits_is_error(self):
+        with pytest.raises(LexError):
+            tokenize("0x")
+
+    def test_float_literal(self):
+        token = tokenize("3.25")[0]
+        assert token.kind is TokenKind.FLOAT_LITERAL
+        assert token.value == 3.25
+
+    def test_float_leading_dot(self):
+        assert tokenize(".5")[0].value == 0.5
+
+    def test_float_trailing_dot(self):
+        token = tokenize("2.")[0]
+        assert token.kind is TokenKind.FLOAT_LITERAL
+        assert token.value == 2.0
+
+    def test_float_exponent(self):
+        assert tokenize("1e3")[0].value == 1000.0
+        assert tokenize("1.5e-2")[0].value == 0.015
+        assert tokenize("2E+1")[0].value == 20.0
+
+    def test_float_f_suffix(self):
+        token = tokenize("1.5f")[0]
+        assert token.kind is TokenKind.FLOAT_LITERAL
+        assert token.value == 1.5
+
+    def test_int_followed_by_e_identifier(self):
+        # "3e" without exponent digits: int then identifier
+        tokens = tokenize("3e")
+        assert tokens[0].kind is TokenKind.INT_LITERAL
+        assert tokens[1].kind is TokenKind.IDENT
+
+
+class TestOperators:
+    @pytest.mark.parametrize(
+        "text,kind",
+        [
+            ("+", TokenKind.PLUS),
+            ("-", TokenKind.MINUS),
+            ("*", TokenKind.STAR),
+            ("/", TokenKind.SLASH),
+            ("%", TokenKind.PERCENT),
+            ("==", TokenKind.EQ),
+            ("!=", TokenKind.NE),
+            ("<=", TokenKind.LE),
+            (">=", TokenKind.GE),
+            ("<", TokenKind.LT),
+            (">", TokenKind.GT),
+            ("&&", TokenKind.AMP_AMP),
+            ("||", TokenKind.PIPE_PIPE),
+            ("<<", TokenKind.LSHIFT),
+            (">>", TokenKind.RSHIFT),
+            ("+=", TokenKind.PLUS_ASSIGN),
+            ("-=", TokenKind.MINUS_ASSIGN),
+            ("*=", TokenKind.STAR_ASSIGN),
+            ("/=", TokenKind.SLASH_ASSIGN),
+            ("++", TokenKind.PLUS_PLUS),
+            ("--", TokenKind.MINUS_MINUS),
+            ("?", TokenKind.QUESTION),
+            (":", TokenKind.COLON),
+        ],
+    )
+    def test_operator(self, text, kind):
+        assert kinds(text)[0] is kind
+
+    def test_maximal_munch(self):
+        # "a<=b" must lex as LE, not LT then ASSIGN
+        assert kinds("a<=b") == [
+            TokenKind.IDENT,
+            TokenKind.LE,
+            TokenKind.IDENT,
+            TokenKind.EOF,
+        ]
+
+    def test_plus_plus_vs_plus(self):
+        assert kinds("a+++b")[:4] == [
+            TokenKind.IDENT,
+            TokenKind.PLUS_PLUS,
+            TokenKind.PLUS,
+            TokenKind.IDENT,
+        ]
+
+    def test_unknown_character(self):
+        with pytest.raises(LexError):
+            tokenize("a $ b")
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert kinds("a // comment\n b") == [
+            TokenKind.IDENT,
+            TokenKind.IDENT,
+            TokenKind.EOF,
+        ]
+
+    def test_line_comment_at_eof(self):
+        assert kinds("a // no newline") == [TokenKind.IDENT, TokenKind.EOF]
+
+    def test_block_comment(self):
+        assert kinds("a /* x\ny */ b") == [
+            TokenKind.IDENT,
+            TokenKind.IDENT,
+            TokenKind.EOF,
+        ]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("a /* oops")
+
+    def test_division_not_comment(self):
+        assert kinds("a / b")[1] is TokenKind.SLASH
+
+
+class TestStrings:
+    def test_string_literal(self):
+        token = tokenize('"hello"')[0]
+        assert token.kind is TokenKind.STRING_LITERAL
+        assert token.value == "hello"
+
+    def test_escapes(self):
+        assert tokenize(r'"a\nb\tc\\d"')[0].value == "a\nb\tc\\d"
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize('"oops')
+
+    def test_string_with_newline_is_error(self):
+        with pytest.raises(LexError):
+            tokenize('"line\nbreak"')
+
+    def test_unknown_escape_is_error(self):
+        with pytest.raises(LexError):
+            tokenize(r'"\q"')
+
+
+class TestSpans:
+    def test_token_line_numbers(self):
+        tokens = tokenize("a\nbb\n ccc")
+        assert tokens[0].span.start.line == 1
+        assert tokens[1].span.start.line == 2
+        assert tokens[2].span.start.line == 3
+        assert tokens[2].span.start.column == 2
+
+    def test_span_covers_token_text(self):
+        token = tokenize("   wide_name   ")[0]
+        assert token.span.start.column == 4

@@ -1,0 +1,86 @@
+"""SourceFile / span / diagnostics tests."""
+
+import pytest
+
+from repro.frontend.errors import MiniCError
+from repro.frontend.source import SourceFile, SourceLocation, SourceSpan
+
+
+class TestSourceFile:
+    def test_location_of_offsets(self):
+        source = SourceFile("t.c", "ab\ncd\n")
+        assert source.location_of(0) == SourceLocation(1, 1)
+        assert source.location_of(1) == SourceLocation(1, 2)
+        assert source.location_of(3) == SourceLocation(2, 1)
+        assert source.location_of(5) == SourceLocation(2, 3)
+
+    def test_location_of_end(self):
+        source = SourceFile("t.c", "ab")
+        assert source.location_of(2) == SourceLocation(1, 3)
+
+    def test_location_out_of_range(self):
+        source = SourceFile("t.c", "ab")
+        with pytest.raises(ValueError):
+            source.location_of(3)
+        with pytest.raises(ValueError):
+            source.location_of(-1)
+
+    def test_line_text(self):
+        source = SourceFile("t.c", "first\nsecond\nthird")
+        assert source.line_text(1) == "first"
+        assert source.line_text(2) == "second"
+        assert source.line_text(3) == "third"
+
+    def test_line_text_out_of_range(self):
+        source = SourceFile("t.c", "one")
+        with pytest.raises(ValueError):
+            source.line_text(2)
+
+    def test_empty_file(self):
+        source = SourceFile("t.c", "")
+        assert source.num_lines == 1
+        assert source.location_of(0) == SourceLocation(1, 1)
+
+
+class TestSpans:
+    def test_merge_orders_endpoints(self):
+        a = SourceSpan(SourceLocation(1, 1), SourceLocation(1, 5), "t.c")
+        b = SourceSpan(SourceLocation(3, 2), SourceLocation(4, 1), "t.c")
+        merged = a.merge(b)
+        assert merged.start == SourceLocation(1, 1)
+        assert merged.end == SourceLocation(4, 1)
+        # merge is symmetric
+        assert b.merge(a).line_range == merged.line_range
+
+    def test_str_single_line(self):
+        span = SourceSpan.point(7, 3, "x.c")
+        assert str(span) == "x.c (7)"
+
+    def test_str_multi_line_matches_figure3_format(self):
+        span = SourceSpan(SourceLocation(49, 1), SourceLocation(58, 2), "imageBlur.c")
+        assert str(span) == "imageBlur.c (49-58)"
+
+    def test_location_ordering(self):
+        assert SourceLocation(1, 5) < SourceLocation(2, 1)
+        assert SourceLocation(2, 1) < SourceLocation(2, 3)
+        assert SourceLocation(2, 3) <= SourceLocation(2, 3)
+
+
+class TestDiagnosticRendering:
+    def test_render_with_caret(self):
+        source = SourceFile("t.c", "int x = $;\n")
+        error = MiniCError("bad", SourceSpan.point(1, 9, "t.c"))
+        rendered = error.render(source)
+        assert "t.c:1:9: error: bad" in rendered
+        assert rendered.endswith("        ^")
+
+    def test_render_without_source(self):
+        error = MiniCError("oops", SourceSpan.point(2, 1, "t.c"))
+        assert error.render() == "t.c:2:1: error: oops"
+
+    def test_render_without_span(self):
+        assert MiniCError("oops").render() == "error: oops"
+
+    def test_str_includes_location(self):
+        error = MiniCError("oops", SourceSpan.point(3, 4, "a.c"))
+        assert str(error) == "a.c:3:4: oops"

@@ -1,0 +1,137 @@
+"""Multi-run profile aggregation tests (paper §2.4)."""
+
+import pytest
+
+from repro.hcpa.aggregate import aggregate_profile
+from repro.hcpa.merge import ProfileMergeError, merge_profiles
+from repro.instrument import kremlin_cc
+from repro.kremlib import profile_program
+from repro.planner import OpenMPPlanner
+
+# A program whose behaviour is input-dependent: the entry argument selects
+# how much work the parallel phase does.
+SOURCE = """
+float a[512];
+float out;
+
+void heavy(int n) {
+  for (int i = 0; i < n; i++) {
+    a[i % 512] = a[i % 512] * 1.01 + 0.5;
+  }
+}
+
+void serial_tail(int n) {
+  float x = 1.0;
+  for (int i = 0; i < n; i++) {
+    x = x * 0.999 + 0.001;
+  }
+  out = x;
+}
+
+int run(int scale) {
+  heavy(scale * 512);
+  serial_tail(256);
+  return (int) out;
+}
+
+int main() { return run(2); }
+"""
+
+
+def profile_with_input(scale: int):
+    program = kremlin_cc(SOURCE, "multirun.c")
+    profile, _ = profile_program(program, entry="run", args=(scale,))
+    return profile
+
+
+class TestMerge:
+    def test_single_profile_passthrough(self):
+        profile = profile_with_input(1)
+        assert merge_profiles([profile]) is profile
+
+    def test_merge_sums_work(self):
+        p1 = profile_with_input(1)
+        p2 = profile_with_input(3)
+        merged = merge_profiles([p1, p2])
+        assert merged.total_work == p1.total_work + p2.total_work
+        assert (
+            merged.instructions_retired
+            == p1.instructions_retired + p2.instructions_retired
+        )
+
+    def test_merged_region_statistics_sum(self):
+        p1 = profile_with_input(1)
+        p2 = profile_with_input(3)
+        merged = merge_profiles([p1, p2])
+        agg1 = aggregate_profile(p1)
+        agg2 = aggregate_profile(p2)
+        merged_agg = aggregate_profile(merged)
+
+        def work_of(agg, name):
+            for profile in agg.profiles.values():
+                if profile.region.name == name:
+                    return profile.work
+            return 0
+
+        for name in ("heavy", "heavy#loop1", "serial_tail#loop1"):
+            assert work_of(merged_agg, name) == work_of(agg1, name) + work_of(
+                agg2, name
+            )
+
+    def test_merged_coverage_is_work_weighted(self):
+        p1 = profile_with_input(1)
+        p2 = profile_with_input(4)
+        merged_agg = aggregate_profile(merge_profiles([p1, p2]))
+        heavy = next(
+            p for p in merged_agg.profiles.values() if p.region.name == "heavy"
+        )
+        cov1 = next(
+            p
+            for p in aggregate_profile(p1).profiles.values()
+            if p.region.name == "heavy"
+        ).coverage
+        cov2 = next(
+            p
+            for p in aggregate_profile(p2).profiles.values()
+            if p.region.name == "heavy"
+        ).coverage
+        # The bigger run dominates: merged coverage sits between the two,
+        # closer to the large input's.
+        assert min(cov1, cov2) <= heavy.coverage <= max(cov1, cov2)
+        assert abs(heavy.coverage - cov2) < abs(heavy.coverage - cov1)
+
+    def test_identical_runs_share_dictionary_entries(self):
+        p1 = profile_with_input(2)
+        p2 = profile_with_input(2)
+        merged = merge_profiles([p1, p2])
+        # identical runs produce identical summaries: the merged alphabet is
+        # the single-run alphabet plus the synthetic root.
+        assert len(merged.dictionary) == len(p1.dictionary) + 1
+
+    def test_raw_record_count_sums(self):
+        p1 = profile_with_input(1)
+        p2 = profile_with_input(2)
+        merged = merge_profiles([p1, p2])
+        expected = (
+            p1.dictionary.raw_records + p2.dictionary.raw_records + 1
+        )  # + the synthetic root
+        assert merged.dictionary.raw_records == expected
+
+    def test_planning_on_merged_profile(self):
+        merged = merge_profiles([profile_with_input(1), profile_with_input(3)])
+        plan = OpenMPPlanner().plan(aggregate_profile(merged))
+        assert "heavy#loop1" in plan.region_names
+        assert "serial_tail#loop1" not in plan.region_names
+
+    def test_incompatible_programs_rejected(self):
+        other = kremlin_cc(
+            "int main() { int s = 0; for (int i = 0; i < 9; i++) s += i; return s; }",
+            "other.c",
+        )
+        other_profile, _ = profile_program(other)
+        with pytest.raises(ProfileMergeError, match="different programs"):
+            merge_profiles([profile_with_input(1), other_profile])
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ProfileMergeError, match="at least one"):
+            merge_profiles([])

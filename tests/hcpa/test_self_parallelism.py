@@ -1,0 +1,81 @@
+"""Analytic tests of the self-parallelism equations (paper §4.3)."""
+
+import pytest
+
+from repro.hcpa.self_parallelism import (
+    parallel_time_bound,
+    self_parallelism,
+    self_work,
+    total_parallelism,
+)
+
+
+class TestEquation2SelfWork:
+    def test_no_children(self):
+        assert self_work(100, []) == 100
+
+    def test_children_subtracted(self):
+        assert self_work(100, [30, 40]) == 30
+
+    def test_clamped_at_zero(self):
+        assert self_work(100, [60, 60]) == 0
+
+
+class TestEquation1Figure5:
+    def test_parallel_children_sp_is_n(self):
+        """Figure 5 right: n children, each cp_i, region cp = cp_i → SP = n."""
+        n, cpi = 8, 50
+        assert self_parallelism(cp=cpi, children_cp=[cpi] * n, sw=0) == n
+
+    def test_serial_children_sp_is_one(self):
+        """Figure 5 left: n children, region cp = n·cp_i → SP = 1."""
+        n, cpi = 8, 50
+        assert self_parallelism(cp=n * cpi, children_cp=[cpi] * n, sw=0) == 1.0
+
+    def test_partial_overlap_between_extremes(self):
+        n, cpi = 8, 50
+        half_serial_cp = n * cpi // 2
+        sp = self_parallelism(cp=half_serial_cp, children_cp=[cpi] * n, sw=0)
+        assert 1.0 < sp <= n
+        assert sp == pytest.approx(2.0)
+
+    def test_self_work_contributes(self):
+        # A leaf region (no children): SP = work / cp = total parallelism.
+        assert self_parallelism(cp=10, children_cp=[], sw=40) == 4.0
+
+    def test_mixed_children_and_self_work(self):
+        sp = self_parallelism(cp=100, children_cp=[100, 100], sw=100)
+        assert sp == 3.0
+
+    def test_zero_cp_defaults_serial(self):
+        assert self_parallelism(cp=0, children_cp=[], sw=0) == 1.0
+
+    def test_sp_never_below_one(self):
+        assert self_parallelism(cp=1000, children_cp=[10], sw=0) == 1.0
+
+    def test_heterogeneous_children(self):
+        sp = self_parallelism(cp=60, children_cp=[60, 30, 30], sw=0)
+        assert sp == 2.0
+
+
+class TestTotalParallelism:
+    def test_basic_ratio(self):
+        assert total_parallelism(work=1000, cp=100) == 10.0
+
+    def test_serial(self):
+        assert total_parallelism(work=100, cp=100) == 1.0
+
+    def test_floor_one(self):
+        assert total_parallelism(work=10, cp=100) == 1.0
+
+    def test_zero_cp(self):
+        assert total_parallelism(work=0, cp=0) == 1.0
+
+
+class TestParallelTimeBound:
+    def test_bound_is_et_over_sp(self):
+        assert parallel_time_bound(1000.0, 4.0) == 250.0
+
+    def test_serial_region_unchanged(self):
+        assert parallel_time_bound(1000.0, 1.0) == 1000.0
+        assert parallel_time_bound(1000.0, 0.5) == 1000.0

@@ -1,0 +1,129 @@
+"""Profile save/load round-trip tests."""
+
+import io
+import json
+
+import pytest
+
+from repro.hcpa.aggregate import aggregate_profile
+from repro.hcpa.serialize import (
+    ProfileFormatError,
+    load_profile,
+    profile_from_json,
+    profile_to_json,
+    save_profile,
+)
+from repro.planner import OpenMPPlanner
+from tests.conftest import profile_source
+
+SOURCE = """
+float a[256];
+void kernel() {
+  for (int i = 0; i < 256; i++) { a[i] = a[i] * 1.5 + 1.0; }
+}
+int main() {
+  for (int r = 0; r < 5; r++) { kernel(); }
+  float s = 0.0;
+  for (int i = 0; i < 256; i++) { s += a[i]; }
+  return (int) s;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def original():
+    _, profile, _ = profile_source(SOURCE)
+    return profile
+
+
+class TestRoundTrip:
+    def test_json_roundtrip_preserves_dictionary(self, original):
+        restored = profile_from_json(profile_to_json(original))
+        assert restored.root_char == original.root_char
+        assert restored.dictionary.raw_records == original.dictionary.raw_records
+        assert len(restored.dictionary) == len(original.dictionary)
+        for before, after in zip(
+            original.dictionary.entries, restored.dictionary.entries
+        ):
+            assert (before.static_id, before.work, before.cp, before.children) == (
+                after.static_id, after.work, after.cp, after.children
+            )
+
+    def test_roundtrip_preserves_region_tree(self, original):
+        restored = profile_from_json(profile_to_json(original))
+        assert len(restored.regions) == len(original.regions)
+        for before, after in zip(original.regions, restored.regions):
+            assert before.name == after.name
+            assert before.kind == after.kind
+            assert before.parent_id == after.parent_id
+            assert before.children_ids == after.children_ids
+            assert str(before.span) == str(after.span)
+
+    def test_roundtrip_preserves_metadata(self, original):
+        restored = profile_from_json(profile_to_json(original))
+        assert restored.total_work == original.total_work
+        assert restored.instructions_retired == original.instructions_retired
+        assert restored.program_name == original.program_name
+
+    def test_file_roundtrip(self, original, tmp_path):
+        path = str(tmp_path / "profile.json")
+        save_profile(original, path)
+        restored = load_profile(path)
+        assert restored.total_work == original.total_work
+
+    def test_stream_roundtrip(self, original):
+        buffer = io.StringIO()
+        save_profile(original, buffer)
+        buffer.seek(0)
+        restored = load_profile(buffer)
+        assert restored.root_char == original.root_char
+
+    def test_planning_identical_after_reload(self, original):
+        planner = OpenMPPlanner()
+        plan_before = planner.plan(aggregate_profile(original))
+        restored = profile_from_json(profile_to_json(original))
+        plan_after = planner.plan(aggregate_profile(restored))
+        assert plan_before.region_ids == plan_after.region_ids
+        assert [i.est_program_speedup for i in plan_before] == pytest.approx(
+            [i.est_program_speedup for i in plan_after]
+        )
+
+    def test_interning_still_works_after_reload(self, original):
+        restored = profile_from_json(profile_to_json(original))
+        entry = restored.dictionary.entries[0]
+        char = restored.dictionary.intern(
+            entry.static_id, entry.work, entry.cp, entry.children
+        )
+        assert char == entry.char  # reuses the existing character
+
+
+class TestMalformedInput:
+    def test_wrong_format_tag(self, original):
+        data = profile_to_json(original)
+        data["format"] = "something-else"
+        with pytest.raises(ProfileFormatError, match="not a kremlin"):
+            profile_from_json(data)
+
+    def test_unknown_version(self, original):
+        data = profile_to_json(original)
+        data["version"] = 99
+        with pytest.raises(ProfileFormatError, match="version"):
+            profile_from_json(data)
+
+    def test_root_out_of_range(self, original):
+        data = profile_to_json(original)
+        data["root_char"] = 10_000
+        with pytest.raises(ProfileFormatError, match="root"):
+            profile_from_json(data)
+
+    def test_non_leaf_first_dictionary(self, original):
+        data = profile_to_json(original)
+        data["dictionary"][0]["children"] = [[5, 1]]
+        with pytest.raises(ProfileFormatError, match="leaf-first"):
+            profile_from_json(data)
+
+    def test_non_object_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps([1, 2, 3]))
+        with pytest.raises(ProfileFormatError, match="JSON object"):
+            load_profile(str(path))

@@ -1,0 +1,140 @@
+"""Compression dictionary and profile structure tests."""
+
+import pytest
+
+from repro.hcpa.summaries import CompressionDictionary
+from tests.conftest import profile_source
+
+
+class TestCompressionDictionary:
+    def test_identical_summaries_share_a_character(self):
+        dictionary = CompressionDictionary()
+        a = dictionary.intern(1, 100, 50, ())
+        b = dictionary.intern(1, 100, 50, ())
+        assert a == b
+        assert len(dictionary) == 1
+        assert dictionary.raw_records == 2
+
+    def test_distinct_summaries_get_new_characters(self):
+        dictionary = CompressionDictionary()
+        chars = {
+            dictionary.intern(1, 100, 50, ()),
+            dictionary.intern(1, 100, 51, ()),  # cp differs
+            dictionary.intern(1, 101, 50, ()),  # work differs
+            dictionary.intern(2, 100, 50, ()),  # static region differs
+            dictionary.intern(1, 100, 50, ((0, 2),)),  # children differ
+        }
+        assert len(chars) == 5
+
+    def test_children_described_in_terms_of_alphabet(self):
+        dictionary = CompressionDictionary()
+        leaf = dictionary.intern(2, 10, 5, ())
+        parent = dictionary.intern(1, 100, 20, ((leaf, 8),))
+        entry = dictionary.entry(parent)
+        assert entry.children == ((leaf, 8),)
+        assert entry.num_children == 8
+
+    def test_child_char_smaller_than_parent(self):
+        """The alphabet grows from the leaves: every child character id is
+        smaller than its parent's — the invariant all decompression-free
+        traversals rely on."""
+        _, profile, _ = profile_source(
+            """
+            int f(int n) { int s = 0; for (int i = 0; i < n; i++) s += i; return s; }
+            int main() {
+              int total = 0;
+              for (int k = 1; k < 6; k++) { total += f(k * 4); }
+              return total;
+            }
+            """
+        )
+        for char, entry in enumerate(profile.dictionary.entries):
+            for child_char, _count in entry.children:
+                assert child_char < char
+
+
+class TestCharCounts:
+    def test_counts_multiply_through_nesting(self):
+        _, profile, _ = profile_source(
+            """
+            int main() {
+              int s = 0;
+              for (int i = 0; i < 6; i++) {
+                for (int j = 0; j < 4; j++) { s += 1; }
+              }
+              return s;
+            }
+            """
+        )
+        counts = profile.char_counts()
+        regions = profile.regions
+        per_kind = {}
+        for char, entry in enumerate(profile.dictionary.entries):
+            name = regions.region(entry.static_id).name
+            per_kind[name] = per_kind.get(name, 0) + counts[char]
+        assert per_kind["main"] == 1
+        assert per_kind["main#loop1"] == 1
+        assert per_kind["main#loop1.body"] == 6
+        assert per_kind["main#loop2"] == 6
+        assert per_kind["main#loop2.body"] == 24
+
+    def test_counts_sum_to_dynamic_region_count(self):
+        _, profile, _ = profile_source(
+            """
+            int main() {
+              int s = 0;
+              for (int i = 0; i < 9; i++) { s += i; }
+              return s;
+            }
+            """
+        )
+        assert sum(profile.char_counts()) == profile.dynamic_region_count
+
+    def test_root_count_is_one(self):
+        _, profile, _ = profile_source("int main() { return 0; }")
+        assert profile.char_counts()[profile.root_char] == 1
+
+
+class TestCompressionEffectiveness:
+    def test_repetitive_loops_compress_massively(self):
+        _, profile, _ = profile_source(
+            """
+            float a[16];
+            int main() {
+              for (int rep = 0; rep < 200; rep++) {
+                for (int i = 0; i < 16; i++) {
+                  a[i] = a[i] + 1.0;
+                }
+              }
+              return (int) a[3];
+            }
+            """
+        )
+        # 200 * (1 inner loop + 16 bodies) + 200 outer bodies + ... ≈ 3800
+        # dynamic regions, but only a handful of distinct summaries.
+        assert profile.dynamic_region_count > 3000
+        assert len(profile.dictionary) < 25
+
+    def test_identical_subtrees_deduplicate_across_calls(self):
+        _, profile, _ = profile_source(
+            """
+            float a[8];
+            void kernel() {
+              for (int i = 0; i < 8; i++) { a[i] = a[i] * 0.5; }
+            }
+            int main() {
+              kernel(); kernel(); kernel(); kernel();
+              return (int) a[0];
+            }
+            """
+        )
+        counts = profile.char_counts()
+        kernel_chars = [
+            (char, counts[char])
+            for char, entry in enumerate(profile.dictionary.entries)
+            if profile.regions.region(entry.static_id).name == "kernel"
+        ]
+        # The 2nd..4th calls see identical state and produce the same
+        # summary character.
+        assert sum(count for _, count in kernel_chars) == 4
+        assert len(kernel_chars) <= 2

@@ -1,0 +1,164 @@
+"""Instrumentation pass tests: costs, schedules, loop-branch detection."""
+
+import pytest
+
+from repro.instrument.costs import DEFAULT_COST_MODEL, CostModel
+from repro.ir.instructions import Branch, Call
+from repro.ir.types import FLOAT
+from tests.conftest import compile_source
+
+
+class TestCostModel:
+    def test_known_opcodes(self):
+        model = DEFAULT_COST_MODEL
+        assert model.cost_of("binop.+") == 1
+        assert model.cost_of("binop./") == 12
+        assert model.cost_of("load") == 2
+        assert model.cost_of("copy") == 0
+
+    def test_float_extra_latency(self):
+        model = DEFAULT_COST_MODEL
+        assert model.cost_of("binop.*", is_float=True) > model.cost_of("binop.*")
+        assert model.cost_of("binop./", is_float=True) > model.cost_of("binop./")
+
+    def test_builtin_costs_from_spec(self):
+        model = DEFAULT_COST_MODEL
+        assert model.cost_of("call.sqrt") == 20
+        assert model.cost_of("call.exp") == 30
+        assert model.cost_of("call.min") == 1
+
+    def test_unknown_builtin_falls_back_to_call(self):
+        model = DEFAULT_COST_MODEL
+        assert model.cost_of("call.unknown_thing") == model.table["call"]
+
+    def test_unknown_opcode_raises(self):
+        with pytest.raises(KeyError):
+            DEFAULT_COST_MODEL.cost_of("frobnicate")
+
+    def test_custom_cost_model_applies(self):
+        expensive_mul = CostModel(
+            table={**DEFAULT_COST_MODEL.table, "binop.*": 99},
+        )
+        from repro.instrument.compile import kremlin_cc
+
+        program = kremlin_cc(
+            "int main() { int x = 3; return x * x; }",
+            cost_model=expensive_mul,
+        )
+        muls = [
+            i
+            for i in program.module.function("main").instructions()
+            if i.opcode == "binop.*"
+        ]
+        assert muls and muls[0].cost == 99
+
+
+class TestCostAssignment:
+    def test_every_instruction_costed(self):
+        program = compile_source(
+            """
+            float a[16];
+            int main() {
+              for (int i = 0; i < 16; i++) { a[i] = sqrt((float) i); }
+              return (int) a[3];
+            }
+            """
+        )
+        for function in program.module.functions.values():
+            for block in function.blocks:
+                for instr in block.instructions:
+                    assert instr.cost >= 0
+                assert block.terminator.cost >= 0
+
+    def test_float_ops_cost_more_than_int(self):
+        program = compile_source(
+            """
+            int main() {
+              int a = 3 * 4;
+              float b = 3.0 * 4.0;
+              return a + (int) b;
+            }
+            """
+        )
+        muls = [
+            i
+            for i in program.module.function("main").instructions()
+            if i.opcode == "binop.*"
+        ]
+        int_mul = next(i for i in muls if i.result.type != FLOAT)
+        float_mul = next(i for i in muls if i.result.type == FLOAT)
+        assert float_mul.cost > int_mul.cost
+
+
+class TestLoopBranchDetection:
+    def get_info(self, source, name="main"):
+        program = compile_source(source)
+        return program, program.instrumentation.functions[name]
+
+    def test_for_loop_header_detected(self):
+        _, info = self.get_info(
+            "int main() { int s = 0; for (int i = 0; i < 3; i++) s += i; return s; }"
+        )
+        labels = {b.label for b in info.loop_branch_blocks}
+        assert labels == {"loop.header1"}
+
+    def test_do_while_latch_detected(self):
+        _, info = self.get_info(
+            "int main() { int i = 0; do { i++; } while (i < 3); return i; }"
+        )
+        labels = {b.label for b in info.loop_branch_blocks}
+        assert any(label.startswith("loop.latch") for label in labels)
+
+    def test_body_if_not_marked_as_loop_branch(self):
+        _, info = self.get_info(
+            """
+            int main() {
+              int s = 0;
+              for (int i = 0; i < 9; i++) {
+                if (i % 2 == 0) { s += i; }
+              }
+              return s;
+            }
+            """
+        )
+        labels = {b.label for b in info.loop_branch_blocks}
+        assert labels == {"loop.header1"}
+        # ...but the if IS a regular control branch with a join.
+        join_labels = {
+            b.label
+            for b, j in info.control.branch_join.items()
+            if j is not None and b.label.startswith("loop.body")
+        }
+        assert join_labels
+
+    def test_nested_loops_each_detected(self):
+        _, info = self.get_info(
+            """
+            int main() {
+              int s = 0;
+              for (int i = 0; i < 3; i++)
+                for (int j = 0; j < 3; j++)
+                  s += i + j;
+              return s;
+            }
+            """
+        )
+        assert len(info.loop_branch_blocks) == 2
+
+    def test_straight_line_code_has_none(self):
+        _, info = self.get_info("int main() { return 1 + 2; }")
+        assert info.loop_branch_blocks == set()
+
+
+class TestMarkerValidation:
+    def test_corrupt_region_marker_rejected(self):
+        from repro.instrument.passes import instrument_module
+        from repro.ir.instructions import RegionEnter
+
+        program = compile_source("int main() { return 0; }")
+        module = program.module
+        for instr in module.function("main").instructions():
+            if isinstance(instr, RegionEnter):
+                instr.region_id = 9999
+        with pytest.raises(ValueError, match="unknown region"):
+            instrument_module(module)

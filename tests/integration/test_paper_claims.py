@@ -1,0 +1,86 @@
+"""The paper's headline claims, guarded by the plain test suite.
+
+The full experiment regeneration lives in `benchmarks/` (pytest-benchmark
+targets); these are the same claims in their cheapest testable form so that
+`pytest tests/` alone protects them against regressions.
+"""
+
+import pytest
+
+from repro.bench_suite import evaluation_benchmarks, run_benchmark
+from repro.exec_model import best_configuration
+from repro.planner import OpenMPPlanner
+
+
+@pytest.fixture(scope="module")
+def evaluation():
+    planner = OpenMPPlanner()
+    out = {}
+    for benchmark in evaluation_benchmarks():
+        result = run_benchmark(benchmark.name)
+        plan = planner.plan(result.aggregated)
+        out[benchmark.name] = (result, plan)
+    return out
+
+
+class TestHeadlineClaims:
+    def test_kremlin_plans_need_fewer_regions(self, evaluation):
+        """Abstract: 'Kremlin required 1.57x fewer regions to be
+        parallelized' (ours: ~1.4x)."""
+        total_manual = sum(len(r.manual_plan) for r, _ in evaluation.values())
+        total_kremlin = sum(len(plan) for _, plan in evaluation.values())
+        assert total_manual / total_kremlin > 1.2
+
+    def test_most_recommendations_overlap_manual(self, evaluation):
+        """Figure 6(a): 'the majority of regions in Kremlin plans are
+        overlapping with MANUAL'."""
+        overlap = kremlin_total = 0
+        for result, plan in evaluation.values():
+            kremlin = set(plan.region_ids)
+            overlap += len(kremlin & set(result.manual_plan))
+            kremlin_total += len(kremlin)
+        assert overlap / kremlin_total > 0.5
+
+    def test_performance_comparable_or_better(self, evaluation):
+        """Figure 6(b): performance 'typically comparable to, and sometimes
+        much better than, manual parallelization'."""
+        for name, (result, plan) in evaluation.items():
+            kremlin = best_configuration(result.profile, plan.region_ids)
+            manual = best_configuration(result.profile, result.manual_plan)
+            assert kremlin.speedup >= 0.8 * manual.speedup, name
+
+    def test_sp_and_is_wins(self, evaluation):
+        """§6.2: 'in two of the eleven benchmarks, improves speedups
+        substantially' — sp and is."""
+        for name in ("sp", "is"):
+            result, plan = evaluation[name]
+            kremlin = best_configuration(result.profile, plan.region_ids)
+            manual = best_configuration(result.profile, result.manual_plan)
+            assert kremlin.speedup > 1.4 * manual.speedup, name
+
+    def test_plans_are_concise(self, evaluation):
+        """Abstract: recommendations 'comprise only 3.0% of the original
+        programs' region count' — at our region counts, a small fraction."""
+        total_regions = sum(
+            len(result.aggregated.plannable())
+            for result, _ in evaluation.values()
+        )
+        total_planned = sum(len(plan) for _, plan in evaluation.values())
+        assert total_planned / total_regions < 0.45
+
+    def test_compression_everywhere(self, evaluation):
+        """§4.4: multi-order-of-magnitude profile compression."""
+        from repro.hcpa import compression_stats
+
+        for name, (result, _) in evaluation.items():
+            assert compression_stats(result.profile).ratio > 25, name
+
+    def test_self_parallelism_localizes(self, evaluation):
+        """§6.2: self-parallelism flags far more low-parallelism regions
+        than total-parallelism does (2.28x in the paper)."""
+        low_sp = low_tp = 0
+        for result, _ in evaluation.values():
+            for profile in result.aggregated.plannable():
+                low_tp += profile.total_parallelism < 5.0
+                low_sp += profile.self_parallelism < 5.0
+        assert low_sp > 1.5 * max(low_tp, 1)

@@ -1,0 +1,117 @@
+"""Builtin function tests."""
+
+import math
+
+import pytest
+
+from repro.frontend.errors import SemanticError
+from repro.interp.builtins import BUILTINS, is_builtin
+from tests.conftest import run_source
+
+
+def call_float(expr: str) -> float:
+    source = f"float r; int main() {{ r = {expr}; print(r); return 0; }}"
+    result = run_source(source)
+    return float(result.output[0])
+
+
+def call_int(expr: str) -> int:
+    return run_source(f"int main() {{ return {expr}; }}").value
+
+
+class TestMathBuiltins:
+    def test_sqrt(self):
+        assert call_float("sqrt(9.0)") == 3.0
+
+    def test_sqrt_coerces_int_argument(self):
+        assert call_float("sqrt(16)") == 4.0
+
+    def test_fabs(self):
+        assert call_float("fabs(0.0 - 2.5)") == 2.5
+
+    def test_exp_log_inverse(self):
+        assert abs(call_float("log(exp(2.0))") - 2.0) < 1e-6
+
+    def test_trig(self):
+        assert abs(call_float("sin(0.0)")) < 1e-9
+        assert abs(call_float("cos(0.0)") - 1.0) < 1e-9
+
+    def test_floor_ceil(self):
+        assert call_float("floor(2.7)") == 2.0
+        assert call_float("ceil(2.1)") == 3.0
+
+    def test_pow(self):
+        assert call_float("pow(2.0, 10.0)") == 1024.0
+
+
+class TestPolymorphicBuiltins:
+    def test_min_max_int(self):
+        assert call_int("min(3, 7)") == 3
+        assert call_int("max(3, 7)") == 7
+
+    def test_min_max_float_promotes(self):
+        assert call_float("max(2, 2.5)") == 2.5
+
+    def test_abs_int_stays_int(self):
+        assert call_int("abs(0 - 9)") == 9
+
+    def test_abs_float(self):
+        assert call_float("abs(0.0 - 1.25)") == 1.25
+
+
+class TestRandom:
+    def test_rand_range(self):
+        value = call_int("rand()")
+        assert 0 <= value < 2**31
+
+    def test_randf_range(self):
+        source = """
+        int main() {
+          for (int i = 0; i < 100; i++) {
+            float v = randf();
+            if (v < 0.0) return 1;
+            if (v >= 1.0) return 2;
+          }
+          return 0;
+        }
+        """
+        assert run_source(source).value == 0
+
+    def test_srand_controls_sequence(self):
+        a = run_source("int main() { srand(11); return rand() % 997; }").value
+        b = run_source("int main() { srand(11); return rand() % 997; }").value
+        c = run_source("int main() { srand(12); return rand() % 997; }").value
+        assert a == b
+        assert a != c
+
+
+class TestPrint:
+    def test_print_mixed_arguments(self):
+        result = run_source('int main() { print("x =", 3, "y =", 2.5); return 0; }')
+        assert result.output == ["x = 3 y = 2.5"]
+
+    def test_print_float_formatting(self):
+        result = run_source("int main() { print(1.0 / 3.0); return 0; }")
+        assert result.output == ["0.333333"]
+
+    def test_print_variadic(self):
+        result = run_source("int main() { print(1, 2, 3, 4, 5); return 0; }")
+        assert result.output == ["1 2 3 4 5"]
+
+
+class TestBuiltinRegistry:
+    def test_is_builtin(self):
+        assert is_builtin("sqrt")
+        assert not is_builtin("frobnicate")
+
+    def test_all_builtins_have_positive_cost(self):
+        for name, spec in BUILTINS.items():
+            assert spec.cost >= 1, name
+
+    def test_all_builtins_are_callable_specs(self):
+        for spec in BUILTINS.values():
+            assert callable(spec.impl)
+
+    def test_builtin_names_match_keys(self):
+        for name, spec in BUILTINS.items():
+            assert spec.name == name

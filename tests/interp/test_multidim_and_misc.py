@@ -1,0 +1,161 @@
+"""Rank-3 arrays, region-tree queries, and assorted small-surface tests."""
+
+import pytest
+
+from repro.frontend.ast_nodes import walk_expr, walk_stmts
+from repro.frontend.parser import parse_program
+from repro.frontend.tokens import TokenKind
+from repro.instrument.regions import RegionKind
+from tests.conftest import compile_source, profile_source, region_profile, run_source
+
+
+class TestRank3Arrays:
+    SOURCE = """
+    float cube[4][5][6];
+    int main() {
+      for (int i = 0; i < 4; i++)
+        for (int j = 0; j < 5; j++)
+          for (int k = 0; k < 6; k++)
+            cube[i][j][k] = (float) (i * 100 + j * 10 + k);
+      return (int) cube[3][4][5];
+    }
+    """
+
+    def test_semantics(self):
+        assert run_source(self.SOURCE).value == 345
+
+    def test_linearization_row_major(self):
+        source = """
+        int cube[2][3][4];
+        int main() {
+          cube[1][2][3] = 7;
+          int flatten = 0;
+          for (int i = 0; i < 2; i++)
+            for (int j = 0; j < 3; j++)
+              for (int k = 0; k < 4; k++)
+                if (cube[i][j][k] == 7) flatten = i * 12 + j * 4 + k;
+          return flatten;
+        }
+        """
+        assert run_source(source).value == 1 * 12 + 2 * 4 + 3
+
+    def test_rank3_profiles_cleanly(self):
+        _, _, aggregated = profile_source(self.SOURCE)
+        innermost = region_profile(aggregated, "main#loop3")
+        assert innermost.average_iterations == 6
+        assert innermost.self_parallelism > 3
+
+    def test_rank3_parameter(self):
+        source = """
+        void fill(float c[2][3][4]) {
+          for (int i = 0; i < 2; i++)
+            for (int j = 0; j < 3; j++)
+              for (int k = 0; k < 4; k++)
+                c[i][j][k] = 1.0;
+        }
+        int main() {
+          float data[2][3][4];
+          fill(data);
+          float s = 0.0;
+          for (int i = 0; i < 2; i++)
+            for (int j = 0; j < 3; j++)
+              for (int k = 0; k < 4; k++)
+                s += data[i][j][k];
+          return (int) s;
+        }
+        """
+        assert run_source(source).value == 24
+
+
+class TestRegionTreeQueries:
+    @pytest.fixture()
+    def program(self):
+        return compile_source(
+            """
+            void inner() { for (int i = 0; i < 2; i++) { } }
+            int main() {
+              for (int r = 0; r < 2; r++) { inner(); }
+              return 0;
+            }
+            """
+        )
+
+    def test_format_tree(self, program):
+        text = program.regions.format_tree()
+        assert "function inner" in text
+        assert "loop main#loop1" in text
+        assert text.count("#") >= 6
+
+    def test_body_of_and_loop_of_body(self, program):
+        regions = program.regions
+        loop = next(r for r in regions.loops() if r.function_name == "main")
+        body = regions.body_of(loop.id)
+        assert body.kind is RegionKind.BODY
+        assert regions.loop_of_body(body.id) is loop
+
+    def test_body_of_non_loop_raises(self, program):
+        regions = program.regions
+        function = regions.function_region("main")
+        with pytest.raises(ValueError):
+            regions.body_of(function.id)
+
+    def test_loop_of_body_on_non_body_raises(self, program):
+        regions = program.regions
+        with pytest.raises(ValueError):
+            regions.loop_of_body(regions.function_region("main").id)
+
+    def test_descendants_preorder(self, program):
+        regions = program.regions
+        main = regions.function_region("main")
+        descendants = regions.descendants(main.id)
+        kinds = [r.kind for r in descendants]
+        assert kinds[0] is RegionKind.LOOP
+        assert kinds[1] is RegionKind.BODY
+
+    def test_unknown_function_region(self, program):
+        with pytest.raises(KeyError):
+            program.regions.function_region("ghost")
+
+
+class TestAstWalkers:
+    def test_walk_expr_counts_nodes(self):
+        program = parse_program(
+            "int main() { int x = (1 + 2) * f(3, a[4]); return x; } int f(int a, int b){return a;} "
+            .replace("a[4]", "4")  # keep it simple: no undeclared arrays
+        )
+        decl = program.function("main").body.body[0]
+        nodes = list(walk_expr(decl.decls[0].init))
+        # (1+2)*f(3,4): mul, add, 1, 2, call, 3, 4
+        assert len(nodes) == 7
+
+    def test_walk_stmts_covers_nesting(self):
+        program = parse_program(
+            """
+            int main() {
+              for (int i = 0; i < 2; i++) {
+                if (i > 0) { i = i; } else { i = i; }
+                while (i < 0) { i++; }
+              }
+              return 0;
+            }
+            """
+        )
+        stmts = list(walk_stmts(program.function("main").body))
+        kinds = {type(s).__name__ for s in stmts}
+        assert {"BlockStmt", "ForStmt", "IfStmt", "WhileStmt", "AssignStmt", "ReturnStmt"} <= kinds
+
+
+class TestTokenHelpers:
+    def test_is_kind(self):
+        from repro.frontend.lexer import tokenize
+
+        token = tokenize("42")[0]
+        assert token.is_kind(TokenKind.INT_LITERAL, TokenKind.FLOAT_LITERAL)
+        assert not token.is_kind(TokenKind.IDENT)
+
+    def test_token_str_forms(self):
+        from repro.frontend.lexer import tokenize
+
+        assert str(tokenize("42")[0]) == "INT_LITERAL(42)"
+        assert str(tokenize("abc")[0]) == "IDENT(abc)"
+        assert str(tokenize("+")[0]) == "PLUS"

@@ -1,0 +1,261 @@
+"""IRBuilder and verifier tests (hand-constructed IR)."""
+
+import pytest
+
+from repro.frontend.source import SourceSpan
+from repro.ir import (
+    FLOAT,
+    INT,
+    VOID,
+    ArrayType,
+    Function,
+    IRBuilder,
+    Module,
+    VerificationError,
+    verify_module,
+)
+from repro.ir.instructions import BinOp, Branch, Ret
+from repro.ir.module import GlobalVar
+from repro.ir.values import Constant, GlobalRef
+from repro.ir.verifier import verify_function
+
+SPAN = SourceSpan.point(1, 1, "hand.c")
+
+
+def new_function(name="f", return_type=INT):
+    return Function(name=name, return_type=return_type, span=SPAN)
+
+
+def simple_module(function):
+    module = Module(name="hand")
+    module.add_function(function)
+    if function.name != "main":
+        main = new_function("main")
+        builder = IRBuilder(main)
+        builder.set_block(main.new_block("entry"))
+        builder.ret(Constant(0, INT), SPAN)
+        module.add_function(main)
+    return module
+
+
+class TestBuilder:
+    def test_binop_types(self):
+        function = new_function()
+        builder = IRBuilder(function)
+        builder.set_block(function.new_block())
+        r1 = builder.binop("+", Constant(1, INT), Constant(2, INT), SPAN)
+        assert r1.type == INT
+        r2 = builder.binop("+", r1, Constant(1.0, FLOAT), SPAN)
+        assert r2.type == FLOAT
+        r3 = builder.binop("<", r2, Constant(0.0, FLOAT), SPAN)
+        assert r3.type == INT  # comparisons are int
+
+    def test_cast_folds_constants(self):
+        function = new_function()
+        builder = IRBuilder(function)
+        builder.set_block(function.new_block())
+        value = builder.cast(INT, Constant(3.7, FLOAT), SPAN)
+        assert isinstance(value, Constant)
+        assert value.value == 3
+        assert not builder.current.instructions  # nothing emitted
+
+    def test_cast_same_type_is_identity(self):
+        function = new_function()
+        builder = IRBuilder(function)
+        builder.set_block(function.new_block())
+        reg = builder.binop("+", Constant(1, INT), Constant(2, INT), SPAN)
+        assert builder.cast(INT, reg, SPAN) is reg
+
+    def test_terminator_clears_block(self):
+        function = new_function()
+        builder = IRBuilder(function)
+        builder.set_block(function.new_block())
+        builder.ret(Constant(0, INT), SPAN)
+        assert builder.is_terminated
+        with pytest.raises(ValueError):
+            builder.current
+
+    def test_append_after_terminator_rejected(self):
+        function = new_function()
+        block = function.new_block()
+        builder = IRBuilder(function)
+        builder.set_block(block)
+        builder.ret(Constant(0, INT), SPAN)
+        builder.set_block(block)
+        with pytest.raises(ValueError):
+            builder.binop("+", Constant(1, INT), Constant(2, INT), SPAN)
+
+    def test_double_terminate_rejected(self):
+        function = new_function()
+        block = function.new_block()
+        block.terminate(Ret(SPAN, value=Constant(0, INT)))
+        with pytest.raises(ValueError):
+            block.terminate(Ret(SPAN, value=Constant(1, INT)))
+
+    def test_register_indices_unique(self):
+        function = new_function()
+        registers = [function.new_register(INT) for _ in range(5)]
+        assert len({r.index for r in registers}) == 5
+
+
+class TestVerifier:
+    def test_valid_function_passes(self):
+        function = new_function("main")
+        builder = IRBuilder(function)
+        builder.set_block(function.new_block("entry"))
+        value = builder.binop("+", Constant(1, INT), Constant(2, INT), SPAN)
+        builder.ret(value, SPAN)
+        verify_module(simple_module(function))
+
+    def test_unterminated_block(self):
+        function = new_function("main")
+        function.new_block("entry")
+        with pytest.raises(VerificationError, match="not terminated"):
+            verify_function(function)
+
+    def test_no_blocks(self):
+        with pytest.raises(VerificationError, match="no blocks"):
+            verify_function(new_function())
+
+    def test_void_function_returning_value(self):
+        function = new_function("main", VOID)
+        builder = IRBuilder(function)
+        builder.set_block(function.new_block())
+        builder.ret(Constant(1, INT), SPAN)
+        with pytest.raises(VerificationError, match="void function returns"):
+            verify_function(function)
+
+    def test_nonvoid_function_returning_nothing(self):
+        function = new_function("main", INT)
+        builder = IRBuilder(function)
+        builder.set_block(function.new_block())
+        builder.ret(None, SPAN)
+        with pytest.raises(VerificationError, match="returns nothing"):
+            verify_function(function)
+
+    def test_undefined_register_use(self):
+        function = new_function("main")
+        other = new_function("other")
+        stray = other.new_register(INT)
+        builder = IRBuilder(function)
+        builder.set_block(function.new_block())
+        result = builder.binop("+", stray, Constant(1, INT), SPAN)
+        builder.ret(result, SPAN)
+        with pytest.raises(VerificationError, match="undefined register"):
+            verify_function(function)
+
+    def test_unknown_binop(self):
+        function = new_function("main")
+        block = function.new_block()
+        result = function.new_register(INT)
+        block.append(
+            BinOp(SPAN, op="**", lhs=Constant(1, INT), rhs=Constant(2, INT), result=result)
+        )
+        block.terminate(Ret(SPAN, value=result))
+        with pytest.raises(VerificationError, match="unknown binary op"):
+            verify_function(function)
+
+    def test_bad_dep_break_tag(self):
+        function = new_function("main")
+        block = function.new_block()
+        result = function.new_register(INT)
+        instr = BinOp(
+            SPAN, op="+", lhs=Constant(1, INT), rhs=Constant(2, INT), result=result
+        )
+        instr.dep_break = "banana"
+        block.append(instr)
+        block.terminate(Ret(SPAN, value=result))
+        with pytest.raises(VerificationError, match="dep_break"):
+            verify_function(function)
+
+    def test_branch_to_foreign_block(self):
+        function = new_function("main")
+        other = new_function("other")
+        foreign = other.new_block()
+        foreign.terminate(Ret(SPAN, value=Constant(0, INT)))
+        block = function.new_block()
+        block.terminate(
+            Branch(SPAN, cond=Constant(1, INT), then_block=foreign, else_block=foreign)
+        )
+        with pytest.raises(VerificationError, match="foreign block"):
+            verify_function(function)
+
+    def test_scalar_store_with_index_rejected(self):
+        function = new_function("main")
+        module = Module(name="m")
+        module.add_global(GlobalVar("g", INT))
+        builder = IRBuilder(function)
+        builder.set_block(function.new_block())
+        builder.store(GlobalRef("g", INT), Constant(0, INT), Constant(1, INT), SPAN)
+        builder.ret(Constant(0, INT), SPAN)
+        with pytest.raises(VerificationError, match="must not have an index"):
+            verify_function(function, module)
+
+    def test_array_access_without_index_rejected(self):
+        function = new_function("main")
+        array_type = ArrayType(INT, (4,))
+        module = Module(name="m")
+        module.add_global(GlobalVar("arr", array_type))
+        builder = IRBuilder(function)
+        builder.set_block(function.new_block())
+        builder.load(GlobalRef("arr", array_type), None, SPAN)
+        builder.ret(Constant(0, INT), SPAN)
+        with pytest.raises(VerificationError, match="requires an index"):
+            verify_function(function, module)
+
+    def test_unknown_global(self):
+        function = new_function("main")
+        module = Module(name="m")
+        module.add_function(function)
+        builder = IRBuilder(function)
+        builder.set_block(function.new_block())
+        loaded = builder.load(GlobalRef("nope", INT), None, SPAN)
+        builder.ret(loaded, SPAN)
+        with pytest.raises(VerificationError, match="unknown global"):
+            verify_module(module)
+
+    def test_module_without_main(self):
+        module = Module(name="m")
+        function = new_function("helper", VOID)
+        builder = IRBuilder(function)
+        builder.set_block(function.new_block())
+        builder.ret(None, SPAN)
+        module.add_function(function)
+        with pytest.raises(VerificationError, match="no main"):
+            verify_module(module)
+
+    def test_duplicate_block_labels(self):
+        function = new_function("main")
+        block1 = function.new_block("dup")
+        block1.label = "same"
+        block2 = function.new_block("dup")
+        block2.label = "same"
+        block1.terminate(Ret(SPAN, value=Constant(0, INT)))
+        block2.terminate(Ret(SPAN, value=Constant(0, INT)))
+        with pytest.raises(VerificationError, match="duplicate block label"):
+            verify_function(function)
+
+
+class TestModule:
+    def test_duplicate_global_rejected(self):
+        module = Module()
+        module.add_global(GlobalVar("x", INT))
+        with pytest.raises(ValueError):
+            module.add_global(GlobalVar("x", FLOAT))
+
+    def test_duplicate_function_rejected(self):
+        module = Module()
+        module.add_function(new_function("f"))
+        with pytest.raises(ValueError):
+            module.add_function(new_function("f"))
+
+    def test_function_lookup_error(self):
+        with pytest.raises(KeyError):
+            Module().function("ghost")
+
+    def test_scalar_and_array_global_partition(self):
+        module = Module()
+        module.add_global(GlobalVar("s", INT, 3))
+        module.add_global(GlobalVar("a", ArrayType(FLOAT, (4,))))
+        assert [g.name for g in module.scalar_globals()] == ["s"]
+        assert [g.name for g in module.array_globals()] == ["a"]

@@ -1,0 +1,82 @@
+"""IR type system tests."""
+
+import pytest
+
+from repro.ir.types import (
+    FLOAT,
+    INT,
+    VOID,
+    ArrayType,
+    common_type,
+    scalar,
+)
+
+
+class TestScalars:
+    def test_interning(self):
+        assert scalar("int") is INT
+        assert scalar("float") is FLOAT
+        assert scalar("void") is VOID
+
+    def test_unknown_scalar(self):
+        with pytest.raises(ValueError):
+            scalar("long")
+
+    def test_predicates(self):
+        assert INT.is_scalar and FLOAT.is_scalar
+        assert not VOID.is_scalar
+        assert VOID.is_void
+        assert not INT.is_array
+
+    def test_str(self):
+        assert str(INT) == "int"
+
+
+class TestArrays:
+    def test_element_count(self):
+        assert ArrayType(FLOAT, (4, 8)).element_count == 32
+        assert ArrayType(INT, (5,)).element_count == 5
+
+    def test_unsized_first_dim(self):
+        array = ArrayType(FLOAT, (None, 8))
+        assert array.element_count is None
+        assert array.rank == 2
+
+    def test_unsized_inner_dim_rejected(self):
+        with pytest.raises(ValueError):
+            ArrayType(FLOAT, (4, None))
+
+    def test_zero_dims_rejected(self):
+        with pytest.raises(ValueError):
+            ArrayType(INT, ())
+
+    def test_row_stride(self):
+        array = ArrayType(FLOAT, (4, 8, 2))
+        assert array.row_stride(0) == 16
+        assert array.row_stride(1) == 2
+        assert array.row_stride(2) == 1
+
+    def test_row_stride_with_unsized_first(self):
+        array = ArrayType(FLOAT, (None, 8))
+        assert array.row_stride(0) == 8
+
+    def test_str(self):
+        assert str(ArrayType(INT, (3, 4))) == "int[3][4]"
+        assert str(ArrayType(FLOAT, (None, 2))) == "float[][2]"
+
+    def test_is_array(self):
+        assert ArrayType(INT, (2,)).is_array
+
+
+class TestCommonType:
+    def test_int_int(self):
+        assert common_type(INT, INT) is INT
+
+    def test_float_wins(self):
+        assert common_type(INT, FLOAT) is FLOAT
+        assert common_type(FLOAT, INT) is FLOAT
+        assert common_type(FLOAT, FLOAT) is FLOAT
+
+    def test_array_rejected(self):
+        with pytest.raises(ValueError):
+            common_type(ArrayType(INT, (2,)), INT)

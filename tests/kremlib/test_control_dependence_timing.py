@@ -1,0 +1,152 @@
+"""Control-dependence timestamp mechanics (paper §4.1).
+
+These tests pin down the *timing* behaviour of the control stack: values
+computed under a branch become available no earlier than the branch
+condition; leaving the controlled region releases later code from the
+dependence; and loop-continuation tests do not serialize counted loops.
+"""
+
+import pytest
+
+from tests.conftest import profile_source, region_profile
+
+
+class TestControlSerialization:
+    def test_branch_condition_gates_dependent_work(self):
+        """A loop whose every iteration's work is guarded by a condition on
+        loop-carried data must serialize *through the condition* even though
+        the guarded computation itself has no data dependence."""
+        _, _, aggregated = profile_source(
+            """
+            float a[256];
+            float gate;
+            int main() {
+              gate = 1.0;
+              for (int i = 0; i < 256; i++) {
+                if (gate > 0.5) {
+                  a[i] = (float) i * 2.0;       // data-independent work...
+                }
+                gate = gate * 0.999 + 0.001;    // ...but the gate is carried
+              }
+              return (int) a[100];
+            }
+            """
+        )
+        loop = region_profile(aggregated, "main#loop1")
+        # The gate chain costs ~4 cycles/iter of a ~15-cycle body: the loop
+        # is far from DOALL (SP would be ~256 without control tracking).
+        assert loop.self_parallelism < 0.25 * loop.average_iterations
+
+    def test_independent_guards_do_not_serialize(self):
+        """Same structure, but the guard depends only on the induction
+        variable: control tracking must NOT serialize it."""
+        _, _, aggregated = profile_source(
+            """
+            float a[256];
+            int main() {
+              for (int i = 0; i < 256; i++) {
+                if (i % 2 == 0) {
+                  a[i] = (float) i * 2.0;
+                }
+              }
+              return (int) a[100];
+            }
+            """
+        )
+        loop = region_profile(aggregated, "main#loop1")
+        assert loop.self_parallelism > 0.5 * loop.average_iterations
+
+    def test_control_region_ends_at_join(self):
+        """A branch's control influence ends at its join block. Observable
+        when the *condition* is expensive: code after the join must not
+        chain on it, so an expensive condition and an independent expensive
+        chain after the join overlap (cp ≈ max) instead of adding."""
+        # Two 40-step float chains, ~200 cycles each.
+        chain = "\n".join("  x = x * 1.01;" for _ in range(40))
+        chain2 = "\n".join("  y = y * 1.01;" for _ in range(40))
+        _, profile, aggregated = profile_source(
+            f"""
+            float sink;
+            int main() {{
+              float x = 1.0;
+              float y = 1.0;
+            {chain}
+              if (x > 0.0) {{ sink = 1.0; }}
+              // after the join: an independent expensive chain
+            {chain2}
+              sink = sink + y;
+              return (int) sink;
+            }}
+            """
+        )
+        root = profile.root_entry
+        single_chain = 40 * 4  # 40 float multiplies at 4 cycles
+        # With the pop at the join, the chains overlap: cp ≈ one chain.
+        # If the branch entry leaked, y's chain would start after x's:
+        # cp ≈ two chains.
+        assert root.cp < 1.5 * single_chain
+        assert root.work > 2 * single_chain
+
+    def test_early_exit_condition_on_data_serializes(self):
+        """`while` convergence loops (exit test on loop-carried data) stay
+        serial through the data chain feeding the test."""
+        _, _, aggregated = profile_source(
+            """
+            int main() {
+              float err = 100.0;
+              int iters = 0;
+              while (err > 0.01) {
+                err = err * 0.9;
+                iters += 1;
+              }
+              return iters;
+            }
+            """
+        )
+        loop = region_profile(aggregated, "main#loop1")
+        assert loop.self_parallelism < 3.0
+
+
+class TestReturnValueTiming:
+    def test_callee_critical_path_flows_to_caller(self):
+        """The result of a serial callee must carry its chain into the
+        caller's timeline: a loop of dependent calls stays serial at the
+        caller even though each call body is internally parallel-free."""
+        _, _, aggregated = profile_source(
+            """
+            float slow_inc(float x) {
+              float y = x;
+              for (int k = 0; k < 10; k++) { y = y * 0.5 + 1.0; }
+              return y;
+            }
+            int main() {
+              float v = 1.0;
+              for (int i = 0; i < 40; i++) {
+                v = slow_inc(v);       // each call depends on the last
+              }
+              return (int) v;
+            }
+            """
+        )
+        loop = region_profile(aggregated, "main#loop1")
+        assert loop.self_parallelism < 3.0
+
+    def test_independent_calls_stay_parallel(self):
+        _, _, aggregated = profile_source(
+            """
+            float out[40];
+            float slow_inc(float x) {
+              float y = x;
+              for (int k = 0; k < 10; k++) { y = y * 0.5 + 1.0; }
+              return y;
+            }
+            int main() {
+              for (int i = 0; i < 40; i++) {
+                out[i] = slow_inc((float) i);   // independent arguments
+              }
+              return (int) out[7];
+            }
+            """
+        )
+        loop = region_profile(aggregated, "main#loop1")
+        assert loop.self_parallelism > 0.6 * loop.average_iterations

@@ -1,0 +1,100 @@
+"""Profiling recursive programs: dynamic nesting of one static region."""
+
+import pytest
+
+from tests.conftest import profile_source, region_profile
+
+
+class TestRecursionProfiles:
+    def test_linear_recursion_instances(self):
+        _, profile, aggregated = profile_source(
+            """
+            int countdown(int n) {
+              if (n <= 0) return 0;
+              return 1 + countdown(n - 1);
+            }
+            int main() { return countdown(20); }
+            """
+        )
+        fn = region_profile(aggregated, "countdown")
+        assert fn.instances == 21
+
+    def test_recursive_work_is_inclusive(self):
+        """Each activation's work includes its recursive callees, so the
+        aggregate over all instances intentionally multi-counts (like
+        gprof's cumulative time on recursive cycles); the OUTERMOST call's
+        work still bounds the program's."""
+        _, profile, aggregated = profile_source(
+            """
+            int countdown(int n) {
+              if (n <= 0) return 0;
+              return 1 + countdown(n - 1);
+            }
+            int main() { return countdown(15); }
+            """
+        )
+        entries = profile.dictionary.entries
+        regions = profile.regions
+        fn_works = [
+            e.work
+            for e in entries
+            if regions.region(e.static_id).name == "countdown"
+        ]
+        # 16 distinct depths -> 16 distinct summaries, nested works strictly
+        # increasing toward the outermost call.
+        assert len(fn_works) == 16
+        assert sorted(fn_works) == fn_works or sorted(fn_works, reverse=True) == fn_works
+        assert max(fn_works) <= profile.total_work
+
+    def test_serial_recursion_has_serial_sp(self):
+        _, _, aggregated = profile_source(
+            """
+            float chain(float x, int n) {
+              if (n <= 0) return x;
+              return chain(x * 0.5 + 1.0, n - 1);
+            }
+            int main() { return (int) chain(100.0, 30); }
+            """
+        )
+        fn = region_profile(aggregated, "chain")
+        assert fn.self_parallelism < 2.0
+
+    def test_tree_recursion_exposes_parallelism(self):
+        """fib(n) calls two independent children: HCPA should report
+        self-parallelism ≈ 2 per activation (the two subtrees overlap)."""
+        _, _, aggregated = profile_source(
+            """
+            int fib(int n) {
+              if (n < 2) return n;
+              return fib(n - 1) + fib(n - 2);
+            }
+            int main() { return fib(14); }
+            """
+        )
+        fn = region_profile(aggregated, "fib")
+        assert 1.3 < fn.self_parallelism < 2.5
+
+    def test_planner_never_selects_recursive_region_cycle(self):
+        """A recursive function dynamically nests inside itself; selecting
+        it would violate the OpenMP path constraint against itself. The
+        char-DAG formulation handles this implicitly — and functions are
+        excluded by loops_only anyway. Check the plan is still well-formed
+        and loops called from the recursion can be planned."""
+        _, _, aggregated = profile_source(
+            """
+            float work[512];
+            void leafwork() {
+              for (int i = 0; i < 512; i++) { work[i] = work[i] * 1.1 + 1.0; }
+            }
+            int spine(int n) {
+              if (n <= 0) return 0;
+              leafwork();
+              return 1 + spine(n - 1);
+            }
+            int main() { return spine(8); }
+            """
+        )
+        from repro.planner import OpenMPPlanner
+
+        plan = OpenMPPlanner().plan(aggregated)
+        assert plan.region_names == ["leafwork#loop1"]

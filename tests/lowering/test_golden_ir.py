@@ -1,0 +1,143 @@
+"""Golden IR structure tests: the exact lowering of each construct.
+
+Rather than full-text golden files (brittle to register numbering), these
+check the structural skeleton: block labels, instruction opcodes in order,
+and marker placement.
+"""
+
+from repro.ir.printer import print_function
+from tests.conftest import compile_source
+
+
+def function_ir(source, name="main"):
+    program = compile_source(source)
+    return program.module.function(name)
+
+
+def opcode_skeleton(function):
+    """[(block label, [opcodes...], terminator opcode)] in block order."""
+    out = []
+    for block in function.blocks:
+        out.append(
+            (
+                block.label,
+                [i.opcode for i in block.instructions],
+                block.terminator.opcode,
+            )
+        )
+    return out
+
+
+class TestGoldenForLoop:
+    def test_canonical_for_loop_shape(self):
+        function = function_ir(
+            "int main() { int s = 0; for (int i = 0; i < 3; i++) s += i; return s; }"
+        )
+        skeleton = opcode_skeleton(function)
+        labels = [entry[0] for entry in skeleton]
+        assert labels == [
+            "entry0",
+            "loop.header1",
+            "loop.latch2",
+            "loop.exit3",
+            "loop.body4",
+            "loop.after5",
+        ]
+        by_label = {label: (ops, term) for label, ops, term in skeleton}
+        # entry: function enter, two variable inits, loop enter.
+        assert by_label["entry0"][0] == [
+            "region_enter", "copy", "copy", "region_enter",
+        ]
+        assert by_label["entry0"][1] == "jump"
+        # header: compare + conditional branch.
+        assert by_label["loop.header1"][0] == ["binop.<"]
+        assert by_label["loop.header1"][1] == "branch"
+        # latch: induction update + copy back.
+        assert by_label["loop.latch2"][0] == ["binop.+", "copy"]
+        # body: body region around the reduction update.
+        assert by_label["loop.body4"][0] == [
+            "region_enter", "binop.+", "copy", "region_exit",
+        ]
+        # exit: loop region exit.
+        assert by_label["loop.exit3"][0] == ["region_exit"]
+        # after: function region exit before ret.
+        assert by_label["loop.after5"][0] == ["region_exit"]
+        assert by_label["loop.after5"][1] == "ret"
+
+    def test_while_loop_has_empty_latch(self):
+        function = function_ir(
+            "int main() { int i = 0; while (i < 3) { i += 1; } return i; }"
+        )
+        by_label = {
+            label: ops for label, ops, _ in opcode_skeleton(function)
+        }
+        assert by_label["loop.latch2"] == []
+
+    def test_do_while_enters_body_first(self):
+        function = function_ir(
+            "int main() { int i = 0; do { i += 1; } while (i < 3); return i; }"
+        )
+        skeleton = opcode_skeleton(function)
+        entry = skeleton[0]
+        assert entry[2] == "jump"
+        # entry jumps straight to the body block, not to a header.
+        labels = [s[0] for s in skeleton]
+        assert "loop.body3" in labels
+        assert not any(label.startswith("loop.header") for label in labels)
+
+
+class TestGoldenExpressions:
+    def test_two_dim_store_address_arithmetic(self):
+        function = function_ir(
+            "float m[4][8]; int main() { m[2][3] = 1.0; return 0; }"
+        )
+        ops = [i.opcode for i in function.blocks[0].instructions]
+        assert ops == [
+            "region_enter",
+            "binop.*",   # 2 * 8
+            "binop.+",   # + 3
+            "store",
+            "region_exit",
+        ]
+
+    def test_short_circuit_blocks(self):
+        function = function_ir(
+            "int main() { int a = 1; int b = 2; int c = a > 0 && b > 0; return c; }"
+        )
+        labels = [b.label for b in function.blocks]
+        assert "sc.rhs1" in labels
+        assert "sc.short2" in labels
+        assert "sc.join3" in labels
+
+    def test_ternary_blocks_and_copies(self):
+        function = function_ir(
+            "int main() { int a = 1; int r = a > 0 ? 10 : 20; return r; }"
+        )
+        labels = [b.label for b in function.blocks]
+        assert "sel.then1" in labels and "sel.else2" in labels and "sel.join3" in labels
+        by_label = {
+            label: ops for label, ops, _ in opcode_skeleton(function)
+        }
+        assert "copy" in by_label["sel.then1"]
+        assert "copy" in by_label["sel.else2"]
+
+    def test_compound_global_update(self):
+        function = function_ir("int g; int main() { g += 5; return g; }")
+        ops = [i.opcode for i in function.blocks[0].instructions]
+        assert ops == [
+            "region_enter",
+            "load",      # old value of g
+            "binop.+",
+            "store",
+            "load",      # re-read for return
+            "region_exit",
+        ]
+
+    def test_printer_roundtrip_is_parseable_text(self):
+        function = function_ir(
+            "int main() { int s = 0; for (int i = 0; i < 3; i++) s += i; return s; }"
+        )
+        text = print_function(function)
+        assert text.startswith("func main()")
+        assert text.rstrip().endswith("}")
+        assert text.count("region_enter") == text.count("region_exit")

@@ -1,0 +1,241 @@
+"""OpenMP planner tests: thresholds, non-nesting DP, ordering, exclusion."""
+
+import pytest
+
+from repro.planner.base import PlannerPersonality
+from repro.planner.openmp import OPENMP_PERSONALITY, OpenMPPlanner
+from tests.conftest import profile_source, region_profile
+
+NESTED_DOALL = """
+float m[24][24];
+int main() {
+  for (int i = 0; i < 24; i++) {
+    for (int j = 0; j < 24; j++) {
+      m[i][j] = (float) (i * j) * 0.5 + 1.0;
+    }
+  }
+  return (int) m[3][3];
+}
+"""
+
+
+def plan_for(source, personality=OPENMP_PERSONALITY):
+    _, profile, aggregated = profile_source(source)
+    plan = OpenMPPlanner(personality).plan(aggregated)
+    return plan, aggregated
+
+
+class TestNonNestingConstraint:
+    def test_nested_doalls_yield_single_selection(self):
+        plan, _ = plan_for(NESTED_DOALL)
+        assert len(plan) == 1
+        assert plan[0].region.name == "main#loop1"
+
+    def test_no_selected_region_nested_in_another(self):
+        source = """
+        float a[16][16];
+        float b[256];
+        void stencil() {
+          for (int i = 1; i < 15; i++)
+            for (int j = 1; j < 15; j++)
+              a[i][j] = 0.25 * (a[i-1][j] + a[i+1][j] + a[i][j-1] + a[i][j+1]);
+        }
+        int main() {
+          for (int r = 0; r < 4; r++) { stencil(); }
+          for (int i = 0; i < 256; i++) { b[i] = (float) i * 2.0; }
+          return (int) (a[2][2] + b[5]);
+        }
+        """
+        plan, aggregated = plan_for(source)
+        selected = set(plan.region_ids)
+        for static_id in selected:
+            descendants = aggregated.descendants_of(static_id)
+            nested_selected = selected & descendants
+            assert not nested_selected
+
+
+class TestDpBeatsGreedy:
+    def test_two_children_beat_one_parent(self):
+        """The ft/lu case (§5.1): the parent loop has decent SP, but its two
+        inner phases together save more. The DP must pick the children."""
+        source = """
+        float a[40][40];
+        float b[40][40];
+        int main() {
+          // outer loop: partially serial across iterations (carried carry),
+          // so its SP is modest, while the two inner DOALL nests are huge.
+          float carry = 0.0;
+          for (int t = 0; t < 6; t++) {
+            for (int i = 0; i < 40; i++) {
+              for (int j = 0; j < 40; j++) {
+                a[i][j] = a[i][j] * 0.5 + carry;
+              }
+            }
+            for (int i = 0; i < 40; i++) {
+              for (int j = 0; j < 40; j++) {
+                b[i][j] = b[i][j] + a[i][j];
+              }
+            }
+            carry = carry * 0.9 + b[t][t];
+          }
+          return (int) (a[1][1] + b[2][2]);
+        }
+        """
+        plan, _ = plan_for(source)
+        names = set(plan.region_names)
+        assert "main#loop2" in names and "main#loop4" in names
+        assert "main#loop1" not in names
+
+    def test_coarse_parent_beats_fine_children(self):
+        """The is/sp case: when the parent is fully parallel and the
+        children only cover part of its work, select the parent."""
+        source = """
+        float out[8][64];
+        int main() {
+          for (int chunk = 0; chunk < 8; chunk++) {
+            // parallel part
+            for (int i = 0; i < 64; i++) {
+              out[chunk][i] = (float) (chunk * i) * 0.5;
+            }
+            // serial tail within the chunk
+            float h = 1.0;
+            for (int i = 0; i < 64; i++) {
+              h = h * 0.99 + out[chunk][i];
+            }
+            out[chunk][0] = h;
+          }
+          return (int) out[3][0];
+        }
+        """
+        plan, _ = plan_for(source)
+        assert plan.region_names == ["main#loop1"]
+
+
+class TestThresholds:
+    def test_low_sp_regions_excluded(self, canonical_loops_report):
+        names = canonical_loops_report.plan.region_names
+        assert not any("serial_chain" in name for name in names)
+        assert not any("wavefront" in name for name in names)
+
+    def test_sp_cutoff_respected(self):
+        plan, aggregated = plan_for(NESTED_DOALL)
+        for item in plan:
+            assert item.self_parallelism >= 5.0
+
+    def test_tiny_instance_work_excluded(self):
+        source = """
+        float a[8];
+        int main() {
+          float big[4096];
+          for (int r = 0; r < 200; r++) {
+            for (int i = 0; i < 8; i++) { a[i] = a[i] + 1.0; }  // tiny
+          }
+          for (int i = 0; i < 4096; i++) { big[i] = (float) i * 2.0; }
+          return (int) (a[0] + big[9]);
+        }
+        """
+        plan, _ = plan_for(source)
+        names = plan.region_names
+        assert "main#loop3" in names  # the big DOALL
+        assert "main#loop2" not in names  # 8-element inner loop: too fine
+
+    def test_doacross_needs_higher_speedup(self):
+        """A wavefront (DOACROSS) with SP above the cutoff but covering only
+        a little of the program must be rejected by the 3% threshold, while
+        an equal-coverage DOALL passes at 0.1%."""
+        source = """
+        float g[16][16];
+        float big[12000];
+        int main() {
+          // the dominant phase, so the others have ~2% coverage each
+          for (int r = 0; r < 14; r++)
+            for (int i = 0; i < 12000; i++)
+              big[i] = big[i] + 1.0;
+          // small DOALL
+          for (int i = 0; i < 2048; i++) big[i] = big[i] * 0.5;
+          // small wavefront (DOACROSS), similar size
+          for (int i = 1; i < 16; i++)
+            for (int j = 1; j < 16; j++)
+              g[i][j] = g[i][j] + g[i-1][j] * 0.3 + g[i][j-1] * 0.3;
+          return (int) (big[7] + g[5][5]);
+        }
+        """
+        _, profile, aggregated = profile_source(source)
+        planner = OpenMPPlanner()
+        plan = planner.plan(aggregated)
+        names = set(plan.region_names)
+        assert "main#loop3" in names  # small DOALL accepted at 0.1%
+        assert "main#loop4" not in names  # small DOACROSS rejected at 3%
+
+    def test_lenient_personality_accepts_more(self):
+        lenient = OPENMP_PERSONALITY.with_overrides(
+            min_self_parallelism=1.5,
+            min_doall_speedup_pct=0.0,
+            min_doacross_speedup_pct=0.0,
+            min_instance_work=0.0,
+        )
+        strict_plan, _ = plan_for(NESTED_DOALL)
+        lenient_plan, _ = plan_for(NESTED_DOALL, lenient)
+        assert len(lenient_plan) >= len(strict_plan)
+
+
+class TestOrderingAndItems:
+    def test_plan_sorted_by_estimated_speedup(self, canonical_loops_report):
+        estimates = [item.est_program_speedup for item in canonical_loops_report.plan]
+        assert estimates == sorted(estimates, reverse=True)
+
+    def test_items_carry_figure3_fields(self, canonical_loops_report):
+        for item in canonical_loops_report.plan:
+            assert item.location
+            assert item.self_parallelism >= 1.0
+            assert 0.0 <= item.coverage <= 1.0
+            assert item.classification in ("DOALL", "DOACROSS", "TASK")
+            assert item.est_program_speedup >= 1.0
+
+    def test_loops_only_personality(self, canonical_loops_report):
+        for item in canonical_loops_report.plan:
+            assert item.region.is_loop
+
+
+class TestExclusionList:
+    def test_replan_excludes_region(self, canonical_loops_report):
+        plan = canonical_loops_report.plan
+        assert len(plan) >= 2
+        top = plan[0].static_id
+        new_plan = canonical_loops_report.replan(exclude={top})
+        assert top not in new_plan.region_ids
+        assert top in new_plan.excluded
+
+    def test_exclusion_is_cumulative(self, canonical_loops_report):
+        plan = canonical_loops_report.plan
+        first = canonical_loops_report.replan(exclude={plan[0].static_id})
+        planner = OpenMPPlanner()
+        second = planner.replan_excluding(
+            canonical_loops_report.aggregated, first, {plan[1].static_id}
+        )
+        assert plan[0].static_id in second.excluded
+        assert plan[1].static_id in second.excluded
+        assert plan[0].static_id not in second.region_ids
+        assert plan[1].static_id not in second.region_ids
+
+    def test_excluding_parent_promotes_children(self):
+        # Inner rows must be heavy enough to clear the instance-work
+        # threshold once the outer loop is off the table.
+        source = '''
+        float m[8][2048];
+        int main() {
+          for (int i = 0; i < 8; i++) {
+            for (int j = 0; j < 2048; j++) {
+              m[i][j] = (float) (i * j) * 0.5 + 1.0;
+            }
+          }
+          return (int) m[3][3];
+        }
+        '''
+        plan, aggregated = plan_for(source)
+        # The 2048-wide inner DOALL (SP ≈ 2000) beats the 8-iteration outer.
+        assert plan.region_names == ["main#loop2"]
+        inner = plan[0].static_id
+        # The user can't parallelize it? Replanning promotes the outer loop.
+        replanned = OpenMPPlanner().plan(aggregated, excluded={inner})
+        assert replanned.region_names == ["main#loop1"]

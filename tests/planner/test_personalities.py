@@ -1,0 +1,102 @@
+"""Cilk++, gprof, and SP-filter personality tests (Figure 9's stages)."""
+
+import pytest
+
+from repro.planner.cilk import CILK_PERSONALITY, CilkPlanner
+from repro.planner.gprof import GprofPlanner, SelfParallelismFilterPlanner
+from repro.planner.openmp import OpenMPPlanner
+from tests.conftest import profile_source
+
+NESTED_PROGRAM = """
+float m[16][128];
+float v[2048];
+int main() {
+  for (int i = 0; i < 16; i++) {
+    for (int j = 0; j < 128; j++) {
+      m[i][j] = (float) (i + j) * 0.5;
+    }
+  }
+  for (int i = 0; i < 2048; i++) {
+    v[i] = (float) i * 0.25;
+  }
+  float x = 1.0;
+  for (int i = 0; i < 1200; i++) {
+    x = x * 0.99 + 0.01;   // serial, but hot
+  }
+  return (int) (m[3][3] + v[5] + x);
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def nested_profile():
+    _, profile, aggregated = profile_source(NESTED_PROGRAM)
+    return profile, aggregated
+
+
+class TestCilkPlanner:
+    def test_allows_nested_selections(self, nested_profile):
+        _, aggregated = nested_profile
+        plan = CilkPlanner().plan(aggregated)
+        names = set(plan.region_names)
+        # Both levels of the m-nest are recommended (work stealing nests).
+        assert "main#loop1" in names
+        assert "main#loop2" in names
+
+    def test_cilk_accepts_finer_grains_than_openmp(self, nested_profile):
+        _, aggregated = nested_profile
+        cilk = CilkPlanner().plan(aggregated)
+        openmp = OpenMPPlanner().plan(aggregated)
+        assert len(cilk) >= len(openmp)
+
+    def test_cilk_still_rejects_serial_regions(self, nested_profile):
+        _, aggregated = nested_profile
+        plan = CilkPlanner().plan(aggregated)
+        assert "main#loop4" not in plan.region_names
+
+    def test_personality_parameters(self):
+        assert CILK_PERSONALITY.allow_nested
+        assert not CILK_PERSONALITY.loops_only
+        assert CILK_PERSONALITY.min_self_parallelism < 5.0
+
+
+class TestGprofPlanner:
+    def test_includes_serial_hot_regions(self, nested_profile):
+        """The gprof baseline has no parallelism signal: the serial loop is
+        'hot' and therefore in the list — the wasted-effort failure mode the
+        paper's motivation describes (§2.1)."""
+        _, aggregated = nested_profile
+        plan = GprofPlanner(coverage_min=0.01).plan(aggregated)
+        assert "main#loop4" in plan.region_names
+
+    def test_ordering_by_work_not_speedup(self, nested_profile):
+        _, aggregated = nested_profile
+        plan = GprofPlanner(coverage_min=0.001).plan(aggregated)
+        works = [item.profile.work for item in plan]
+        assert works == sorted(works, reverse=True)
+
+    def test_coverage_cutoff(self, nested_profile):
+        _, aggregated = nested_profile
+        strict = GprofPlanner(coverage_min=0.30).plan(aggregated)
+        loose = GprofPlanner(coverage_min=0.001).plan(aggregated)
+        assert len(strict) < len(loose)
+        for item in strict:
+            assert item.coverage >= 0.30
+
+
+class TestSelfParallelismFilter:
+    def test_filters_serial_hotspots(self, nested_profile):
+        _, aggregated = nested_profile
+        plan = SelfParallelismFilterPlanner(coverage_min=0.01).plan(aggregated)
+        assert "main#loop4" not in plan.region_names
+        for item in plan:
+            assert item.self_parallelism >= 5.0
+
+    def test_figure9_monotone_reduction(self, nested_profile):
+        """Figure 9's three-stage shrinkage: work-only ⊇ +SP ⊇ full planner."""
+        _, aggregated = nested_profile
+        work_only = GprofPlanner(coverage_min=0.005).plan(aggregated)
+        sp_filter = SelfParallelismFilterPlanner(coverage_min=0.005).plan(aggregated)
+        full = OpenMPPlanner().plan(aggregated)
+        assert len(work_only) >= len(sp_filter) >= len(full)
+        assert set(sp_filter.region_ids) <= set(work_only.region_ids)

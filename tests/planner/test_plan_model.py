@@ -1,0 +1,92 @@
+"""Plan data-model and speedup-estimation unit tests."""
+
+import pytest
+
+from repro.frontend.source import SourceSpan
+from repro.hcpa.aggregate import RegionProfile
+from repro.instrument.regions import RegionKind, StaticRegion
+from repro.planner.plan import ParallelismPlan, PlanItem
+from repro.planner.speedup import (
+    combined_speedup,
+    estimate_program_speedup,
+    saved_work,
+)
+
+
+def make_profile(work=1000, cp=100, sp_numerator=None, kind=RegionKind.LOOP):
+    region = StaticRegion(
+        id=1, kind=kind, name="r", span=SourceSpan.point(1, 1, "t.c")
+    )
+    profile = RegionProfile(region=region, instances=1, work=work, cp=cp)
+    profile.sp_numerator = sp_numerator if sp_numerator is not None else work
+    profile.coverage = 0.5
+    return profile
+
+
+def make_item(est=1.5, **kwargs):
+    return PlanItem(
+        profile=make_profile(**kwargs),
+        est_program_speedup=est,
+        classification="DOALL",
+    )
+
+
+class TestSpeedupEstimation:
+    def test_saved_work_formula(self):
+        profile = make_profile(work=1000, cp=100, sp_numerator=1000)  # SP=10
+        assert saved_work(profile) == pytest.approx(1000 * (1 - 1 / 10))
+
+    def test_saved_work_with_cap(self):
+        profile = make_profile(work=1000, cp=100, sp_numerator=1000)  # SP=10
+        assert saved_work(profile, sp_cap=2.0) == pytest.approx(500.0)
+
+    def test_serial_region_saves_nothing(self):
+        profile = make_profile(work=1000, cp=1000, sp_numerator=1000)  # SP=1
+        assert saved_work(profile) == 0.0
+
+    def test_amdahl_program_speedup(self):
+        # Region is half the program with SP=inf-ish: speedup -> ~2.
+        profile = make_profile(work=500, cp=1, sp_numerator=500 * 500)
+        speedup = estimate_program_speedup(profile, total_work=1000)
+        assert speedup == pytest.approx(2.0, rel=0.01)
+
+    def test_combined_speedup(self):
+        assert combined_speedup(500, 1000) == pytest.approx(2.0)
+        assert combined_speedup(0, 1000) == 1.0
+        assert combined_speedup(1000, 1000) == float("inf")
+
+    def test_zero_total_work(self):
+        profile = make_profile()
+        assert estimate_program_speedup(profile, total_work=0) == 1.0
+
+
+class TestPlanContainer:
+    def test_sort_by_estimate(self):
+        plan = ParallelismPlan(items=[make_item(1.1), make_item(3.0), make_item(2.0)])
+        plan.sort()
+        assert [i.est_program_speedup for i in plan] == [3.0, 2.0, 1.1]
+
+    def test_prefix(self):
+        plan = ParallelismPlan(
+            items=[make_item(3.0), make_item(2.0), make_item(1.1)],
+            personality="openmp",
+            program_name="p.c",
+        )
+        prefix = plan.prefix(2)
+        assert len(prefix) == 2
+        assert prefix.personality == "openmp"
+        assert prefix.program_name == "p.c"
+        assert prefix[0] is plan[0]
+
+    def test_iteration_and_len(self):
+        plan = ParallelismPlan(items=[make_item(), make_item()])
+        assert len(plan) == 2
+        assert len(list(plan)) == 2
+
+    def test_region_accessors(self):
+        item = make_item()
+        plan = ParallelismPlan(items=[item])
+        assert plan.region_ids == [1]
+        assert plan.region_names == ["r"]
+        assert item.location == "t.c (1)"
+        assert item.coverage == 0.5

@@ -1,0 +1,161 @@
+"""Property-based tests for HCPA data structures and metrics."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.hcpa.self_parallelism import self_parallelism, self_work, total_parallelism
+from repro.hcpa.summaries import CompressionDictionary, ParallelismProfile
+from repro.instrument.regions import RegionKind, StaticRegionTree
+from repro.frontend.source import SourceSpan
+
+
+# ----------------------------------------------------------------------
+# Self-parallelism metric invariants
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def region_measurements(draw):
+    """Generate a consistent (work, cp, children) measurement: every child
+    has cp_i <= work_i, children work sums to <= work, cp is at least the
+    largest child's cp (children execute within the parent) and at most the
+    parent's work."""
+    n_children = draw(st.integers(min_value=0, max_value=6))
+    children = []
+    for _ in range(n_children):
+        child_work = draw(st.integers(min_value=1, max_value=500))
+        child_cp = draw(st.integers(min_value=1, max_value=child_work))
+        children.append((child_work, child_cp))
+    children_work = sum(w for w, _ in children)
+    self_w = draw(st.integers(min_value=0, max_value=500))
+    work = children_work + self_w
+    min_cp = max((cp for _, cp in children), default=0)
+    min_cp = max(min_cp, 1 if work > 0 else 0)
+    if work == 0:
+        return (0, 0, [])
+    cp = draw(st.integers(min_value=min_cp, max_value=max(work, min_cp)))
+    cp = min(cp, work)
+    return (work, cp, children)
+
+
+@given(region_measurements())
+@settings(max_examples=200, deadline=None)
+def test_sp_at_least_one(measurement):
+    work, cp, children = measurement
+    sw = self_work(work, [w for w, _ in children])
+    sp = self_parallelism(cp, [c for _, c in children], sw)
+    assert sp >= 1.0
+
+
+@given(region_measurements())
+@settings(max_examples=200, deadline=None)
+def test_sp_bounded_by_total_parallelism(measurement):
+    """SP <= TP: numerator = Σ cp_i + SW <= Σ work_i + SW = work, since each
+    child's cp <= its work. Self-parallelism can never exceed what plain CPA
+    reports — it only *localizes* parallelism."""
+    work, cp, children = measurement
+    sw = self_work(work, [w for w, _ in children])
+    sp = self_parallelism(cp, [c for _, c in children], sw)
+    tp = total_parallelism(work, cp)
+    assert sp <= tp + 1e-9
+
+
+@given(region_measurements(), st.integers(min_value=1, max_value=8))
+@settings(max_examples=100, deadline=None)
+def test_sp_scale_invariance(measurement, scale):
+    """Scaling all times by a constant leaves SP unchanged — it is a ratio,
+    independent of the cost model's absolute latencies."""
+    import pytest
+
+    work, cp, children = measurement
+    if cp == 0:
+        return
+    sw = self_work(work, [w for w, _ in children])
+    sp1 = self_parallelism(cp, [c for _, c in children], sw)
+    sp2 = self_parallelism(
+        cp * scale, [c * scale for _, c in children], sw * scale
+    )
+    assert sp1 == pytest.approx(sp2)
+
+
+# ----------------------------------------------------------------------
+# Compression dictionary invariants
+# ----------------------------------------------------------------------
+
+
+summaries = st.tuples(
+    st.integers(min_value=0, max_value=3),   # static id
+    st.integers(min_value=0, max_value=50),  # work
+    st.integers(min_value=0, max_value=50),  # cp
+)
+
+
+@given(st.lists(summaries, min_size=1, max_size=60))
+@settings(max_examples=100, deadline=None)
+def test_dictionary_interning_is_stable(records):
+    dictionary = CompressionDictionary()
+    first_pass = [dictionary.intern(s, w, c, ()) for s, w, c in records]
+    second_pass = [dictionary.intern(s, w, c, ()) for s, w, c in records]
+    assert first_pass == second_pass
+    assert dictionary.raw_records == 2 * len(records)
+    assert len(dictionary) == len(set(records))
+
+
+@given(st.lists(summaries, min_size=1, max_size=60))
+@settings(max_examples=100, deadline=None)
+def test_dictionary_entries_roundtrip(records):
+    dictionary = CompressionDictionary()
+    for s, w, c in records:
+        char = dictionary.intern(s, w, c, ())
+        entry = dictionary.entry(char)
+        assert (entry.static_id, entry.work, entry.cp) == (s, w, c)
+
+
+# ----------------------------------------------------------------------
+# char_counts over randomly-built (but well-formed) leaf/parent structures
+# ----------------------------------------------------------------------
+
+
+@given(
+    st.lists(st.integers(min_value=1, max_value=9), min_size=1, max_size=8)
+)
+@settings(max_examples=60, deadline=None)
+def test_char_counts_multiply(multiplicities):
+    """Build a linear nest: root contains m1 copies of level 1, each of
+    which contains m2 copies of level 2, ... and verify counts multiply."""
+    regions = StaticRegionTree()
+    span = SourceSpan.point(1, 1, "synthetic.c")
+    parent_id = None
+    for level in range(len(multiplicities) + 1):
+        region = regions.add(
+            RegionKind.FUNCTION if level == 0 else RegionKind.LOOP,
+            f"level{level}",
+            span,
+            parent_id,
+            "synthetic",
+        )
+        parent_id = region.id
+
+    dictionary = CompressionDictionary()
+    child_summary = ()
+    # Build inside-out: leaves first, consistent with the runtime.
+    chars = []
+    work = 1
+    for level in range(len(multiplicities), -1, -1):
+        multiplicity = multiplicities[level - 1] if level > 0 else 1
+        char = dictionary.intern(level, work, 1, child_summary)
+        chars.append(char)
+        child_summary = ((char, multiplicities[level - 1]),) if level > 0 else ()
+        work = work * (multiplicities[level - 1] if level > 0 else 1) + 1
+
+    profile = ParallelismProfile(
+        dictionary=dictionary, root_char=chars[-1], regions=regions
+    )
+    counts = profile.char_counts()
+    expected = 1
+    assert counts[chars[-1]] == 1
+    for level, char in zip(range(len(multiplicities), 0, -1), chars):
+        expected_count = 1
+        for m in multiplicities[:level]:
+            expected_count *= m
+        assert counts[char] == expected_count

@@ -1,0 +1,81 @@
+"""Property-based tests for the execution-time simulator."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.exec_model.curve import IDEAL_MACHINE
+from repro.exec_model.simulate import simulate_plan
+from repro.planner import OpenMPPlanner
+from tests.conftest import profile_source
+
+# One profiled program shared by all examples (module import time).
+_PROGRAM, _PROFILE, _AGGREGATED = profile_source(
+    """
+    float a[512];
+    float b[512];
+    float acc;
+    int main() {
+      for (int i = 0; i < 512; i++) { a[i] = (float) i * 0.5; }
+      for (int i = 0; i < 512; i++) { b[i] = a[i] * 2.0 + 1.0; }
+      float s = 0.0;
+      for (int i = 0; i < 512; i++) { s += a[i] * b[i]; }
+      acc = s;
+      float x = 1.0;
+      for (int i = 0; i < 128; i++) { x = x * 0.99 + 0.01; }
+      return (int) (acc + x);
+    }
+    """
+)
+_PLANNABLE = [p.static_id for p in _AGGREGATED.plannable() if p.region.is_loop]
+
+plans = st.sets(st.sampled_from(_PLANNABLE), max_size=len(_PLANNABLE))
+cores = st.sampled_from([1, 2, 4, 8, 16, 32, 128])
+
+
+@given(plans, cores)
+@settings(max_examples=120, deadline=None)
+def test_ideal_speedup_bounded_by_cores_and_never_negative(plan, cores_n):
+    result = simulate_plan(_PROFILE, plan, IDEAL_MACHINE.with_cores(cores_n))
+    assert 0 < result.time <= result.serial_time + 1e-9
+    assert result.speedup <= cores_n + 1e-9 or cores_n == 1
+
+
+@given(plans)
+@settings(max_examples=60, deadline=None)
+def test_ideal_machine_monotone_in_cores(plan):
+    times = [
+        simulate_plan(_PROFILE, plan, IDEAL_MACHINE.with_cores(c)).time
+        for c in (1, 2, 4, 8, 16, 32)
+    ]
+    for before, after in zip(times, times[1:]):
+        assert after <= before + 1e-9
+
+
+@given(plans)
+@settings(max_examples=60, deadline=None)
+def test_ideal_machine_monotone_in_plan(plan):
+    """With no overheads, parallelizing more regions never hurts."""
+    machine = IDEAL_MACHINE.with_cores(16)
+    base = simulate_plan(_PROFILE, plan, machine).time
+    for extra in _PLANNABLE:
+        bigger = simulate_plan(_PROFILE, plan | {extra}, machine).time
+        assert bigger <= base + 1e-9
+
+
+@given(plans, cores)
+@settings(max_examples=60, deadline=None)
+def test_time_never_below_longest_serial_chain(plan, cores_n):
+    """No plan can beat the program's measured critical path on the ideal
+    machine (regions not in the plan stay serial, so this is conservative)."""
+    result = simulate_plan(_PROFILE, plan, IDEAL_MACHINE.with_cores(cores_n))
+    assert result.time >= _PROFILE.root_entry.cp * 0.99 or not plan
+
+
+@given(plans, cores)
+@settings(max_examples=60, deadline=None)
+def test_simulation_deterministic(plan, cores_n):
+    machine = IDEAL_MACHINE.with_cores(cores_n)
+    assert (
+        simulate_plan(_PROFILE, plan, machine).time
+        == simulate_plan(_PROFILE, plan, machine).time
+    )

@@ -1,0 +1,80 @@
+"""Plan export (CSV / Markdown / rows) tests."""
+
+import csv
+import io
+
+from repro.report.export import plan_rows, plan_to_csv, plan_to_markdown
+
+
+class TestPlanExport:
+    def test_rows_match_plan(self, canonical_loops_report):
+        plan = canonical_loops_report.plan
+        rows = plan_rows(plan)
+        assert len(rows) == len(plan)
+        assert [r["rank"] for r in rows] == list(range(1, len(plan) + 1))
+        assert rows[0]["region"] == plan[0].region.name
+
+    def test_csv_parses_back(self, canonical_loops_report):
+        text = plan_to_csv(canonical_loops_report.plan)
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        assert len(parsed) == len(canonical_loops_report.plan)
+        for row in parsed:
+            assert float(row["self_parallelism"]) >= 1.0
+            assert 0.0 <= float(row["coverage_pct"]) <= 100.0
+            assert float(row["est_program_speedup"]) >= 1.0
+
+    def test_markdown_table_well_formed(self, canonical_loops_report):
+        text = plan_to_markdown(canonical_loops_report.plan)
+        lines = text.splitlines()
+        header_index = next(
+            i for i, line in enumerate(lines) if line.startswith("| #")
+        )
+        columns = lines[header_index].count("|")
+        for line in lines[header_index:]:
+            if line.startswith("|"):
+                assert line.count("|") == columns
+
+    def test_markdown_mentions_every_region(self, canonical_loops_report):
+        text = plan_to_markdown(canonical_loops_report.plan)
+        for item in canonical_loops_report.plan:
+            assert item.region.name in text
+
+    def test_empty_plan_exports(self):
+        from repro.planner.plan import ParallelismPlan
+
+        empty = ParallelismPlan(personality="openmp")
+        assert plan_rows(empty) == []
+        csv_text = plan_to_csv(empty)
+        assert csv_text.splitlines()[0].startswith("rank,")
+        assert len(csv_text.splitlines()) == 1
+        markdown = plan_to_markdown(empty)
+        assert "0 regions" in markdown
+
+
+class TestCliExports:
+    def test_cli_csv_and_dot(self, tmp_path, capsys):
+        from repro.cli import main
+
+        source = tmp_path / "p.c"
+        source.write_text(
+            "float a[2048]; int main() { for (int i = 0; i < 2048; i++) "
+            "a[i] = a[i] * 2.0; return 0; }"
+        )
+        dot_path = tmp_path / "p.dot"
+        assert main([str(source), "--format=csv", "--dot", str(dot_path)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("rank,location,region")
+        dot = dot_path.read_text()
+        assert dot.startswith("digraph")
+        assert "fillcolor" in dot  # the planned loop is highlighted
+
+    def test_cli_markdown(self, tmp_path, capsys):
+        from repro.cli import main
+
+        source = tmp_path / "p.c"
+        source.write_text(
+            "float a[2048]; int main() { for (int i = 0; i < 2048; i++) "
+            "a[i] = a[i] * 2.0; return 0; }"
+        )
+        assert main([str(source), "--format=markdown"]) == 0
+        assert "| DOALL |" in capsys.readouterr().out

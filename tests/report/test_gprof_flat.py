@@ -1,0 +1,93 @@
+"""gprof-style flat profile tests."""
+
+import pytest
+
+from repro.report.gprof_flat import flat_profile, format_flat_profile
+from tests.conftest import profile_source
+
+
+@pytest.fixture(scope="module")
+def call_tree():
+    _, _, aggregated = profile_source(
+        """
+        float a[256];
+        void leaf() {
+          for (int i = 0; i < 256; i++) { a[i] = a[i] + 1.0; }
+        }
+        void mid() {
+          leaf();
+          for (int i = 0; i < 64; i++) { a[i] = a[i] * 0.5; }
+        }
+        int main() {
+          for (int r = 0; r < 4; r++) { mid(); }
+          leaf();
+          return (int) a[0];
+        }
+        """
+    )
+    return aggregated
+
+
+class TestFlatProfile:
+    def test_rows_sorted_by_self_work(self, call_tree):
+        rows = flat_profile(call_tree)
+        self_works = [row.self_work for row in rows]
+        assert self_works == sorted(self_works, reverse=True)
+
+    def test_call_counts(self, call_tree):
+        by_name = {row.name: row for row in flat_profile(call_tree)}
+        assert by_name["main"].calls == 1
+        assert by_name["mid"].calls == 4
+        assert by_name["leaf"].calls == 5  # 4 via mid + 1 direct
+
+    def test_self_excludes_callees(self, call_tree):
+        by_name = {row.name: row for row in flat_profile(call_tree)}
+        # mid's self work excludes leaf's but includes its own loop.
+        assert by_name["mid"].self_work < by_name["mid"].total_work
+        assert by_name["leaf"].self_work == by_name["leaf"].total_work
+        # main's self work is tiny (everything happens in callees).
+        assert by_name["main"].self_work < 0.05 * by_name["main"].total_work
+
+    def test_self_works_sum_to_program_work(self, call_tree):
+        rows = flat_profile(call_tree)
+        assert sum(row.self_work for row in rows) == pytest.approx(
+            call_tree.total_work, rel=0.01
+        )
+
+    def test_percentages_sum_to_100(self, call_tree):
+        rows = flat_profile(call_tree)
+        assert sum(row.self_percent for row in rows) == pytest.approx(100.0, abs=1.0)
+
+    def test_leaf_dominates(self, call_tree):
+        rows = flat_profile(call_tree)
+        assert rows[0].name == "leaf"
+
+    def test_shared_callee_not_double_counted(self):
+        """A function called from two places must be subtracted once per
+        call site, context-exactly (the ft rows/cols shape)."""
+        _, _, aggregated = profile_source(
+            """
+            float a[128];
+            void shared() {
+              for (int i = 0; i < 128; i++) { a[i] = a[i] + 1.0; }
+            }
+            void caller_one() { shared(); }
+            void caller_two() { shared(); shared(); }
+            int main() { caller_one(); caller_two(); return (int) a[0]; }
+            """
+        )
+        by_name = {row.name: row for row in flat_profile(aggregated)}
+        assert by_name["shared"].calls == 3
+        # The callers do almost nothing themselves.
+        assert by_name["caller_one"].self_work < 0.05 * by_name["shared"].total_work
+        assert by_name["caller_two"].self_work < 0.05 * by_name["shared"].total_work
+        total = aggregated.total_work
+        assert sum(r.self_work for r in by_name.values()) == pytest.approx(
+            total, rel=0.01
+        )
+
+    def test_formatting(self, call_tree):
+        text = format_flat_profile(call_tree)
+        assert "Flat profile" in text
+        assert "% self" in text
+        assert "leaf" in text and "mid" in text and "main" in text

@@ -1,0 +1,80 @@
+"""DOT export tests."""
+
+import pytest
+
+from repro.planner import OpenMPPlanner
+from repro.report.graphviz import dynamic_region_dot, static_region_dot
+from tests.conftest import profile_source
+
+
+@pytest.fixture(scope="module")
+def profiled():
+    program, profile, aggregated = profile_source(
+        """
+        float a[1024];
+        void kernel() {
+          for (int i = 0; i < 1024; i++) { a[i] = a[i] + 1.0; }
+        }
+        int main() {
+          for (int r = 0; r < 3; r++) { kernel(); }
+          return (int) a[0];
+        }
+        """
+    )
+    return program, profile, aggregated
+
+
+class TestStaticDot:
+    def test_all_regions_present(self, profiled):
+        program, _, _ = profiled
+        dot = static_region_dot(program.regions)
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        for region in program.regions:
+            assert f"r{region.id} [" in dot
+
+    def test_edges_follow_tree(self, profiled):
+        program, _, _ = profiled
+        dot = static_region_dot(program.regions)
+        for region in program.regions:
+            for child in region.children_ids:
+                assert f"r{region.id} -> r{child};" in dot
+
+    def test_shapes_by_kind(self, profiled):
+        program, _, _ = profiled
+        dot = static_region_dot(program.regions)
+        assert "shape=ellipse" in dot  # loops
+        assert "shape=note" in dot     # bodies
+
+
+class TestDynamicDot:
+    def test_bodies_hidden_by_default(self, profiled):
+        _, _, aggregated = profiled
+        dot = dynamic_region_dot(aggregated)
+        assert ".body" not in dot
+
+    def test_call_edge_spans_hidden_body(self, profiled):
+        _, _, aggregated = profiled
+        dot = dynamic_region_dot(aggregated)
+        # main#loop1 -> kernel, through the hidden body region
+        ids = {
+            p.region.name: p.static_id for p in aggregated.profiles.values()
+        }
+        assert f'r{ids["main#loop1"]} -> r{ids["kernel"]};' in dot
+
+    def test_plan_highlighting(self, profiled):
+        _, _, aggregated = profiled
+        plan = OpenMPPlanner().plan(aggregated)
+        dot = dynamic_region_dot(aggregated, plan.region_ids)
+        assert "fillcolor" in dot
+
+    def test_annotations_present(self, profiled):
+        _, _, aggregated = profiled
+        dot = dynamic_region_dot(aggregated)
+        assert "SP " in dot
+        assert "work " in dot
+
+    def test_include_bodies_flag(self, profiled):
+        _, _, aggregated = profiled
+        dot = dynamic_region_dot(aggregated, include_bodies=True)
+        assert ".body" in dot

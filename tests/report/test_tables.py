@@ -1,0 +1,60 @@
+"""Report formatting tests (Figure 3-style output)."""
+
+from repro.report.tables import Table, format_plan, format_region_table
+
+
+class TestTable:
+    def test_renders_headers_and_rows(self):
+        table = Table(headers=["A", "Long header"])
+        table.add_row("x", 1)
+        table.add_row("longer cell", 2.5)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0].startswith("A")
+        assert "Long header" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+        assert "longer cell" in text
+
+    def test_columns_aligned(self):
+        table = Table(headers=["N", "V"])
+        table.add_row(1, "aa")
+        table.add_row(22, "b")
+        lines = table.render().splitlines()
+        # every row has the separator's width
+        widths = {len(line.rstrip()) <= len(lines[1]) for line in lines}
+        assert widths == {True}
+
+
+class TestPlanFormatting:
+    def test_figure3_columns_present(self, canonical_loops_report):
+        text = canonical_loops_report.render_plan()
+        assert "File (lines)" in text
+        assert "Self-P" in text
+        assert "Cov (%)" in text
+        assert "openmp personality" in text
+
+    def test_rows_numbered_in_order(self, canonical_loops_report):
+        text = canonical_loops_report.render_plan()
+        body_lines = text.splitlines()[3:]
+        ranks = [int(line.split()[0]) for line in body_lines if line.strip()]
+        assert ranks == list(range(1, len(ranks) + 1))
+
+    def test_limit_truncates(self, canonical_loops_report):
+        full = canonical_loops_report.render_plan()
+        limited = canonical_loops_report.render_plan(limit=1)
+        assert len(limited.splitlines()) <= len(full.splitlines())
+
+    def test_locations_mention_source_file(self, canonical_loops_report):
+        text = canonical_loops_report.render_plan()
+        assert "canonical.c" in text
+
+
+class TestRegionTable:
+    def test_contains_all_plannable_regions(self, canonical_loops_report):
+        text = canonical_loops_report.render_regions()
+        for profile in canonical_loops_report.aggregated.plannable():
+            assert profile.region.name in text
+
+    def test_excludes_body_regions(self, canonical_loops_report):
+        text = canonical_loops_report.render_regions()
+        assert ".body" not in text

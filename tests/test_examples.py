@@ -1,0 +1,67 @@
+"""Smoke tests: every example script runs to completion and prints sense.
+
+Run in-process (runpy) so the benchmark profile cache is shared with the
+rest of the test session.
+"""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, argv=None, capsys=None):
+    path = EXAMPLES_DIR / name
+    old_argv = sys.argv
+    sys.argv = [str(path)] + list(argv or [])
+    try:
+        runpy.run_path(str(path), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out if capsys else ""
+
+
+def test_examples_directory_complete():
+    names = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert "quickstart.py" in names
+    assert len(names) >= 3
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", capsys=capsys)
+    assert "Parallelism plan" in out
+    assert "trace compression" in out.lower() or "dictionary entries" in out
+    assert "best configuration" in out
+    assert "relax" in out  # the serial-loop note
+
+
+def test_feature_tracking(capsys):
+    out = run_example("feature_tracking.py", capsys=capsys)
+    assert "Figure 2" in out
+    assert "fillFeatures" not in out.split("Figure 3")[0].split("===")[0]
+    assert "Figure 3" in out
+    assert "Replanning without it" in out
+
+
+def test_evaluate_benchmarks(capsys):
+    out = run_example("evaluate_benchmarks.py", argv=["ep", "is"], capsys=capsys)
+    assert "ep" in out and "is" in out
+    assert "MANUAL" in out and "Kremlin" in out
+
+
+def test_custom_personality(capsys):
+    out = run_example("custom_personality.py", capsys=capsys)
+    assert "OpenMP personality" in out
+    assert "Cilk++ personality" in out
+    assert "manycore" in out
+    assert out.count("Parallelism plan") == 4
+
+
+def test_profile_once_plan_many(capsys):
+    out = run_example("profile_once_plan_many.py", capsys=capsys)
+    assert "profile saved" in out
+    assert "MERGED" in out
+    assert out.count("Parallelism plan") >= 3
