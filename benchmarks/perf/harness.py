@@ -1,0 +1,193 @@
+"""Interpreter micro-benchmark harness: tree engine vs. predecoded bytecode.
+
+Measures steady-state instructions-retired/sec for three NPB kernels
+(``ep``, ``is``, ``mg``) in two modes — *plain* (no observer) and *hcpa*
+(under the :class:`KremlinProfiler` with the fused instrumented stream) —
+on both execution engines, and records the results in
+``benchmarks/perf/BENCH_interp.json``.
+
+Steady-state means the one-time predecode cost is amortized: each engine
+gets one interpreter which is run ``--runs`` times, and the best run is
+kept (the profiler resets its per-run state in ``on_run_start``, so
+repeated runs are equivalent).
+
+Usage::
+
+    python benchmarks/perf/harness.py            # measure + print table
+    python benchmarks/perf/harness.py --update   # also rewrite the baseline
+    python benchmarks/perf/harness.py --check    # compare speedups against
+                                                 # the checked-in baseline;
+                                                 # exit 1 on a >20% regression
+
+``--check`` compares bytecode-vs-tree *speedup ratios*, not absolute
+times, so the baseline is portable across machines: a regression means
+the bytecode engine got slower relative to the tree engine on the same
+hardware, which is exactly the property the engine exists to provide.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_SRC = os.path.normpath(os.path.join(_HERE, "..", "..", "src"))
+try:
+    import repro  # noqa: F401
+except ImportError:  # running from a checkout without PYTHONPATH=src
+    sys.path.insert(0, _SRC)
+
+from repro.bench_suite.registry import get_benchmark
+from repro.interp.interpreter import Interpreter
+from repro.kremlib.profiler import KremlinProfiler
+
+BASELINE_PATH = os.path.join(_HERE, "BENCH_interp.json")
+BENCHMARKS = ("ep", "is", "mg")
+ENGINES = ("tree", "bytecode")
+MODES = ("plain", "hcpa")
+
+
+def _time_engine(program, engine: str, mode: str, runs: int) -> tuple[float, int]:
+    """Best-of-``runs`` wall time for one (engine, mode) combination.
+
+    Returns ``(seconds, instructions_retired)``. The interpreter (and, in
+    hcpa mode, the profiler) is created once so the decode cost of the
+    bytecode engine is paid before the timed runs — we are measuring
+    steady-state execution throughput, not compilation.
+    """
+    observer = KremlinProfiler(program) if mode == "hcpa" else None
+    interp = Interpreter(program, observer=observer, engine=engine)
+    best = float("inf")
+    retired = 0
+    for _ in range(runs):
+        started = time.perf_counter()
+        result = interp.run("main")
+        elapsed = time.perf_counter() - started
+        if elapsed < best:
+            best = elapsed
+        retired = result.instructions_retired
+    return best, retired
+
+
+def measure(names, runs: int) -> dict:
+    """Measure every benchmark × mode × engine; return the results dict."""
+    results: dict[str, dict] = {}
+    for name in names:
+        program = get_benchmark(name).compile()
+        entry: dict[str, dict] = {}
+        for mode in MODES:
+            times = {}
+            retired = 0
+            for engine in ENGINES:
+                seconds, retired = _time_engine(program, engine, mode, runs)
+                times[engine] = seconds
+                print(
+                    f"  {name:>2} {mode:>5} {engine:>8}: {seconds:8.4f}s "
+                    f"({retired / seconds:,.0f} instr/s)",
+                    file=sys.stderr,
+                )
+            entry[mode] = {
+                "tree_seconds": times["tree"],
+                "bytecode_seconds": times["bytecode"],
+                "speedup": times["tree"] / times["bytecode"],
+                "instructions_retired": retired,
+                "tree_ips": retired / times["tree"],
+                "bytecode_ips": retired / times["bytecode"],
+            }
+        results[name] = entry
+    return results
+
+
+def render(results: dict) -> str:
+    lines = [
+        f"{'bench':>5}  {'mode':>5}  {'tree instr/s':>14}  "
+        f"{'bytecode instr/s':>17}  {'speedup':>8}"
+    ]
+    for name, entry in results.items():
+        for mode in MODES:
+            row = entry[mode]
+            lines.append(
+                f"{name:>5}  {mode:>5}  {row['tree_ips']:>14,.0f}  "
+                f"{row['bytecode_ips']:>17,.0f}  {row['speedup']:>7.2f}x"
+            )
+    return "\n".join(lines)
+
+
+def check(results: dict, baseline: dict, tolerance: float) -> int:
+    """Compare measured speedups against the baseline's; 0 = OK."""
+    status = 0
+    for name, entry in baseline["results"].items():
+        if name not in results:
+            continue
+        for mode in MODES:
+            expected = entry[mode]["speedup"]
+            actual = results[name][mode]["speedup"]
+            floor = expected * (1.0 - tolerance)
+            verdict = "ok" if actual >= floor else "REGRESSION"
+            if actual < floor:
+                status = 1
+            print(
+                f"{name:>5} {mode:>5}: speedup {actual:.2f}x "
+                f"(baseline {expected:.2f}x, floor {floor:.2f}x) {verdict}"
+            )
+    return status
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark the bytecode engine against the tree engine."
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help=f"write the measured results to {BASELINE_PATH}",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail (exit 1) if a speedup regresses >20%% vs the baseline",
+    )
+    parser.add_argument(
+        "--runs", type=int, default=3, help="runs per engine (best kept)"
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.20,
+        help="allowed fractional speedup regression for --check",
+    )
+    parser.add_argument(
+        "--benchmarks",
+        nargs="*",
+        default=list(BENCHMARKS),
+        help="benchmark names (default: ep is mg)",
+    )
+    options = parser.parse_args(argv)
+
+    results = measure(options.benchmarks, options.runs)
+    print(render(results))
+
+    if options.update:
+        payload = {
+            "format": "kremlin-interp-bench",
+            "version": 1,
+            "runs": options.runs,
+            "results": results,
+        }
+        with open(BASELINE_PATH, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"baseline written to {BASELINE_PATH}")
+
+    if options.check:
+        with open(BASELINE_PATH, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        return check(results, baseline, options.tolerance)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,16 +3,19 @@
 Profiles the evaluation suite and prints the paper's headline tables
 (Figure 6(a) plan sizes, Figure 6(b) best-configuration speedups, and the
 §4.4 compression column) in one go — the command-line counterpart of
-``pytest benchmarks/ --benchmark-only``.
+``pytest benchmarks/ --benchmark-only``. With ``--jobs N`` the per-program
+profiling fans out across a process pool; the table is rendered from the
+ordered results in the parent, so the output is byte-identical to a serial
+run.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
 
-from repro.bench_suite.registry import evaluation_benchmarks, run_benchmark
+from repro.bench_suite.registry import evaluation_benchmarks
+from repro.bench_suite.runner import run_suite
 from repro.exec_model import best_configuration
 from repro.hcpa import compression_stats
 from repro.planner import OpenMPPlanner
@@ -29,10 +32,24 @@ def main(argv: list[str] | None = None) -> int:
         nargs="*",
         help="benchmark names (default: the full 11-program evaluation)",
     )
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        help="profile benchmarks in N parallel worker processes",
+    )
     options = parser.parse_args(argv)
+    if options.jobs < 1:
+        parser.error("--jobs must be >= 1")
 
     names = options.benchmarks or [b.name for b in evaluation_benchmarks()]
     planner = OpenMPPlanner()
+
+    def progress(name: str, elapsed: float) -> None:
+        print(f"profiling {name} ... {elapsed:.1f}s", file=sys.stderr)
+
+    results = run_suite(names, jobs=options.jobs, progress=progress)
 
     table = Table(
         headers=[
@@ -41,12 +58,7 @@ def main(argv: list[str] | None = None) -> int:
         ]
     )
     total_manual = total_kremlin = total_overlap = 0
-    for name in names:
-        started = time.perf_counter()
-        print(f"profiling {name} ...", end=" ", flush=True, file=sys.stderr)
-        result = run_benchmark(name)
-        print(f"{time.perf_counter() - started:.1f}s", file=sys.stderr)
-
+    for result in results:
         plan = planner.plan(result.aggregated)
         kremlin_ids = set(plan.region_ids)
         manual_ids = set(result.manual_plan)
@@ -58,7 +70,7 @@ def main(argv: list[str] | None = None) -> int:
         )
         stats = compression_stats(result.profile)
         table.add_row(
-            name,
+            result.name,
             len(manual_ids),
             len(kremlin_ids),
             len(kremlin_ids & manual_ids),

@@ -1,0 +1,124 @@
+"""Process-pool benchmark sweep.
+
+Profiling a benchmark is CPU-bound single-process work (compile, execute
+under the HCPA profiler, aggregate), and the 12-program evaluation suite is
+embarrassingly parallel across programs. This module fans the sweep out
+over a :class:`concurrent.futures.ProcessPoolExecutor`.
+
+Determinism: workers never render anything. Each worker returns a plain
+picklable payload (the serialized parallelism profile plus the run's
+scalar results), and the parent rebuilds :class:`SweepResult` objects in
+**input order**, so downstream rendering is byte-identical no matter how
+many jobs ran or in which order they finished. ``jobs=1`` runs the same
+payload round-trip inline without spawning any processes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.hcpa.aggregate import AggregatedProfile, aggregate_profile
+from repro.hcpa.serialize import profile_from_json, profile_to_json
+from repro.hcpa.summaries import ParallelismProfile
+
+
+@dataclass
+class SweepResult:
+    """One profiled benchmark, reconstructed in the parent process."""
+
+    name: str
+    profile: ParallelismProfile
+    aggregated: AggregatedProfile
+    #: static region ids of the benchmark's MANUAL parallelization
+    manual_plan: list[int]
+    value: object
+    instructions_retired: int
+    total_cost: int
+    #: worker-side wall-clock seconds for compile+profile
+    elapsed: float = field(default=0.0)
+
+
+def _profile_worker(name: str) -> dict:
+    """Compile + profile one benchmark; return a picklable payload."""
+    from repro.bench_suite.registry import get_benchmark
+    from repro.kremlib.profiler import profile_program
+
+    started = time.perf_counter()
+    benchmark = get_benchmark(name)
+    program = benchmark.compile()
+    profile, run = profile_program(program)
+    if (
+        benchmark.expected_result is not None
+        and run.value != benchmark.expected_result
+    ):
+        raise AssertionError(
+            f"{name}: self-check failed: main() returned {run.value}, "
+            f"expected {benchmark.expected_result}"
+        )
+    return {
+        "name": name,
+        "profile": profile_to_json(profile),
+        "value": run.value,
+        "instructions_retired": run.instructions_retired,
+        "total_cost": run.total_cost,
+        "elapsed": time.perf_counter() - started,
+    }
+
+
+def _rebuild(payload: dict) -> SweepResult:
+    from repro.bench_suite.registry import get_benchmark
+
+    profile = profile_from_json(payload["profile"])
+    benchmark = get_benchmark(payload["name"])
+    by_name = {region.name: region.id for region in profile.regions}
+    manual_plan = [by_name[n] for n in benchmark.manual_regions]
+    return SweepResult(
+        name=payload["name"],
+        profile=profile,
+        aggregated=aggregate_profile(profile),
+        manual_plan=manual_plan,
+        value=payload["value"],
+        instructions_retired=payload["instructions_retired"],
+        total_cost=payload["total_cost"],
+        elapsed=payload["elapsed"],
+    )
+
+
+def run_suite(
+    names: Sequence[str],
+    jobs: int = 1,
+    progress: Callable[[str, float], None] | None = None,
+) -> list[SweepResult]:
+    """Profile ``names``, fanning out across ``jobs`` worker processes.
+
+    Results come back in input order regardless of completion order.
+    ``progress(name, elapsed_seconds)`` fires as each benchmark finishes
+    (in completion order — it is a progress signal, not output).
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    jobs = min(jobs, len(names)) or 1
+
+    payloads: dict[str, dict] = {}
+    if jobs == 1:
+        for name in names:
+            payload = _profile_worker(name)
+            payloads[name] = payload
+            if progress is not None:
+                progress(name, payload["elapsed"])
+    else:
+        from concurrent.futures import ProcessPoolExecutor, as_completed
+
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = {
+                pool.submit(_profile_worker, name): name for name in names
+            }
+            for future in as_completed(futures):
+                payload = future.result()
+                payloads[payload["name"]] = payload
+                if progress is not None:
+                    progress(payload["name"], payload["elapsed"])
+
+    return [_rebuild(payloads[name]) for name in names]

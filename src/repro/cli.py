@@ -10,6 +10,7 @@
 from __future__ import annotations
 
 import argparse
+import io
 import sys
 
 from repro import analyze, make_planner
@@ -41,9 +42,17 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
-        "source",
-        nargs="?",
-        help="MiniC source file (omit when planning --from-profile)",
+        "sources",
+        nargs="*",
+        metavar="source",
+        help="MiniC source file(s) (omit when planning --from-profile)",
+    )
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        help="profile multiple sources in N parallel worker processes",
     )
     parser.add_argument(
         "--personality",
@@ -112,16 +121,63 @@ def main(argv: list[str] | None = None) -> int:
     )
     options = parser.parse_args(argv)
 
+    if options.jobs < 1:
+        parser.error("--jobs must be >= 1")
     if options.from_profile is not None:
         return _plan_from_profile(options)
-    if options.source is None:
+    if not options.sources:
         parser.error("a source file (or --from-profile) is required")
+    if len(options.sources) > 1 and (options.save_profile or options.dot):
+        parser.error(
+            "--save-profile/--dot write a single output file and cannot be "
+            "combined with multiple sources"
+        )
 
+    # Workers never print: each source renders to (code, stdout, stderr)
+    # strings and the parent emits them in input order, so --jobs output is
+    # byte-identical to a serial run.
+    if options.jobs > 1 and len(options.sources) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        jobs = min(options.jobs, len(options.sources))
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            rendered = list(
+                pool.map(
+                    _render_source_job,
+                    [(options, path) for path in options.sources],
+                )
+            )
+    else:
+        rendered = [
+            _render_source_job((options, path)) for path in options.sources
+        ]
+
+    status = 0
+    multiple = len(options.sources) > 1
+    for path, (code, out, err) in zip(options.sources, rendered):
+        if multiple:
+            print(f"== {path} ==")
+        sys.stdout.write(out)
+        sys.stderr.write(err)
+        status = status or code
+    return status
+
+
+def _render_source_job(job: tuple) -> tuple[int, str, str]:
+    """Analyze one source; returns (exit code, stdout text, stderr text).
+    Module-level and picklable-argument so it can run in a worker process."""
+    options, path = job
+    out, err = io.StringIO(), io.StringIO()
+    code = _render_source(options, path, out, err)
+    return code, out.getvalue(), err.getvalue()
+
+
+def _render_source(options, path: str, out, err) -> int:
     try:
-        source = _read_source(options.source)
+        source = _read_source(path)
         report = analyze(
             source,
-            filename=options.source,
+            filename=path,
             personality=options.personality,
             entry=options.entry,
             max_depth=options.max_depth,
@@ -132,7 +188,7 @@ def main(argv: list[str] | None = None) -> int:
                 report.aggregated, frozenset(excluded)
             )
     except (MiniCError, InterpreterError, OSError, ValueError) as error:
-        print(f"kremlin: error: {error}", file=sys.stderr)
+        print(f"kremlin: error: {error}", file=err)
         return 1
 
     if options.save_profile:
@@ -147,33 +203,34 @@ def main(argv: list[str] | None = None) -> int:
             )
 
     if options.regions:
-        print(report.render_regions())
+        print(report.render_regions(), file=out)
     elif options.format == "csv":
         from repro.report import plan_to_csv
 
-        print(plan_to_csv(report.plan), end="")
+        print(plan_to_csv(report.plan), end="", file=out)
     elif options.format == "markdown":
         from repro.report import plan_to_markdown
 
-        print(plan_to_markdown(report.plan))
+        print(plan_to_markdown(report.plan), file=out)
     else:
-        print(report.render_plan(options.limit))
+        print(report.render_plan(options.limit), file=out)
     if options.flat:
-        print()
-        print(format_flat_profile(report.aggregated))
+        print(file=out)
+        print(format_flat_profile(report.aggregated), file=out)
     if options.compression:
-        print()
-        print(f"trace compression: {report.compression}")
+        print(file=out)
+        print(f"trace compression: {report.compression}", file=out)
     if options.curve:
         from repro.exec_model import format_curve, speedup_curve, upperbound_curve
 
-        print()
-        print("Speedup vs cores for this plan:")
+        print(file=out)
+        print("Speedup vs cores for this plan:", file=out)
         print(
             format_curve(
                 speedup_curve(report.profile, report.plan.region_ids),
                 upperbound_curve(report.profile, report.plan.region_ids),
-            )
+            ),
+            file=out,
         )
     return 0
 

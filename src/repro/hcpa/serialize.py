@@ -12,6 +12,7 @@ re-running it.
 from __future__ import annotations
 
 import json
+import os
 from typing import IO
 
 from repro.frontend.source import SourceLocation, SourceSpan
@@ -137,9 +138,15 @@ def profile_from_json(data: dict) -> ParallelismProfile:
 
 
 def save_profile(profile: ParallelismProfile, path_or_file: str | IO[str]) -> None:
-    """Write a profile to a JSON file (path or open text file)."""
+    """Write a profile to a JSON file (path or open text file).
+
+    Missing parent directories are created, so ``kremlin --save-profile
+    results/run1/prog.json`` works on a fresh checkout."""
     data = profile_to_json(profile)
     if isinstance(path_or_file, str):
+        parent = os.path.dirname(path_or_file)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
         with open(path_or_file, "w", encoding="utf-8") as handle:
             json.dump(data, handle)
     else:

@@ -1,0 +1,688 @@
+"""Predecoded bytecode execution engine.
+
+The tree-walking interpreter (:mod:`repro.interp.interpreter`) dispatches
+every retired instruction through ``type()`` chains and live attribute
+lookups. This module flattens each function's basic blocks once, up front,
+into a contiguous stream of *step closures* with pre-resolved operand
+accessors: each closure performs one or more instructions' semantic effect
+and returns the index of the next closure to run. The execution loop is
+
+    while pc >= 0:
+        pc = code[pc](registers)
+
+— closure dispatch, no ``isinstance``, no per-step attribute chasing.
+
+Two decode strategies share the stream layout:
+
+* :class:`PlainDecoder` (``observer=None``) additionally fuses straight-
+  line instruction runs into single compiled closures (superinstructions):
+  a basic block without user calls becomes ONE closure whose body is
+  generated Python source with every operand access pre-resolved to a
+  register subscript, captured global storage, or literal. Control
+  transfers only ever target block heads, so intra-block fusion never
+  breaks a branch target.
+* the fused KremLib decoder in :mod:`repro.kremlib.fastpath`
+  (``observer`` is a :class:`~repro.kremlib.profiler.KremlinProfiler`)
+  emits one closure per instruction with the profiler's shadow-op tuples,
+  branch→join records, and region metadata baked in at decode time, so
+  the profiler does zero dict lookups per event.
+
+Any other observer needs the generic per-instruction hook protocol; the
+interpreter silently falls back to the tree engine for those.
+
+Retired-instruction and cost counting is folded into block terminators
+(one update per basic block instead of one per instruction), which is
+observationally identical for successful runs because the tree engine only
+publishes its counters when a function returns.
+
+Decoding is lazy (first ``run()``), so code that mutates the IR after
+``kremlin_cc`` — as the failure-injection tests do — still sees its
+mutations, exactly like the tree engine.
+"""
+
+from __future__ import annotations
+
+from repro.interp.builtins import BUILTINS
+from repro.interp.errors import InterpreterError
+from repro.interp.interpreter import (
+    _MAX_CALL_DEPTH,
+    ArrayStorage,
+    RunResult,
+)
+from repro.ir.instructions import (
+    Alloca,
+    BinOp,
+    Branch,
+    Call,
+    Cast,
+    Copy,
+    Jump,
+    Load,
+    RegionEnter,
+    RegionExit,
+    Ret,
+    Store,
+    UnOp,
+)
+from repro.ir.types import FLOAT, INT
+from repro.ir.values import Constant, GlobalRef, Register, StringConst
+
+
+class DecodedFunction:
+    """One function's flattened instruction stream."""
+
+    __slots__ = ("name", "num_registers", "code", "param_indices", "function")
+
+    def __init__(self, function):
+        self.name = function.name
+        self.num_registers = function.num_registers
+        self.param_indices = tuple(p.index for p in function.params)
+        self.function = function
+        self.code: list = []
+
+
+# Source templates for the side-effect-free binary ops; division and
+# modulo raise and carry C truncation semantics, so they get dedicated
+# multi-statement templates in the codegen below.
+_PURE_BINOP_EXPRS = {
+    "+": "{a} + {b}",
+    "-": "{a} - {b}",
+    "*": "{a} * {b}",
+    "<": "1 if {a} < {b} else 0",
+    "<=": "1 if {a} <= {b} else 0",
+    ">": "1 if {a} > {b} else 0",
+    ">=": "1 if {a} >= {b} else 0",
+    "==": "1 if {a} == {b} else 0",
+    "!=": "1 if {a} != {b} else 0",
+    "&": "{a} & {b}",
+    "|": "{a} | {b}",
+    "^": "{a} ^ {b}",
+    "<<": "{a} << {b}",
+    ">>": "{a} >> {b}",
+    "&&": "1 if ({a} != 0 and {b} != 0) else 0",
+    "||": "1 if ({a} != 0 or {b} != 0) else 0",
+}
+
+
+def _slow_index(index, size: int, span) -> int:
+    """Out-of-line index check, same semantics as interpreter._check_index."""
+    if not isinstance(index, int):
+        raise InterpreterError(f"non-integer array index {index!r}", span)
+    if index < 0 or index >= size:
+        raise InterpreterError(
+            f"array index {index} out of bounds (size {size})", span
+        )
+    return index
+
+
+def _is_inline_literal(value) -> bool:
+    """Can this constant be spliced into generated source as a literal?"""
+    if type(value) is int:
+        return True
+    if type(value) is float:
+        # repr() round-trips finite floats; inf/nan aren't literals.
+        return value == value and value not in (float("inf"), float("-inf"))
+    return False
+
+
+class Decoder:
+    """Shared decode machinery: operand accessors and stream layout.
+
+    Subclassed by :class:`PlainDecoder` below and by the fused KremLib
+    decoder in :mod:`repro.kremlib.fastpath`; subclasses provide the
+    per-opcode emitters while this class owns the two-pass pc layout.
+    """
+
+    def __init__(self, engine: "BytecodeEngine"):
+        self.engine = engine
+        self.interp = engine.interp
+        self.counts = engine.counts
+        self.shells: dict[str, DecodedFunction] = engine.shells
+        self.budget = engine.interp.max_instructions
+        self.current_function = None
+
+    # -- operand accessors -------------------------------------------------
+
+    def getter(self, operand):
+        """A ``regs -> value`` closure for an arbitrary operand."""
+        if type(operand) is Register:
+            index = operand.index
+
+            def get(regs):
+                return regs[index]
+
+            return get
+        if type(operand) is Constant or type(operand) is StringConst:
+            value = operand.value
+            return lambda regs: value
+        if type(operand) is GlobalRef:
+            storage = self.interp.globals_array.get(operand.name)
+            if storage is not None:
+                return lambda regs: storage
+            cells = self.interp.globals_scalar
+            name = operand.name
+
+            def get_global(regs):
+                return cells[name]
+
+            return get_global
+        raise InterpreterError(f"cannot evaluate operand {operand!r}")
+
+    # -- layout ------------------------------------------------------------
+
+    def prologue_factories(self, function, block, is_entry) -> list:
+        """Per-block head closures as ``next_pc -> closure`` factories.
+
+        The base implementation emits the instruction-budget check when a
+        budget is configured: checking once per block is exactly the tree
+        engine's "only check at block boundaries" rule.
+        """
+        if self.budget is None:
+            return []
+        counts = self.counts
+        budget = self.budget
+
+        def make(next_pc):
+            def step(regs):
+                if counts[0] > budget:
+                    raise InterpreterError("instruction budget exceeded")
+                return next_pc
+
+            return step
+
+        return [make]
+
+    def will_emit(self, instr) -> bool:
+        raise NotImplementedError
+
+    def emit_instr(self, instr, next_pc):
+        raise NotImplementedError
+
+    def emit_terminator(self, term, block, block_pc, retired, cost):
+        raise NotImplementedError
+
+    def block_slot_count(self, block) -> int:
+        return sum(1 for i in block.instructions if self.will_emit(i)) + 1
+
+    def emit_block(self, block, block_pc, code) -> None:
+        for instr in block.instructions:
+            if not self.will_emit(instr):
+                continue
+            code.append(self.emit_instr(instr, len(code) + 1))
+        retired, cost = _block_totals(block)
+        code.append(
+            self.emit_terminator(block.terminator, block, block_pc, retired, cost)
+        )
+
+    def decode_function(self, function, shell: DecodedFunction) -> None:
+        self.current_function = function
+
+        # Pass 1: assign each block its starting pc.
+        block_pc: dict[int, int] = {}
+        pc = 0
+        for i, block in enumerate(function.blocks):
+            block_pc[id(block)] = pc
+            pc += len(self.prologue_factories(function, block, i == 0))
+            pc += self.block_slot_count(block)
+
+        # Pass 2: emit closures.
+        code = shell.code
+        del code[:]
+        for i, block in enumerate(function.blocks):
+            for factory in self.prologue_factories(function, block, i == 0):
+                code.append(factory(len(code) + 1))
+            self.emit_block(block, block_pc, code)
+        if len(code) != pc:
+            raise InterpreterError(
+                f"decode layout mismatch in {function.name}: "
+                f"planned {pc} slots, emitted {len(code)}"
+            )
+
+    def decode_module(self) -> None:
+        for name, function in self.interp.module.functions.items():
+            self.decode_function(function, self.shells[name])
+
+
+def _block_totals(block) -> tuple[int, int]:
+    retired = len(block.instructions) + 1
+    cost = sum(i.cost for i in block.instructions) + block.terminator.cost
+    return retired, cost
+
+
+class PlainDecoder(Decoder):
+    """Decoder for uninstrumented runs: no observer hooks anywhere.
+
+    Straight-line runs of non-call instructions compile to one closure of
+    generated source; user calls keep their own closure step (they need
+    the engine's depth guard and callee dispatch).
+    """
+
+    def __init__(self, engine):
+        super().__init__(engine)
+        self._sym = 0
+        self._base_env = {
+            "counts": self.counts,
+            "cells": self.interp.globals_scalar,
+            "engine": self.engine,
+            "interp": self.interp,
+            "InterpreterError": InterpreterError,
+            "ArrayStorage": ArrayStorage,
+            "_slow_index": _slow_index,
+            # Pin the builtins the templates use into module scope: a
+            # LOAD_GLOBAL hit beats the globals-then-builtins miss chain.
+            "int": int,
+            "float": float,
+            "type": type,
+            "len": len,
+            "abs": abs,
+            "isinstance": isinstance,
+        }
+
+    # -- helpers -----------------------------------------------------------
+
+    def _name(self, env: dict, value, prefix: str = "k") -> str:
+        self._sym += 1
+        name = f"_{prefix}{self._sym}"
+        env[name] = value
+        return name
+
+    def _expr(self, operand, env: dict) -> str:
+        """Pre-resolved source expression for an operand."""
+        if type(operand) is Register:
+            return f"regs[{operand.index}]"
+        if type(operand) is Constant:
+            if _is_inline_literal(operand.value):
+                return repr(operand.value)
+            return self._name(env, operand.value, "c")
+        if type(operand) is StringConst:
+            return self._name(env, operand.value, "s")
+        if type(operand) is GlobalRef:
+            storage = self.interp.globals_array.get(operand.name)
+            if storage is not None:
+                return self._name(env, storage, "g")
+            return f"cells[{operand.name!r}]"
+        raise InterpreterError(f"cannot evaluate operand {operand!r}")
+
+    # -- layout ------------------------------------------------------------
+
+    def _is_closure_step(self, instr) -> bool:
+        return type(instr) is Call and not instr.is_builtin
+
+    def _skip(self, instr) -> bool:
+        # Region markers have no semantic effect and nothing observes them;
+        # they still count as retired instructions via the block totals.
+        cls = type(instr)
+        return cls is RegionEnter or cls is RegionExit
+
+    def block_slot_count(self, block) -> int:
+        slots = 0
+        open_run = False
+        for instr in block.instructions:
+            if self._skip(instr):
+                continue
+            if self._is_closure_step(instr):
+                slots += 1
+                open_run = False
+            elif not open_run:
+                slots += 1
+                open_run = True
+        if not open_run:
+            slots += 1  # terminator gets its own (possibly empty) run
+        return slots
+
+    def emit_block(self, block, block_pc, code) -> None:
+        pending: list = []
+        for instr in block.instructions:
+            if self._skip(instr):
+                continue
+            if self._is_closure_step(instr):
+                if pending:
+                    # The run lands at len(code); the call step follows it.
+                    code.append(self._compile_run(pending, None, len(code) + 1))
+                    pending = []
+                code.append(self._emit_call(instr, len(code) + 1))
+            else:
+                pending.append(instr)
+        code.append(self._compile_run(pending, (block, block_pc), None))
+
+    def _fn_preamble(self) -> tuple[str, list[str]]:
+        """(function header, unpack lines) for generated run closures."""
+        return "def _run(regs):", []
+
+    def _begin_run(self) -> None:
+        """Hook: reset per-run codegen state (fused decoder overrides)."""
+
+    def _gen_fallthrough(self, lines: list[str], next_pc: int) -> None:
+        """Hook: end a run that falls through to a call step."""
+        lines.append(f"return {next_pc}")
+
+    def _compile_run(self, instrs, term_info, next_pc):
+        """Compile a straight-line run (plus optional terminator) to one
+        closure of generated source."""
+        env = dict(self._base_env)
+        header, lines = self._fn_preamble()
+        self._begin_run()
+        for instr in instrs:
+            self._gen_instr(instr, lines, env)
+        if term_info is None:
+            self._gen_fallthrough(lines, next_pc)
+        else:
+            block, block_pc = term_info
+            retired, cost = _block_totals(block)
+            self._gen_terminator(
+                block.terminator, block, block_pc, retired, cost, lines, env
+            )
+        source = f"{header}\n" + "".join(f"    {line}\n" for line in lines)
+        exec(source, env)  # noqa: S102 - templates above, operands resolved
+        return env["_run"]
+
+    # -- statement generators ----------------------------------------------
+
+    def _gen_instr(self, instr, lines: list[str], env: dict) -> None:
+        cls = type(instr)
+        if cls is BinOp:
+            self._gen_binop(instr, lines, env)
+        elif cls is Load:
+            self._gen_load(instr, lines, env)
+        elif cls is Store:
+            self._gen_store(instr, lines, env)
+        elif cls is Copy:
+            lines.append(
+                f"regs[{instr.result.index}] = {self._expr(instr.operand, env)}"
+            )
+        elif cls is Cast:
+            conv = "int" if instr.target == INT else "float"
+            lines.append(
+                f"regs[{instr.result.index}] = "
+                f"{conv}({self._expr(instr.operand, env)})"
+            )
+        elif cls is UnOp:
+            operand = self._expr(instr.operand, env)
+            if instr.op == "-":
+                lines.append(f"regs[{instr.result.index}] = -({operand})")
+            else:  # '!'
+                lines.append(
+                    f"regs[{instr.result.index}] = 0 if ({operand}) else 1"
+                )
+        elif cls is Call:  # builtin; user calls are closure steps
+            self._gen_builtin(instr, lines, env)
+        elif cls is Alloca:
+            count = instr.array_type.element_count
+            assert count is not None
+            is_int = instr.array_type.element == INT
+            lines.append(
+                f"regs[{instr.result.index}] = ArrayStorage({count}, {is_int})"
+            )
+        else:
+            raise InterpreterError(
+                f"unknown instruction {cls.__name__}", instr.span
+            )
+
+    def _gen_binop(self, instr, lines: list[str], env: dict) -> None:
+        res = instr.result.index
+        op = instr.op
+        a = self._expr(instr.lhs, env)
+        b = self._expr(instr.rhs, env)
+        template = _PURE_BINOP_EXPRS.get(op)
+        if template is not None:
+            lines.append(f"regs[{res}] = {template.format(a=a, b=b)}")
+            return
+        span = self._name(env, instr.span, "sp")
+        if op == "/":
+            lines += [
+                f"b = {b}",
+                "if b == 0:",
+                f"    raise InterpreterError('division by zero', {span})",
+                f"a = {a}",
+                "if isinstance(a, int) and isinstance(b, int):",
+                "    q = abs(a) // abs(b)",
+                f"    regs[{res}] = -q if (a < 0) != (b < 0) else q",
+                "else:",
+                f"    regs[{res}] = a / b",
+            ]
+            return
+        if op == "%":
+            lines += [
+                f"b = {b}",
+                "if b == 0:",
+                f"    raise InterpreterError('modulo by zero', {span})",
+                f"a = {a}",
+                "q = abs(a) // abs(b)",
+                "if (a < 0) != (b < 0):",
+                "    q = -q",
+                f"regs[{res}] = a - q * b",
+            ]
+            return
+        raise InterpreterError(f"unknown binary operator {op!r}", instr.span)
+
+    def _gen_load(self, instr, lines: list[str], env: dict) -> None:
+        res = instr.result.index
+        mem = instr.mem
+        if type(mem) is GlobalRef and mem.name in self.interp.globals_scalar:
+            lines.append(f"regs[{res}] = cells[{mem.name!r}]")
+            return
+        span = self._name(env, instr.span, "sp")
+        index = self._expr(instr.index, env)
+        if type(mem) is GlobalRef:
+            # Fixed global array: capture the data list and its size.
+            data_list = self.interp.globals_array[mem.name].data
+            d = self._name(env, data_list, "d")
+            size = len(data_list)
+            lines += [
+                f"i = {index}",
+                f"if type(i) is int and 0 <= i < {size}:",
+                f"    regs[{res}] = {d}[i]",
+                "else:",
+                f"    regs[{res}] = {d}[_slow_index(i, {size}, {span})]",
+            ]
+            return
+        lines += [
+            f"d = regs[{mem.index}].data",
+            f"i = {index}",
+            "if type(i) is int and 0 <= i < len(d):",
+            f"    regs[{res}] = d[i]",
+            "else:",
+            f"    regs[{res}] = d[_slow_index(i, len(d), {span})]",
+        ]
+
+    def _gen_store(self, instr, lines: list[str], env: dict) -> None:
+        mem = instr.mem
+        value = self._expr(instr.value, env)
+        if type(mem) is GlobalRef and mem.name in self.interp.globals_scalar:
+            var = self.interp.module.globals[mem.name]
+            conv = "int" if var.type == INT else "float"
+            lines.append(f"cells[{mem.name!r}] = {conv}({value})")
+            return
+        span = self._name(env, instr.span, "sp")
+        index = self._expr(instr.index, env)
+        if type(mem) is GlobalRef:
+            storage = self.interp.globals_array[mem.name]
+            d = self._name(env, storage.data, "d")
+            size = len(storage.data)
+            conv = "int" if storage.element_is_int else "float"
+            lines += [
+                f"i = {index}",
+                f"if not (type(i) is int and 0 <= i < {size}):",
+                f"    i = _slow_index(i, {size}, {span})",
+                f"{d}[i] = {conv}({value})",
+            ]
+            return
+        lines += [
+            f"st = regs[{mem.index}]",
+            "d = st.data",
+            f"i = {index}",
+            "if not (type(i) is int and 0 <= i < len(d)):",
+            f"    i = _slow_index(i, len(d), {span})",
+            f"v = {value}",
+            "d[i] = int(v) if st.element_is_int else float(v)",
+        ]
+
+    def _gen_builtin(self, instr, lines: list[str], env: dict) -> None:
+        spec = BUILTINS[instr.callee]
+        impl = self._name(env, spec.impl, "fn")
+        args = "".join(f", {self._expr(arg, env)}" for arg in instr.args)
+        call = f"{impl}(interp{args})"
+        if instr.result is None:
+            lines.append(call)
+            return
+        if spec.returns == "int":
+            call = f"int({call})"
+        elif spec.returns == "float":
+            call = f"float({call})"
+        lines.append(f"regs[{instr.result.index}] = {call}")
+
+    def _gen_terminator(
+        self, term, block, block_pc, retired, cost, lines: list[str], env: dict
+    ) -> None:
+        lines.append(f"counts[0] += {retired}")
+        lines.append(f"counts[1] += {cost}")
+        cls = type(term)
+        if cls is Jump:
+            lines.append(f"return {block_pc[id(term.target)]}")
+            return
+        if cls is Branch:
+            then_pc = block_pc[id(term.then_block)]
+            else_pc = block_pc[id(term.else_block)]
+            cond = self._expr(term.cond, env)
+            lines.append(f"return {then_pc} if ({cond}) != 0 else {else_pc}")
+            return
+        if cls is Ret:
+            if self.budget is not None:
+                lines += [
+                    f"if counts[0] > {self.budget}:",
+                    "    raise InterpreterError('instruction budget exceeded')",
+                ]
+            return_type = self.current_function.return_type
+            if term.value is None:
+                lines.append("engine.ret_value = None")
+            else:
+                lines.append(f"v = {self._expr(term.value, env)}")
+                if return_type == INT:
+                    lines += ["if v is not None:", "    v = int(v)"]
+                elif return_type == FLOAT:
+                    lines += ["if v is not None:", "    v = float(v)"]
+                lines.append("engine.ret_value = v")
+            lines.append("return -1")
+            return
+        raise InterpreterError(
+            f"unknown terminator {cls.__name__}", term.span
+        )
+
+    # -- user calls (closure steps) ----------------------------------------
+
+    def _emit_call(self, instr, next_pc):
+        callee = self.interp.module.function(instr.callee)
+        shell = self.shells[instr.callee]
+        binds = tuple(
+            (param.index, self.getter(arg))
+            for param, arg in zip(callee.params, instr.args)
+        )
+        res = instr.result.index if instr.result is not None else None
+        engine = self.engine
+
+        def step(regs):
+            depth = engine.depth + 1
+            if depth > _MAX_CALL_DEPTH:
+                raise InterpreterError(
+                    "call stack exhausted (runaway recursion?)"
+                )
+            engine.depth = depth
+            callee_regs = [None] * shell.num_registers
+            for dst, get in binds:
+                callee_regs[dst] = get(regs)
+            value = engine.exec_plain(shell, callee_regs)
+            engine.depth = depth - 1
+            if res is not None:
+                regs[res] = value
+            return next_pc
+
+        return step
+
+
+# ----------------------------------------------------------------------
+# Engine
+# ----------------------------------------------------------------------
+
+
+class BytecodeEngine:
+    """Owns the decoded streams for one :class:`Interpreter` instance."""
+
+    def __init__(self, interp):
+        self.interp = interp
+        # Shared mutable [instructions_retired, total_cost]; terminator
+        # closures bump it once per block.
+        self.counts = [interp.instructions_retired, interp.total_cost]
+        self.shells = {
+            name: DecodedFunction(function)
+            for name, function in interp.module.functions.items()
+        }
+        self.depth = 0
+        self.ret_value = None
+        self._decoded = False
+        self._fused = None
+
+    def _decode(self) -> None:
+        if self.interp.observer is None:
+            PlainDecoder(self).decode_module()
+        else:
+            from repro.kremlib.fastpath import FusedDecoder
+
+            self._fused = FusedDecoder(self, self.interp.observer)
+            self._fused.decode_module()
+        self._decoded = True
+
+    def run(self, entry: str, args: tuple):
+        interp = self.interp
+        observer = interp.observer
+        if not self._decoded:
+            self._decode()
+        self.counts[0] = interp.instructions_retired
+        self.counts[1] = interp.total_cost
+        self.depth = 0
+        if observer is not None:
+            observer.on_run_start(interp)
+            self._fused.reset_run_state()
+        function = interp.module.function(entry)
+        shell = self.shells[entry]
+        if len(args) != len(function.params):
+            raise InterpreterError(
+                f"{entry}() expects {len(function.params)} arguments, "
+                f"got {len(args)}"
+            )
+        registers: list = [None] * shell.num_registers
+        for index, arg in zip(shell.param_indices, args):
+            registers[index] = arg
+        if observer is None:
+            value = self.exec_plain(shell, registers)
+        else:
+            value = self._fused.exec_entry(shell, function, registers)
+        interp.instructions_retired = self.counts[0]
+        interp.total_cost = self.counts[1]
+        if observer is not None:
+            observer.on_run_end(interp)
+        return RunResult(
+            value=value,
+            output=list(interp.output),
+            instructions_retired=interp.instructions_retired,
+            total_cost=interp.total_cost,
+        )
+
+    def exec_plain(self, dfunc: DecodedFunction, registers: list):
+        code = dfunc.code
+        pc = 0
+        while pc >= 0:
+            pc = code[pc](registers)
+        return self.ret_value
+
+    def exec_fused(self, dfunc: DecodedFunction, ctx: tuple):
+        """Run one activation of a fused (profiling) stream.
+
+        ``ctx`` is ``(registers, shadow_registers, control_stack)`` — the
+        fused closures carry the profiler hook bodies inline and only need
+        this per-activation state threaded through.
+        """
+        code = dfunc.code
+        pc = 0
+        while pc >= 0:
+            pc = code[pc](ctx)
+        return self.ret_value

@@ -124,18 +124,45 @@ _MAX_CALL_DEPTH = 400
 
 
 class Interpreter:
-    """Executes a :class:`CompiledProgram`."""
+    """Executes a :class:`CompiledProgram`.
+
+    Two execution engines share this class:
+
+    * ``engine="bytecode"`` (default) — the predecoded closure-dispatch
+      engine from :mod:`repro.interp.bytecode`. Supports ``observer=None``
+      (plain stream) and :class:`~repro.kremlib.profiler.KremlinProfiler`
+      (fused instrumented stream). Any other observer silently falls back
+      to the tree engine, which fires the full generic hook protocol.
+    * ``engine="tree"`` — the original tree-walking reference
+      implementation below, kept for differential testing.
+    """
 
     def __init__(
         self,
         program: "CompiledProgram",
         observer: ExecutionObserver | None = None,
         max_instructions: int | None = None,
+        engine: str = "bytecode",
     ):
         self.program = program
         self.module = program.module
         self.observer = observer
         self.max_instructions = max_instructions
+
+        if engine not in ("bytecode", "tree"):
+            raise InterpreterError(
+                f"unknown engine {engine!r} (expected 'bytecode' or 'tree')"
+            )
+        if (
+            engine == "bytecode"
+            and observer is not None
+            and not getattr(observer, "supports_fused_decode", False)
+        ):
+            # Generic observers need the per-instruction hook protocol only
+            # the tree engine fires.
+            engine = "tree"
+        self.engine = engine
+        self._bytecode = None
 
         self.globals_scalar: dict[str, int | float] = {}
         self.globals_array: dict[str, ArrayStorage] = {}
@@ -194,6 +221,12 @@ class Interpreter:
     # ------------------------------------------------------------------
 
     def run(self, entry: str = "main", args: tuple = ()) -> RunResult:
+        if self.engine == "bytecode":
+            from repro.interp.bytecode import BytecodeEngine
+
+            if self._bytecode is None:
+                self._bytecode = BytecodeEngine(self)
+            return self._bytecode.run(entry, args)
         observer = self.observer
         if observer is not None:
             observer.on_run_start(self)

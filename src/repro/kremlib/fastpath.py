@@ -1,0 +1,752 @@
+"""Fused KremLib fast paths for the bytecode engine.
+
+:class:`FusedDecoder` extends the plain codegen decoder so that every
+decoded closure carries its own profiling logic inline: the shadow-operand
+tuples, branch→join records, region ids, global-scalar keys, and global
+array storage ids are all baked into the generated source as literals or
+captured objects at decode time. At run time the profiler therefore does
+**zero** per-event dict lookups and fires **zero** observer calls — the
+hook bodies of :class:`~repro.kremlib.profiler.KremlinProfiler` are fused
+into the instruction stream itself.
+
+Beyond removing dispatch, fusion enables optimizations no per-event hook
+can perform, all exact (the differential suite asserts bit-identical
+serialized profiles against the tree engine):
+
+* **Segment dataflow.** Within a straight-line segment (no calls, no
+  region markers), a register written earlier in the segment is *known*
+  to carry the current tags tuple at full tracked depth, so resolving it
+  is the identity and its merge collapses to a single list comprehension
+  — no staleness checks at all. This covers the majority of operands in
+  expression-heavy code.
+* **Cached control resolution.** The control-dependence stack cannot
+  change inside a segment, so the control-top entry is resolved once per
+  segment instead of once per instruction.
+* **Batched accounting.** Work/critical-path accounting is algebraically
+  associative: ``work`` gains the segment's total cost in one update and
+  the per-depth cp maxima fold over all of the segment's timestamp
+  vectors in one fused loop, flushed at segment boundaries (region
+  markers, calls, terminators) — exactly the points where the tree
+  engine's incremental totals become observable.
+
+Mutable profiler state is shared by identity: the decoder captures the
+profiler's ``stack``/``mem_shadow`` containers (reset via ``.clear()`` so
+identity survives re-runs), mirrors ``tags``/``tracked_depth`` in a
+two-slot ``state`` list for cheap access, and keeps per-depth critical
+path lengths in a parallel ``cps`` int list that region exits fold back
+into the region records.
+
+Execution context: fused closures take ``ctx = (registers,
+shadow_registers, control_stack)`` — one activation's value registers,
+shadow entries, and control-dependence stack.
+"""
+
+from __future__ import annotations
+
+from repro.interp.bytecode import PlainDecoder
+from repro.interp.errors import InterpreterError
+from repro.interp.interpreter import _MAX_CALL_DEPTH, _global_key
+from repro.ir.instructions import (
+    Branch,
+    Call,
+    Jump,
+    Load,
+    RegionEnter,
+    RegionExit,
+    Ret,
+    Store,
+)
+from repro.ir.types import FLOAT, INT
+from repro.ir.values import GlobalRef, Register
+from repro.kremlib.profiler import KremlinProfiler, ProfilerError, _ActiveRegion
+from repro.kremlib.shadow import resolve_entry
+
+
+def _compute_ts(inputs, cost: int, depth: int) -> list:
+    """Reference merge: ts[d] = max over inputs of times[d] (0 beyond
+    validity) + cost. Used by the call closures; the per-block generated
+    code expands the same math inline."""
+    ts = [cost] * depth
+    for times, valid in inputs:
+        if valid > depth:
+            valid = depth
+        d = 0
+        for t in times[:valid]:
+            t += cost
+            if t > ts[d]:
+                ts[d] = t
+            d += 1
+    return ts
+
+
+class FusedDecoder(PlainDecoder):
+    """Decode with KremlinProfiler semantics fused into every closure."""
+
+    def __init__(self, engine, profiler):
+        if not isinstance(profiler, KremlinProfiler):
+            raise InterpreterError(
+                "fused decode requires a KremlinProfiler observer"
+            )
+        super().__init__(engine)
+        self.prof = profiler
+        self.instrumentation = profiler.program.instrumentation.functions
+        # Mirrors of (tags, tracked_depth) — one list subscript per segment
+        # instead of attribute loads; region events keep the profiler's own
+        # attributes in sync for anything inspecting it mid-run.
+        self.state: list = [profiler.tags, profiler.tracked_depth]
+        # cps[d] mirrors stack[d].cp for the tracked prefix of the region
+        # stack; plain int slots are much cheaper to fold maxima into than
+        # attributes on the region records.
+        self.cps: list = []
+        # Prefix-resolution memo: tags tuple -> common-prefix length vs the
+        # CURRENT tags. Valid only within one region epoch, so region
+        # events clear it. Keyed by tuple value (not id), so two equal tags
+        # tuples from different writes share the entry and object reuse
+        # cannot poison it.
+        self.rcache: dict = {}
+        self._max_depth = profiler.max_depth
+        self._base_env.update(
+            {
+                "state": self.state,
+                "cps": self.cps,
+                "stack": profiler.stack,
+                "mem_shadow": profiler.mem_shadow,
+                "prof": profiler,
+                "_ActiveRegion": _ActiveRegion,
+                "ProfilerError": ProfilerError,
+                "_intern": profiler.dictionary.intern,
+                "tuple": tuple,
+                "sorted": sorted,
+                "id": id,
+                "_rcache": self.rcache,
+            }
+        )
+        self._seg_known: dict[int, str] = {}
+        self._seg_ts: list[str] = []
+        self._seg_cost = 0
+        self._seg_loaded = False
+        self._seg_ctrl = False
+
+    # -- run lifecycle -----------------------------------------------------
+
+    def reset_run_state(self) -> None:
+        """Sync mirrors after ``profiler.on_run_start`` reset the source."""
+        self.state[0] = self.prof.tags
+        self.state[1] = self.prof.tracked_depth
+        del self.cps[:]
+        self.rcache.clear()
+
+    def exec_entry(self, shell, function, registers):
+        sregs: list = [None] * shell.num_registers
+        return self.engine.exec_fused(shell, (registers, sregs, []))
+
+    # -- layout ------------------------------------------------------------
+
+    def _fn_preamble(self):
+        return "def _run(ctx):", ["regs, sregs, control = ctx"]
+
+    def _skip(self, instr) -> bool:
+        return False  # region markers are events here
+
+    def prologue_factories(self, function, block, is_entry) -> list:
+        factories = super().prologue_factories(function, block, is_entry)
+        info = self.instrumentation.get(function.name)
+        if info is not None and block in info.pops_at:
+            # This block is a control-dependence join: entering it ends the
+            # influence of every branch whose join it is (on_block_enter).
+            join_key = id(block)
+
+            def make(next_pc):
+                def step(ctx):
+                    control = ctx[2]
+                    for i, entry in enumerate(control):
+                        if entry[1] == join_key:
+                            del control[i:]
+                            break
+                    return next_pc
+
+                return step
+
+            factories.append(make)
+        return factories
+
+    # -- segment state -----------------------------------------------------
+
+    def _begin_run(self) -> None:
+        self._seg_known = {}
+        self._seg_ts = []
+        self._seg_cost = 0
+        self._seg_loaded = False
+        self._seg_ctrl = False
+
+    def _seg_load(self, lines: list[str]) -> None:
+        if not self._seg_loaded:
+            lines.append("_cu = state[0]")
+            lines.append("_dp = state[1]")
+            self._seg_loaded = True
+
+    def _seg_control(self, lines: list[str]) -> None:
+        """Resolve the control-top entry once per segment into
+        ``(_ctm, _cvl)`` (``_ctm is None`` when there is no influence)."""
+        if self._seg_ctrl:
+            return
+        lines += [
+            "_ce = control[-1][2] if control else None",
+            "if _ce is None:",
+            "    _ctm = None",
+            "else:",
+            "    _ctm, _ctg = _ce",
+            "    if _ctg is _cu:",
+            "        _cvl = len(_ctm)",
+            "        if _cvl > _dp:",
+            "            _cvl = _dp",
+            "    else:",
+            "        _cvl = _rcache.get(_ctg, -1)",
+            "        if _cvl < 0:",
+            "            _cvl = len(_ctg)",
+            "            if len(_cu) < _cvl:",
+            "                _cvl = len(_cu)",
+            "            _k = 0",
+            "            while _k < _cvl and _ctg[_k] == _cu[_k]:",
+            "                _k += 1",
+            "            _cvl = _k",
+            "            _rcache[_ctg] = _cvl",
+            "        if len(_ctm) < _cvl:",
+            "            _cvl = len(_ctm)",
+            "        if _cvl > _dp:",
+            "            _cvl = _dp",
+        ]
+        self._seg_ctrl = True
+
+    def _seg_flush(self, lines: list[str]) -> None:
+        """Fold the segment's accumulated work and cp maxima into the
+        region stack, then reset segment-local codegen knowledge."""
+        ts = self._seg_ts
+        if ts:
+            lines.append("if stack:")
+            lines.append(f"    stack[-1].work += {self._seg_cost}")
+            if len(ts) == 1:
+                lines += [
+                    "    _k = 0",
+                    f"    for _t in {ts[0]}:",
+                    "        if _t > cps[_k]:",
+                    "            cps[_k] = _t",
+                    "        _k += 1",
+                ]
+            else:
+                lines += [
+                    "    _k = 0",
+                    "    while _k < _dp:",
+                    "        _m = cps[_k]",
+                ]
+                for tv in ts:
+                    lines += [
+                        f"        _t = {tv}[_k]",
+                        "        if _t > _m:",
+                        "            _m = _t",
+                    ]
+                lines += [
+                    "        cps[_k] = _m",
+                    "        _k += 1",
+                ]
+        elif self._seg_cost:
+            lines.append("if stack:")
+            lines.append(f"    stack[-1].work += {self._seg_cost}")
+        self._begin_run()
+
+    def _ts_name(self) -> str:
+        self._sym += 1
+        return f"_s{self._sym}"
+
+    # -- generated merge fragments -----------------------------------------
+
+    def _merge_resolution(self, lines: list[str], expr: str) -> None:
+        """Resolve entry ``expr`` against the current tags into
+        ``(_tm, _vl)`` under an ``if _e is not None:`` guard (already
+        emitted by the caller). Statement-level ``resolve_entry``."""
+        lines += [
+            "    _tm, _tg = _e",
+            "    if _tg is _cu:",
+            "        _vl = len(_tm)",
+            "        if _vl > _dp:",
+            "            _vl = _dp",
+            "    else:",
+            "        _vl = _rcache.get(_tg, -1)",
+            "        if _vl < 0:",
+            "            _vl = len(_tg)",
+            "            if len(_cu) < _vl:",
+            "                _vl = len(_cu)",
+            "            _k = 0",
+            "            while _k < _vl and _tg[_k] == _cu[_k]:",
+            "                _k += 1",
+            "            _vl = _k",
+            "            _rcache[_tg] = _vl",
+            "        if len(_tm) < _vl:",
+            "            _vl = len(_tm)",
+            "        if _vl > _dp:",
+            "            _vl = _dp",
+        ]
+
+    def _merge_entry(self, lines: list[str], expr: str, cost: int, tv: str):
+        """Merge a generic entry into the existing list ``tv``."""
+        lines.append(f"_e = {expr}")
+        lines.append("if _e is not None:")
+        self._merge_resolution(lines, expr)
+        lines += [
+            "    _k = 0",
+            "    for _t in _tm[:_vl]:",
+            f"        _t += {cost}",
+            f"        if _t > {tv}[_k]:",
+            f"            {tv}[_k] = _t",
+            "        _k += 1",
+        ]
+
+    def _chain_entry(self, lines: list[str], expr: str, cost: int, tv: str):
+        """Merge a generic entry into ``tv`` which may still be None."""
+        lines.append(f"_e = {expr}")
+        lines.append("if _e is not None:")
+        self._merge_resolution(lines, expr)
+        lines += [
+            f"    if {tv} is None:",
+            f"        {tv} = [_t + {cost} for _t in _tm[:_vl]]",
+            "        if _vl < _dp:",
+            f"            {tv} += [{cost}] * (_dp - _vl)",
+            "    else:",
+            "        _k = 0",
+            "        for _t in _tm[:_vl]:",
+            f"            _t += {cost}",
+            f"            if _t > {tv}[_k]:",
+            f"                {tv}[_k] = _t",
+            "            _k += 1",
+        ]
+
+    def _merge_ctrl(self, lines: list[str], cost: int, tv: str) -> None:
+        lines += [
+            "if _ctm is not None:",
+            "    _k = 0",
+            "    for _t in _ctm[:_cvl]:",
+            f"        _t += {cost}",
+            f"        if _t > {tv}[_k]:",
+            f"            {tv}[_k] = _t",
+            "        _k += 1",
+        ]
+
+    def _chain_ctrl(self, lines: list[str], cost: int, tv: str) -> None:
+        lines += [
+            "if _ctm is not None:",
+            f"    if {tv} is None:",
+            f"        {tv} = [_t + {cost} for _t in _ctm[:_cvl]]",
+            "        if _cvl < _dp:",
+            f"            {tv} += [{cost}] * (_dp - _cvl)",
+            "    else:",
+            "        _k = 0",
+            "        for _t in _ctm[:_cvl]:",
+            f"            _t += {cost}",
+            f"            if _t > {tv}[_k]:",
+            f"                {tv}[_k] = _t",
+            "            _k += 1",
+        ]
+
+    def _gen_event(
+        self,
+        lines: list[str],
+        cost: int,
+        reg_indices,
+        cell_expr: str | None = None,
+        result_index: int | None = None,
+        fresh_control: bool = False,
+    ) -> str:
+        """Emit the fused hook body for one profiling event: resolve the
+        shadow sources, merge into a fresh timestamp vector, record it for
+        the segment's batched accounting, and store the result entry.
+        Returns the timestamp variable name."""
+        self._seg_load(lines)
+        known: list[str] = []
+        entry_exprs: list[str] = []
+        for index in reg_indices:
+            name = self._seg_known.get(index)
+            if name is not None:
+                known.append(name)
+            else:
+                entry_exprs.append(f"sregs[{index}]")
+        if cell_expr is not None:
+            entry_exprs.append(cell_expr)
+        if fresh_control:
+            # The branch terminator reads the control top after its own
+            # truncation, so the segment cache cannot be used.
+            entry_exprs.append("control[-1][2] if control else None")
+        else:
+            self._seg_control(lines)
+        tv = self._ts_name()
+        if known:
+            if len(known) == 1:
+                lines.append(f"{tv} = [_t + {cost} for _t in {known[0]}]")
+            elif len(known) == 2:
+                lines.append(
+                    f"{tv} = [(_a if _a > _b else _b) + {cost} "
+                    f"for _a, _b in zip({known[0]}, {known[1]})]"
+                )
+            else:
+                lines.append(
+                    f"{tv} = [max(_z) + {cost} "
+                    f"for _z in zip({', '.join(known)})]"
+                )
+            for expr in entry_exprs:
+                self._merge_entry(lines, expr, cost, tv)
+            if not fresh_control:
+                self._merge_ctrl(lines, cost, tv)
+        else:
+            lines.append(f"{tv} = None")
+            for expr in entry_exprs:
+                self._chain_entry(lines, expr, cost, tv)
+            if not fresh_control:
+                self._chain_ctrl(lines, cost, tv)
+            lines.append(f"if {tv} is None:")
+            lines.append(f"    {tv} = [{cost}] * _dp")
+        self._seg_ts.append(tv)
+        self._seg_cost += cost
+        if result_index is not None:
+            lines.append(f"sregs[{result_index}] = ({tv}, _cu)")
+            self._seg_known[result_index] = tv
+        return tv
+
+    # -- instructions ------------------------------------------------------
+
+    def _gen_instr(self, instr, lines: list[str], env: dict) -> None:
+        cls = type(instr)
+        if cls is RegionEnter:
+            self._seg_flush(lines)
+            self._gen_region_enter(instr, lines)
+            return
+        if cls is RegionExit:
+            self._seg_flush(lines)
+            self._gen_region_exit(instr, lines)
+            return
+        # Semantic effect first (Load/Store are overridden below to leave
+        # the index/storage temps the shadow code needs), then the fused
+        # on_compute/on_builtin/on_load/on_store hook body.
+        super()._gen_instr(instr, lines, env)
+        if cls is Load or cls is Store:
+            return  # fused inside the overridden generators
+        # BinOp / Copy / Cast / UnOp / Alloca / builtin Call (user calls
+        # are closure steps): the on_compute / on_builtin body.
+        self._gen_event(
+            lines,
+            instr.cost,
+            instr.shadow_ops,
+            result_index=instr.result_index,
+        )
+
+    def _gen_load(self, instr, lines: list[str], env: dict) -> None:
+        res = instr.result.index
+        mem = instr.mem
+        if type(mem) is GlobalRef and mem.name in self.interp.globals_scalar:
+            lines.append(f"regs[{res}] = cells[{mem.name!r}]")
+            key = _global_key(mem)
+            lines.append("_cm = mem_shadow.get(0)")
+            cell = f"None if _cm is None else _cm.get({key})"
+        elif type(mem) is GlobalRef:
+            storage = self.interp.globals_array[mem.name]
+            d = self._name(env, storage.data, "d")
+            size = len(storage.data)
+            span = self._name(env, instr.span, "sp")
+            index = self._expr(instr.index, env)
+            lines += [
+                f"i = {index}",
+                f"if type(i) is int and 0 <= i < {size}:",
+                f"    regs[{res}] = {d}[i]",
+                "else:",
+                f"    regs[{res}] = {d}[_slow_index(i, {size}, {span})]",
+            ]
+            lines.append(f"_cm = mem_shadow.get({id(storage)})")
+            cell = "None if _cm is None else _cm.get(i)"
+        else:
+            span = self._name(env, instr.span, "sp")
+            index = self._expr(instr.index, env)
+            lines += [
+                f"st = regs[{mem.index}]",
+                "d = st.data",
+                f"i = {index}",
+                "if type(i) is int and 0 <= i < len(d):",
+                f"    regs[{res}] = d[i]",
+                "else:",
+                f"    regs[{res}] = d[_slow_index(i, len(d), {span})]",
+            ]
+            lines.append("_cm = mem_shadow.get(id(st))")
+            cell = "None if _cm is None else _cm.get(i)"
+        self._gen_event(
+            lines,
+            instr.cost,
+            instr.shadow_ops,
+            cell_expr=cell,
+            result_index=instr.result_index,
+        )
+
+    def _gen_store(self, instr, lines: list[str], env: dict) -> None:
+        mem = instr.mem
+        value = self._expr(instr.value, env)
+        if type(mem) is GlobalRef and mem.name in self.interp.globals_scalar:
+            var = self.interp.module.globals[mem.name]
+            conv = "int" if var.type == INT else "float"
+            lines.append(f"cells[{mem.name!r}] = {conv}({value})")
+            sid, cell_index = "0", str(_global_key(mem))
+        elif type(mem) is GlobalRef:
+            storage = self.interp.globals_array[mem.name]
+            d = self._name(env, storage.data, "d")
+            size = len(storage.data)
+            conv = "int" if storage.element_is_int else "float"
+            span = self._name(env, instr.span, "sp")
+            index = self._expr(instr.index, env)
+            lines += [
+                f"i = {index}",
+                f"if not (type(i) is int and 0 <= i < {size}):",
+                f"    i = _slow_index(i, {size}, {span})",
+                f"{d}[i] = {conv}({value})",
+            ]
+            sid, cell_index = str(id(storage)), "i"
+        else:
+            span = self._name(env, instr.span, "sp")
+            index = self._expr(instr.index, env)
+            lines += [
+                f"st = regs[{mem.index}]",
+                "d = st.data",
+                f"i = {index}",
+                "if not (type(i) is int and 0 <= i < len(d)):",
+                f"    i = _slow_index(i, len(d), {span})",
+                f"v = {value}",
+                "d[i] = int(v) if st.element_is_int else float(v)",
+            ]
+            sid, cell_index = "id(st)", "i"
+        tv = self._gen_event(lines, instr.cost, instr.shadow_ops)
+        lines += [
+            f"_cm = mem_shadow.get({sid})",
+            "if _cm is None:",
+            "    _cm = {}",
+            f"    mem_shadow[{sid}] = _cm",
+            f"_cm[{cell_index}] = ({tv}, _cu)",
+        ]
+
+    # -- region events -----------------------------------------------------
+
+    def _gen_region_enter(self, instr, lines: list[str]) -> None:
+        sid = instr.region_id
+        maxd = self._max_depth
+        lines += [
+            f"_tk = len(stack) < {maxd}",
+            f"_rg = _ActiveRegion({sid}, prof._next_instance, _tk)",
+            "prof._next_instance += 1",
+            "stack.append(_rg)",
+            "_tg = state[0] + (_rg.instance,)",
+            "state[0] = _tg",
+            "prof.tags = _tg",
+            "_td = len(stack)",
+            f"if _td > {maxd}:",
+            f"    _td = {maxd}",
+            "state[1] = _td",
+            "prof.tracked_depth = _td",
+            "if _tk:",
+            "    cps.append(0)",
+            "_rcache.clear()",
+        ]
+
+    def _gen_region_exit(self, instr, lines: list[str]) -> None:
+        sid = instr.region_id
+        maxd = self._max_depth
+        lines += [
+            "if not stack:",
+            "    raise ProfilerError(",
+            f"        'region_exit #{sid} with empty region stack')",
+            "_rg = stack.pop()",
+            f"if _rg.static_id != {sid}:",
+            "    raise ProfilerError(",
+            f"        'unbalanced regions: exiting #{sid} but '",
+            "        '#%d is on top' % _rg.static_id)",
+            "_tg = state[0][:-1]",
+            "state[0] = _tg",
+            "prof.tags = _tg",
+            "_td = len(stack)",
+            f"if _td > {maxd}:",
+            f"    _td = {maxd}",
+            "state[1] = _td",
+            "prof.tracked_depth = _td",
+            "if _rg.tracked:",
+            "    _rg.cp = cps.pop()",
+            "_cp = _rg.cp",
+            "if not _rg.tracked or _cp > _rg.work:",
+            "    _cp = _rg.work",
+            "_c = _intern(_rg.static_id, _rg.work, _cp,",
+            "             tuple(sorted(_rg.children.items())))",
+            "if stack:",
+            "    _pr = stack[-1]",
+            "    _pr.work += _rg.work",
+            "    _pr.children[_c] = _pr.children.get(_c, 0) + 1",
+            "else:",
+            "    prof.root_char = _c",
+            "_rcache.clear()",
+        ]
+
+    # -- run boundaries ----------------------------------------------------
+
+    def _gen_fallthrough(self, lines: list[str], next_pc: int) -> None:
+        self._seg_flush(lines)
+        lines.append(f"return {next_pc}")
+
+    def _gen_terminator(
+        self, term, block, block_pc, retired, cost, lines, env
+    ) -> None:
+        cls = type(term)
+        if cls is Jump:
+            # No event fires for unconditional jumps.
+            self._seg_flush(lines)
+            lines.append(f"counts[0] += {retired}")
+            lines.append(f"counts[1] += {cost}")
+            lines.append(f"return {block_pc[id(term.target)]}")
+            return
+        if cls is Branch:
+            self._gen_branch(term, block, block_pc, retired, cost, lines, env)
+            return
+        if cls is Ret:
+            self._gen_ret(term, retired, cost, lines, env)
+            return
+        raise InterpreterError(
+            f"unknown terminator {cls.__name__}", term.span
+        )
+
+    def _gen_branch(
+        self, term, block, block_pc, retired, cost, lines, env
+    ) -> None:
+        info = self.instrumentation[self.current_function.name]
+        block_key = id(block)
+        # Re-executing a branch (back edge) ends every control region opened
+        # after its previous execution: truncate to its old position FIRST
+        # (and do not chain the new entry off the old one — see on_branch).
+        lines += [
+            "_k = len(control) - 1",
+            "while _k >= 0:",
+            f"    if control[_k][0] == {block_key}:",
+            "        del control[_k:]",
+            "        break",
+            "    _k -= 1",
+        ]
+        reg_indices = (
+            (term.cond.index,) if type(term.cond) is Register else ()
+        )
+        tv = self._gen_event(
+            lines, term.cost, reg_indices, fresh_control=True
+        )
+        if block not in info.loop_branch_blocks:
+            join = info.control.branch_join.get(block)
+            join_key = id(join) if join is not None else None
+            lines.append(
+                f"control.append(({block_key}, {join_key}, ({tv}, _cu)))"
+            )
+        # else: loop-continuation tests do not enter the control stack
+        self._seg_flush(lines)
+        then_pc = block_pc[id(term.then_block)]
+        else_pc = block_pc[id(term.else_block)]
+        cond = self._expr(term.cond, env)
+        lines.append(f"counts[0] += {retired}")
+        lines.append(f"counts[1] += {cost}")
+        lines.append(f"return {then_pc} if ({cond}) != 0 else {else_pc}")
+
+    def _gen_ret(self, term, retired, cost, lines, env) -> None:
+        lines.append(f"counts[0] += {retired}")
+        lines.append(f"counts[1] += {cost}")
+        if self.budget is not None:
+            lines += [
+                f"if counts[0] > {self.budget}:",
+                "    raise InterpreterError('instruction budget exceeded')",
+            ]
+        return_type = self.current_function.return_type
+        if term.value is None:
+            lines.append("engine.ret_value = None")
+        else:
+            lines.append(f"v = {self._expr(term.value, env)}")
+            if return_type == INT:
+                lines += ["if v is not None:", "    v = int(v)"]
+            elif return_type == FLOAT:
+                lines += ["if v is not None:", "    v = float(v)"]
+            lines.append("engine.ret_value = v")
+        # on_return: the return value's availability feeds the caller via
+        # prof._pending_return (picked up by the call closure).
+        reg_indices = (
+            (term.value.index,)
+            if term.value is not None and type(term.value) is Register
+            else ()
+        )
+        tv = self._gen_event(lines, term.cost, reg_indices)
+        lines.append(f"prof._pending_return = {tv}")
+        self._seg_flush(lines)
+        lines.append("return -1")
+
+    # -- user calls (closure steps) ----------------------------------------
+
+    def _emit_call(self, instr, next_pc):
+        callee = self.interp.module.function(instr.callee)
+        shell = self.shells[instr.callee]
+        binds = tuple(
+            (param.index, self.getter(arg))
+            for param, arg in zip(callee.params, instr.args)
+        )
+        shadow_binds = tuple(
+            (param.index, arg.index if type(arg) is Register else None)
+            for param, arg in zip(callee.params, instr.args)
+        )
+        num_registers = shell.num_registers
+        res = instr.result.index if instr.result is not None else None
+        cost = instr.cost
+        engine = self.engine
+        prof = self.prof
+        state = self.state
+        stack = prof.stack
+        cps = self.cps
+
+        def step(ctx):
+            regs, sregs, control = ctx
+            depth = engine.depth + 1
+            if depth > _MAX_CALL_DEPTH:
+                raise InterpreterError(
+                    "call stack exhausted (runaway recursion?)"
+                )
+            engine.depth = depth
+            callee_regs: list = [None] * num_registers
+            for dst, get in binds:
+                callee_regs[dst] = get(regs)
+            # on_call: seed the callee's parameter shadows and charge the
+            # call overhead itself.
+            current = state[0]
+            tracked_depth = state[1]
+            ctrl = resolve_entry(control[-1][2], current) if control else None
+            callee_sregs: list = [None] * num_registers
+            all_inputs = [] if ctrl is None else [ctrl]
+            for param_index, arg_index in shadow_binds:
+                arg_inputs = [] if ctrl is None else [ctrl]
+                if arg_index is not None:
+                    resolved = resolve_entry(sregs[arg_index], current)
+                    if resolved is not None:
+                        arg_inputs.append(resolved)
+                        all_inputs.append(resolved)
+                callee_sregs[param_index] = (
+                    _compute_ts(arg_inputs, cost, tracked_depth),
+                    current,
+                )
+            ts = _compute_ts(all_inputs, cost, tracked_depth)
+            if stack:
+                stack[-1].work += cost
+                k = 0
+                for t in ts:
+                    if t > cps[k]:
+                        cps[k] = t
+                    k += 1
+            value = engine.exec_fused(shell, (callee_regs, callee_sregs, []))
+            engine.depth = depth - 1
+            # on_call_return: the callee's Ret left its availability here.
+            pending = prof._pending_return
+            prof._pending_return = None
+            if res is not None:
+                regs[res] = value
+                if pending is not None:
+                    sregs[res] = (pending, state[0])
+            return next_pc
+
+        return step

@@ -31,7 +31,7 @@ from repro.instrument.compile import CompiledProgram
 from repro.interp.interpreter import ExecutionObserver, Interpreter, RunResult
 from repro.ir.instructions import BinOp
 from repro.ir.values import Register
-from repro.kremlib.shadow import ShadowFrame
+from repro.kremlib.shadow import ShadowFrame, resolve_entry
 
 _UNLIMITED_DEPTH = 1 << 30
 
@@ -54,6 +54,11 @@ class ProfilerError(Exception):
 
 class KremlinProfiler(ExecutionObserver):
     """HCPA observer; attach to an :class:`Interpreter` and run."""
+
+    # The bytecode engine may fuse this observer's hook bodies into the
+    # decoded instruction stream (repro.kremlib.fastpath) instead of firing
+    # per-event callbacks; generic observers fall back to the tree engine.
+    supports_fused_decode = True
 
     def __init__(self, program: CompiledProgram, max_depth: int | None = None):
         self.program = program
@@ -99,24 +104,13 @@ class KremlinProfiler(ExecutionObserver):
         return shadow
 
     def _resolve(self, entry):
-        """Resolve an entry to (times, valid_depth); None if all stale."""
-        if entry is None:
-            return None
-        times, tags = entry
-        current = self.tags
-        if tags is current:
-            return (times, len(times))
-        limit = len(tags)
-        if len(current) < limit:
-            limit = len(current)
-        if len(times) < limit:
-            limit = len(times)
-        valid = 0
-        while valid < limit and tags[valid] == current[valid]:
-            valid += 1
-        if valid == 0:
-            return None
-        return (times, valid)
+        """Resolve an entry to (times, valid_depth); None if all stale.
+
+        Thin wrapper over the shared prefix-resolution routine
+        (:func:`~repro.kremlib.shadow.resolve_entry`) binding the current
+        region tags; kept as a method so hook bodies read naturally.
+        """
+        return resolve_entry(entry, self.tags)
 
     def _compute_ts(self, inputs, cost: int) -> list:
         """ts[d] = max over inputs of times[d] (0 beyond validity) + cost."""

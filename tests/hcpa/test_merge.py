@@ -5,6 +5,7 @@ import pytest
 from repro.hcpa.aggregate import aggregate_profile
 from repro.hcpa.merge import ProfileMergeError, merge_profiles
 from repro.instrument import kremlin_cc
+from repro.instrument.regions import RegionKind
 from repro.kremlib import profile_program
 from repro.planner import OpenMPPlanner
 
@@ -122,6 +123,41 @@ class TestMerge:
         plan = OpenMPPlanner().plan(aggregate_profile(merged))
         assert "heavy#loop1" in plan.region_names
         assert "serial_tail#loop1" not in plan.region_names
+
+    def test_three_run_merge_sums_across_all(self):
+        profiles = [profile_with_input(s) for s in (1, 2, 3)]
+        merged = merge_profiles(profiles)
+        assert merged.total_work == sum(p.total_work for p in profiles)
+        assert merged.instructions_retired == sum(
+            p.instructions_retired for p in profiles
+        )
+        # Runs execute serially, one after another: the aggregate critical
+        # path is the sum of the per-run critical paths.
+        root_cp = merged.dictionary.entries[merged.root_char].cp
+        assert root_cp == sum(
+            p.dictionary.entries[p.root_char].cp for p in profiles
+        )
+
+    def test_synthetic_root_region(self):
+        p1, p2 = profile_with_input(1), profile_with_input(2)
+        merged = merge_profiles([p1, p2])
+        # One synthetic region is appended; the originals are untouched.
+        assert len(merged.regions) == len(p1.regions) + 1
+        root_entry = merged.dictionary.entries[merged.root_char]
+        synthetic = merged.regions.region(root_entry.static_id)
+        assert synthetic.kind == RegionKind.FUNCTION
+        # Its dictionary children are the two per-run roots, once each.
+        assert sorted(count for _, count in root_entry.children) == [1, 1]
+
+    def test_merge_order_does_not_change_totals(self):
+        p1, p2, p3 = (profile_with_input(s) for s in (1, 2, 3))
+        forward = merge_profiles([p1, p2, p3])
+        backward = merge_profiles([p3, p2, p1])
+        assert forward.total_work == backward.total_work
+        f_root = forward.dictionary.entries[forward.root_char]
+        b_root = backward.dictionary.entries[backward.root_char]
+        assert f_root.cp == b_root.cp
+        assert f_root.work == b_root.work
 
     def test_incompatible_programs_rejected(self):
         other = kremlin_cc(

@@ -1,0 +1,80 @@
+"""Differential test: tree engine vs. predecoded bytecode engine.
+
+The bytecode engine is a performance reimplementation of the interpreter;
+the tree-walking engine is the reference. This file runs every benchmark
+in the suite under both engines — plain and under the KremLib profiler —
+and asserts bit-identical results: the program's return value and output,
+the instruction accounting, and (for profiled runs) the serialized
+parallelism profile, byte for byte.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench_suite.registry import all_benchmarks, get_benchmark
+from repro.hcpa.serialize import profile_to_json
+from repro.interp.interpreter import Interpreter
+from repro.kremlib.profiler import KremlinProfiler
+
+NAMES = [benchmark.name for benchmark in all_benchmarks()]
+
+_programs: dict = {}
+
+
+def _program(name: str):
+    if name not in _programs:
+        _programs[name] = get_benchmark(name).compile()
+    return _programs[name]
+
+
+def _run(name: str, engine: str, profiled: bool):
+    """Run one benchmark; returns (RunResult, serialized profile or None)."""
+    program = _program(name)
+    observer = KremlinProfiler(program) if profiled else None
+    result = Interpreter(program, observer=observer, engine=engine).run("main")
+    if not profiled:
+        return result, None
+    serialized = json.dumps(profile_to_json(observer.profile), sort_keys=True)
+    return result, serialized
+
+
+def _assert_same_result(a, b):
+    assert a.value == b.value
+    assert a.output == b.output
+    assert a.instructions_retired == b.instructions_retired
+    assert a.total_cost == b.total_cost
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_plain_runs_identical(name):
+    tree, _ = _run(name, "tree", profiled=False)
+    bytecode, _ = _run(name, "bytecode", profiled=False)
+    _assert_same_result(tree, bytecode)
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_profiled_runs_identical(name):
+    tree, tree_profile = _run(name, "tree", profiled=True)
+    bytecode, bytecode_profile = _run(name, "bytecode", profiled=True)
+    _assert_same_result(tree, bytecode)
+    assert tree_profile == bytecode_profile
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_profiler_does_not_perturb_execution(name):
+    """observer=None and KremlinProfiler see the same program execution."""
+    plain, _ = _run(name, "bytecode", profiled=False)
+    profiled, _ = _run(name, "bytecode", profiled=True)
+    _assert_same_result(plain, profiled)
+
+
+def test_expected_results_hold():
+    """The suite's own self-checks pass under the bytecode engine."""
+    for benchmark in all_benchmarks():
+        if benchmark.expected_result is None:
+            continue
+        result, _ = _run(benchmark.name, "bytecode", profiled=True)
+        assert result.value == benchmark.expected_result, benchmark.name

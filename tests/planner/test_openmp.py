@@ -239,3 +239,40 @@ class TestExclusionList:
         # The user can't parallelize it? Replanning promotes the outer loop.
         replanned = OpenMPPlanner().plan(aggregated, excluded={inner})
         assert replanned.region_names == ["main#loop1"]
+
+    def test_replan_excluding_matches_plan_with_union(
+        self, canonical_loops_report
+    ):
+        planner = OpenMPPlanner()
+        plan = canonical_loops_report.plan
+        aggregated = canonical_loops_report.aggregated
+        target = plan[0].static_id
+        replanned = planner.replan_excluding(aggregated, plan, {target})
+        direct = planner.plan(
+            aggregated, frozenset(plan.excluded | {target})
+        )
+        assert replanned.region_ids == direct.region_ids
+        assert replanned.excluded == direct.excluded
+
+    def test_replan_excluding_nothing_is_stable(self, canonical_loops_report):
+        planner = OpenMPPlanner()
+        plan = canonical_loops_report.plan
+        replanned = planner.replan_excluding(
+            canonical_loops_report.aggregated, plan, set()
+        )
+        assert replanned.region_ids == plan.region_ids
+        assert replanned.excluded == plan.excluded
+
+    def test_replan_excluding_leaves_original_plan_alone(
+        self, canonical_loops_report
+    ):
+        planner = OpenMPPlanner()
+        plan = canonical_loops_report.plan
+        target = plan[0].static_id
+        before_ids = list(plan.region_ids)
+        before_excluded = set(plan.excluded)
+        planner.replan_excluding(
+            canonical_loops_report.aggregated, plan, {target}
+        )
+        assert list(plan.region_ids) == before_ids
+        assert set(plan.excluded) == before_excluded
