@@ -34,6 +34,14 @@ def _read_source(path: str) -> str:
 
 def main(argv: list[str] | None = None) -> int:
     """``kremlin``: profile a program and print its parallelism plan."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "fuzz":
+        # `kremlin fuzz`: differential fuzzing of the two engines plus the
+        # HCPA invariant oracle (see repro.fuzz).
+        from repro.fuzz.harness import fuzz_main
+
+        return fuzz_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="kremlin",
         description=(

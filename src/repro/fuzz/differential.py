@@ -1,0 +1,221 @@
+"""Cross-engine differential execution of one MiniC program.
+
+One call to :func:`run_differential` compiles a program once and runs it
+through the full engine matrix:
+
+* ``tree`` vs ``bytecode``, unprofiled — same value, output, instruction
+  count, and total cost;
+* ``tree`` vs ``bytecode`` under the KremLib profiler, at every configured
+  depth window — same run results *and* byte-identical serialized
+  parallelism profiles (the bytecode engine's fused fast paths must be
+  exact, not approximately right);
+* profiled vs unprofiled — the profiler must not perturb execution;
+
+then hands every profile to the invariant oracle
+(:mod:`repro.fuzz.oracle`).
+
+Any mismatch raises :class:`DifferentialFailure` with a category the
+harness uses to name corpus reproducers. A program that fails identically
+under every engine (e.g. a generator artifact tripping the instruction
+budget) raises :class:`ProgramInvalid` instead — that is a skip, not a
+finding.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.frontend.errors import MiniCError
+from repro.hcpa.serialize import profile_to_json
+from repro.hcpa.summaries import ParallelismProfile
+from repro.instrument.compile import kremlin_cc
+from repro.interp.errors import InterpreterError
+from repro.interp.interpreter import Interpreter, RunResult
+from repro.kremlib.profiler import KremlinProfiler
+
+#: depth windows every program is profiled under: unlimited plus the
+#: paper's depth-window flag (exercises the untracked-region paths)
+DEFAULT_MAX_DEPTHS: tuple[int | None, ...] = (None, 2)
+
+#: instruction budget per run — generated programs are tiny; anything
+#: hitting this is a runaway and gets skipped, not reported
+DEFAULT_MAX_INSTRUCTIONS = 3_000_000
+
+
+class DifferentialFailure(AssertionError):
+    """An observable difference between engine configurations, or an
+    invariant violation in a produced profile."""
+
+    def __init__(self, category: str, message: str):
+        super().__init__(f"[{category}] {message}")
+        self.category = category
+        self.message = message
+
+
+class ProgramInvalid(Exception):
+    """The program fails the same way everywhere — unusable as an input."""
+
+
+@dataclass
+class DifferentialOutcome:
+    """Everything one clean differential run produced."""
+
+    source: str
+    result: RunResult
+    #: max_depth -> profile (from the bytecode engine; tree is identical)
+    profiles: dict = field(default_factory=dict)
+    checks: int = 0
+
+    @property
+    def profile(self) -> ParallelismProfile:
+        """The unlimited-depth profile."""
+        return self.profiles[None]
+
+
+def _canon(result: RunResult) -> tuple:
+    """Comparable image of a run result. ``repr`` for the value and output
+    so NaN compares equal to itself across engines."""
+    return (
+        repr(result.value),
+        tuple(result.output),
+        result.instructions_retired,
+        result.total_cost,
+    )
+
+
+def _describe(result: RunResult) -> str:
+    return (
+        f"value={result.value!r} outputs={len(result.output)} "
+        f"instr={result.instructions_retired} cost={result.total_cost}"
+    )
+
+
+def _run_one(program, engine: str, profiled: bool, max_depth, max_instructions):
+    """Run one configuration; returns (result, serialized_profile, profile,
+    error). Exactly one of (result, error) is set."""
+    observer = (
+        KremlinProfiler(program, max_depth=max_depth) if profiled else None
+    )
+    interp = Interpreter(
+        program,
+        observer=observer,
+        max_instructions=max_instructions,
+        engine=engine,
+    )
+    try:
+        result = interp.run("main")
+    except (InterpreterError, ValueError, ZeroDivisionError, OverflowError) as error:
+        return None, None, None, f"{type(error).__name__}: {error}"
+    if not profiled:
+        return result, None, None, None
+    profile = observer.profile
+    serialized = json.dumps(profile_to_json(profile), sort_keys=True)
+    return result, serialized, profile, None
+
+
+def run_differential(
+    source: str,
+    filename: str = "<fuzz>",
+    max_depths: tuple[int | None, ...] = DEFAULT_MAX_DEPTHS,
+    max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+    oracle: bool = True,
+) -> DifferentialOutcome:
+    """Run the full differential + oracle check matrix over one program.
+
+    Returns a :class:`DifferentialOutcome` on success; raises
+    :class:`DifferentialFailure` on any mismatch and
+    :class:`ProgramInvalid` for unusable inputs.
+    """
+    try:
+        program = kremlin_cc(source, filename)
+    except MiniCError as error:
+        raise ProgramInvalid(f"does not compile: {error}") from error
+
+    checks = 0
+
+    # Plain runs: tree is the reference.
+    tree_result, _, _, tree_error = _run_one(
+        program, "tree", False, None, max_instructions
+    )
+    byte_result, _, _, byte_error = _run_one(
+        program, "bytecode", False, None, max_instructions
+    )
+    if tree_error is not None or byte_error is not None:
+        if tree_error == byte_error:
+            raise ProgramInvalid(f"both engines fail: {tree_error}")
+        raise DifferentialFailure(
+            "crash-mismatch",
+            f"tree: {tree_error or 'ok'} vs bytecode: {byte_error or 'ok'}",
+        )
+    if _canon(tree_result) != _canon(byte_result):
+        raise DifferentialFailure(
+            "result-mismatch",
+            f"plain run diverged: tree {_describe(tree_result)} "
+            f"vs bytecode {_describe(byte_result)}",
+        )
+    checks += 1
+
+    outcome = DifferentialOutcome(source=source, result=byte_result)
+
+    for max_depth in max_depths:
+        tag = "unlimited" if max_depth is None else f"max_depth={max_depth}"
+        tree_prof_result, tree_serial, _, tree_error = _run_one(
+            program, "tree", True, max_depth, max_instructions
+        )
+        byte_prof_result, byte_serial, byte_profile, byte_error = _run_one(
+            program, "bytecode", True, max_depth, max_instructions
+        )
+        if tree_error is not None or byte_error is not None:
+            if tree_error == byte_error:
+                raise ProgramInvalid(f"both engines fail profiled: {tree_error}")
+            raise DifferentialFailure(
+                "crash-mismatch",
+                f"profiled ({tag}) tree: {tree_error or 'ok'} "
+                f"vs bytecode: {byte_error or 'ok'}",
+            )
+        if _canon(tree_prof_result) != _canon(byte_prof_result):
+            raise DifferentialFailure(
+                "result-mismatch",
+                f"profiled run ({tag}) diverged: "
+                f"tree {_describe(tree_prof_result)} "
+                f"vs bytecode {_describe(byte_prof_result)}",
+            )
+        if _canon(tree_prof_result) != _canon(tree_result):
+            raise DifferentialFailure(
+                "observer-perturbation",
+                f"profiling changed execution ({tag}): "
+                f"plain {_describe(tree_result)} "
+                f"vs profiled {_describe(tree_prof_result)}",
+            )
+        if tree_serial != byte_serial:
+            raise DifferentialFailure(
+                "profile-mismatch",
+                f"serialized profiles differ ({tag}): "
+                f"{_first_profile_diff(tree_serial, byte_serial)}",
+            )
+        outcome.profiles[max_depth] = byte_profile
+        checks += 3
+
+    if oracle:
+        from repro.fuzz.oracle import run_oracle
+
+        checks += run_oracle(outcome.profiles)
+
+    outcome.checks = checks
+    return outcome
+
+
+def _first_profile_diff(a: str, b: str) -> str:
+    """Human-oriented pointer at the first divergence of two profiles."""
+    data_a, data_b = json.loads(a), json.loads(b)
+    for key in sorted(set(data_a) | set(data_b)):
+        if data_a.get(key) != data_b.get(key):
+            va, vb = data_a.get(key), data_b.get(key)
+            if key == "dictionary":
+                for index, (ea, eb) in enumerate(zip(va, vb)):
+                    if ea != eb:
+                        return f"dictionary[{index}]: {ea} vs {eb}"
+                return f"dictionary length {len(va)} vs {len(vb)}"
+            return f"{key}: {str(va)[:120]} vs {str(vb)[:120]}"
+    return "profiles differ"

@@ -1,0 +1,644 @@
+"""Seeded random MiniC program generator.
+
+Produces syntactically valid, terminating, crash-free programs by
+construction so every generated program is a usable differential-test
+input:
+
+* **Termination** — every loop is counted with a literal bound; ``while``
+  loops increment their counter as the *first* body statement so a
+  generated ``break`` can only shorten them; ``continue`` is emitted only
+  inside ``for`` bodies (where it reaches the step via the loop latch).
+* **Memory safety** — every array index has the shape ``(e) % size`` where
+  ``e`` is built from the nonnegative-expression grammar below, so it
+  lands in ``[0, size)``.
+* **Arithmetic safety** — integer scalars stay nonnegative and bounded:
+  the only operators applied to them are ``+``, ``*``, ``min``/``max``,
+  and ``%``/``/`` by positive literals, and every assignment reduces the
+  result ``% M``. Floats never multiply by anything but literals and
+  self-updates use contracting recurrences (``x = x * c + e`` with
+  ``c < 1``), so values cannot blow up to infinity.
+* **Bounded cost** — a dynamic-iteration budget caps the product of nested
+  loop bounds, keeping each run cheap enough for thousands of fuzz
+  iterations.
+
+The same seed always yields the same source text (the generator draws only
+from its own :class:`random.Random`), which is what makes ``kremlin fuzz
+--seed N`` reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Knobs bounding the size and cost of generated programs."""
+
+    #: maximum helper functions generated before ``main``
+    max_functions: int = 3
+    #: loop bound range (inclusive)
+    min_loop_bound: int = 2
+    max_loop_bound: int = 10
+    #: maximum loop nesting depth inside one function
+    max_loop_depth: int = 3
+    #: cap on the product of nested loop bounds along any path
+    max_dynamic_iterations: int = 1200
+    #: global array element-count range
+    min_array_size: int = 4
+    max_array_size: int = 48
+    #: statements per block
+    min_block_stmts: int = 1
+    max_block_stmts: int = 4
+    #: modulus applied to every integer-scalar assignment
+    int_modulus: int = 997
+    #: maximum recursion depth seeded at a recursive call site
+    max_recursion_depth: int = 8
+    #: dynamic-iteration budget *inside* a helper function (helpers may be
+    #: called from loops, so their own cost must stay small)
+    helper_dynamic_iterations: int = 40
+    #: helper calls are only emitted while the dynamic multiplier is below
+    #: this, bounding call-site cost to multiplier × helper budget
+    max_call_site_multiplier: int = 50
+    #: cap on multiplier × estimated-callee-cost at any call site; without
+    #: it, helper→helper call chains amplify multiplicatively and blow the
+    #: differential harness's instruction budget
+    max_call_cost: int = 20_000
+
+
+@dataclass
+class _Scope:
+    """Names visible at the current generation point."""
+
+    int_vars: list[str] = field(default_factory=list)
+    float_vars: list[str] = field(default_factory=list)
+    #: readable but never assignable — loop counters live here, otherwise a
+    #: generated assignment could reset an induction variable forever
+    const_ints: list[str] = field(default_factory=list)
+
+    def snapshot(self) -> tuple[int, int, int]:
+        return len(self.int_vars), len(self.float_vars), len(self.const_ints)
+
+    def restore(self, mark: tuple[int, int, int]) -> None:
+        del self.int_vars[mark[0] :]
+        del self.float_vars[mark[1] :]
+        del self.const_ints[mark[2] :]
+
+
+class ProgramGenerator:
+    """Generates one deterministic MiniC program per seed."""
+
+    def __init__(self, seed: int, config: GeneratorConfig | None = None):
+        self.seed = seed
+        self.config = config or GeneratorConfig()
+        self.rng = random.Random(seed)
+        self.lines: list[str] = []
+        self.indent = 0
+        self.int_arrays: list[tuple[str, int]] = []
+        self.float_arrays: list[tuple[str, int]] = []
+        self.global_ints: list[str] = []
+        self.global_floats: list[str] = []
+        #: (name, arity, returns_float, recursive, est_cost) of helpers
+        self.helpers: list[tuple[str, int, bool, bool, int]] = []
+        self._name_counter = 0
+        self._dyn_cap = self.config.max_dynamic_iterations
+        #: rough dynamic-cost estimate of the function being generated
+        #: (statement-weight × loop multiplier, plus callee estimates)
+        self._fn_cost = 0
+
+    # ------------------------------------------------------------------
+    # Emission helpers
+    # ------------------------------------------------------------------
+
+    def _emit(self, text: str) -> None:
+        self.lines.append("  " * self.indent + text)
+
+    def _fresh(self, prefix: str) -> str:
+        self._name_counter += 1
+        return f"{prefix}{self._name_counter}"
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+
+    def _int_atom(self, scope: _Scope) -> str:
+        rng = self.rng
+        readable = scope.int_vars + scope.const_ints
+        choices = ["literal"]
+        if readable:
+            choices += ["var", "var", "var"]
+        if self.global_ints:
+            choices.append("global")
+        if self.int_arrays:
+            choices.append("array")
+        kind = rng.choice(choices)
+        if kind == "var":
+            return rng.choice(readable)
+        if kind == "global":
+            return rng.choice(self.global_ints)
+        if kind == "array":
+            name, size = rng.choice(self.int_arrays)
+            return f"{name}[{self._index_expr(scope, size)}]"
+        return str(rng.randint(0, 9))
+
+    def _int_expr(self, scope: _Scope, depth: int = 0) -> str:
+        """A nonnegative, bounded integer expression."""
+        rng = self.rng
+        if depth >= 2 or rng.random() < 0.4:
+            return self._int_atom(scope)
+        kind = rng.choice(["+", "*", "%", "/", "min", "max"])
+        left = self._int_expr(scope, depth + 1)
+        if kind == "+":
+            return f"({left} + {self._int_expr(scope, depth + 1)})"
+        if kind == "*":
+            return f"({left} * {rng.randint(1, 5)})"
+        if kind == "%":
+            return f"({left} % {rng.randint(2, 31)})"
+        if kind == "/":
+            return f"({left} / {rng.randint(1, 7)})"
+        right = self._int_expr(scope, depth + 1)
+        return f"{kind}({left}, {right})"
+
+    def _index_expr(self, scope: _Scope, size: int) -> str:
+        """An always-in-bounds index: ``(nonneg) % size``."""
+        return f"({self._int_expr(scope, depth=1)}) % {size}"
+
+    def _float_atom(self, scope: _Scope) -> str:
+        rng = self.rng
+        choices = ["literal", "cast"]
+        if scope.float_vars:
+            choices += ["var", "var"]
+        if self.global_floats:
+            choices.append("global")
+        if self.float_arrays:
+            choices.append("array")
+        kind = rng.choice(choices)
+        if kind == "var":
+            return rng.choice(scope.float_vars)
+        if kind == "global":
+            return rng.choice(self.global_floats)
+        if kind == "array":
+            name, size = rng.choice(self.float_arrays)
+            return f"{name}[{self._index_expr(scope, size)}]"
+        if kind == "cast":
+            return f"(float) {self._int_atom(scope)}"
+        return f"{rng.randint(0, 40) / 10.0:.1f}"
+
+    def _float_expr(self, scope: _Scope, depth: int = 0) -> str:
+        rng = self.rng
+        if depth >= 2 or rng.random() < 0.4:
+            return self._float_atom(scope)
+        kind = rng.choice(["+", "-", "*", "call", "call"])
+        left = self._float_expr(scope, depth + 1)
+        if kind == "+":
+            return f"({left} + {self._float_expr(scope, depth + 1)})"
+        if kind == "-":
+            return f"({left} - {self._float_expr(scope, depth + 1)})"
+        if kind == "*":
+            # Literal multiplier only: keeps magnitudes bounded (no x*x).
+            return f"({left} * {rng.randint(1, 15) / 10.0:.1f})"
+        builtin = rng.choice(["sqrt", "sin", "cos", "fabs"])
+        if builtin == "sqrt":
+            return f"sqrt(fabs({left}))"
+        return f"{builtin}({left})"
+
+    def _excluding(self, names: list[str], target: str):
+        """Context manager: temporarily hide ``target`` from a name pool so
+        a ``+=``/recurrence right-hand side cannot reference its own target
+        (self-referencing growth compounds to overflow inside loops).
+
+        Restores the name at its original index — scope tracking relies on
+        list *order* (snapshot/restore truncate by length), so a
+        remove/append round-trip would leak inner names past their block."""
+        class _Hide:
+            def __enter__(_self):
+                _self.index = names.index(target) if target in names else None
+                if _self.index is not None:
+                    names.pop(_self.index)
+
+            def __exit__(_self, *exc):
+                if _self.index is not None:
+                    names.insert(_self.index, target)
+
+        return _Hide()
+
+    def _float_expr_excluding(self, scope: _Scope, target: str) -> str:
+        with self._excluding(scope.float_vars, target):
+            with self._excluding(self.global_floats, target):
+                return self._float_expr(scope, 1)
+
+    def _int_expr_excluding(self, scope: _Scope, target: str) -> str:
+        with self._excluding(scope.int_vars, target):
+            with self._excluding(self.global_ints, target):
+                return self._int_expr(scope, 1)
+
+    def _condition(self, scope: _Scope) -> str:
+        rng = self.rng
+        kind = rng.choice(["int-cmp", "int-cmp", "parity", "float-cmp", "combo"])
+        if kind == "int-cmp":
+            op = rng.choice(["<", ">", "<=", ">=", "==", "!="])
+            return f"{self._int_expr(scope, 1)} {op} {self._int_expr(scope, 1)}"
+        if kind == "parity":
+            return f"({self._int_expr(scope, 1)}) % {rng.randint(2, 5)} == 0"
+        if kind == "float-cmp":
+            op = rng.choice(["<", ">"])
+            return f"{self._float_expr(scope, 1)} {op} {self._float_expr(scope, 1)}"
+        glue = rng.choice(["&&", "||"])
+        return (
+            f"({self._condition_simple(scope)}) {glue} "
+            f"({self._condition_simple(scope)})"
+        )
+
+    def _condition_simple(self, scope: _Scope) -> str:
+        op = self.rng.choice(["<", ">", "=="])
+        return f"{self._int_expr(scope, 1)} {op} {self._int_expr(scope, 1)}"
+
+    def _call_expr(self, scope: _Scope, want_float: bool, mult: int) -> str | None:
+        """A call to a previously generated helper of the wanted type whose
+        estimated cost fits the call site's loop multiplier."""
+        matching = [
+            h
+            for h in self.helpers
+            if h[2] == want_float and h[4] * mult <= self.config.max_call_cost
+        ]
+        if not matching:
+            return None
+        name, arity, _, recursive, cost = self.rng.choice(matching)
+        self._fn_cost += cost * mult
+        args = []
+        for position in range(arity):
+            arg = self._int_expr(scope, 1)
+            if recursive and position == 0:
+                # The first argument seeds the recursion depth; bound it so
+                # the call stack stays far from the interpreter's limit.
+                arg = f"({arg}) % {self.config.max_recursion_depth}"
+            args.append(arg)
+        return f"{name}({', '.join(args)})"
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def _loop_bound(self, mult: int) -> int:
+        """A loop bound that keeps mult * bound within the dynamic budget."""
+        config = self.config
+        cap = max(config.min_loop_bound, self._dyn_cap // max(mult, 1))
+        high = min(config.max_loop_bound, cap)
+        return self.rng.randint(config.min_loop_bound, max(config.min_loop_bound, high))
+
+    def _gen_block(self, scope: _Scope, depth: int, mult: int, in_loop: bool,
+                   returns_float: bool | None) -> None:
+        """Statements of one block (no braces — caller owns them)."""
+        count = self.rng.randint(self.config.min_block_stmts, self.config.max_block_stmts)
+        for _ in range(count):
+            self._gen_stmt(scope, depth, mult, in_loop, returns_float)
+
+    def _gen_stmt(self, scope: _Scope, depth: int, mult: int, in_loop: bool,
+                  returns_float: bool | None) -> None:
+        rng = self.rng
+        kinds = [
+            "assign-int", "assign-int", "assign-float", "store",
+            "decl", "if",
+        ]
+        if depth < self.config.max_loop_depth and mult < self._dyn_cap:
+            kinds += ["for", "for", "while", "kernel"]
+            if depth < 2:
+                kinds.append("dowhile")
+        if self.helpers and mult <= self.config.max_call_site_multiplier:
+            kinds.append("call")
+        if in_loop:
+            kinds.append("exit")
+        if returns_float is not None and rng.random() < 0.15:
+            kinds.append("early-return")
+        if rng.random() < 0.1:
+            kinds.append("print")
+        kind = rng.choice(kinds)
+        self._fn_cost += 4 * mult
+        getattr(self, f"_gen_{kind.replace('-', '_')}")(
+            scope, depth, mult, in_loop, returns_float
+        )
+
+    # Individual statement generators share one signature so _gen_stmt can
+    # dispatch by name.
+
+    def _gen_assign_int(self, scope, depth, mult, in_loop, returns_float):
+        rng = self.rng
+        targets = list(scope.int_vars) + list(self.global_ints)
+        if not targets:
+            self._gen_decl(scope, depth, mult, in_loop, returns_float)
+            return
+        target = rng.choice(targets)
+        if rng.random() < 0.3:
+            self._emit(f"{target} += {self._int_expr_excluding(scope, target)};")
+        else:
+            modulus = rng.choice([7, 31, 101, self.config.int_modulus])
+            self._emit(f"{target} = ({self._int_expr(scope)}) % {modulus};")
+
+    def _gen_assign_float(self, scope, depth, mult, in_loop, returns_float):
+        rng = self.rng
+        targets = list(scope.float_vars) + list(self.global_floats)
+        if not targets:
+            self._gen_decl(scope, depth, mult, in_loop, returns_float)
+            return
+        target = rng.choice(targets)
+        roll = rng.random()
+        if roll < 0.3:
+            # Contracting recurrence: serial chain / reduction shape.
+            factor = rng.randint(3, 95) / 100.0
+            rhs = self._float_expr_excluding(scope, target)
+            self._emit(f"{target} = {target} * {factor:.2f} + {rhs};")
+        elif roll < 0.5:
+            self._emit(f"{target} += {self._float_expr_excluding(scope, target)};")
+        else:
+            self._emit(f"{target} = {self._float_expr_excluding(scope, target)};")
+
+    def _gen_store(self, scope, depth, mult, in_loop, returns_float):
+        rng = self.rng
+        if self.float_arrays and (not self.int_arrays or rng.random() < 0.5):
+            name, size = rng.choice(self.float_arrays)
+            op = rng.choice(["=", "=", "+="])
+            if op == "+=":
+                # Accumulating into a cell that the RHS might read back
+                # compounds; hide all float arrays from the RHS.
+                saved = self.float_arrays
+                self.float_arrays = []
+                value = self._float_expr(scope)
+                self.float_arrays = saved
+            else:
+                value = self._float_expr(scope)
+            self._emit(f"{name}[{self._index_expr(scope, size)}] {op} {value};")
+        elif self.int_arrays:
+            name, size = rng.choice(self.int_arrays)
+            value = f"({self._int_expr(scope)}) % {self.config.int_modulus}"
+            self._emit(f"{name}[{self._index_expr(scope, size)}] = {value};")
+        else:
+            self._gen_assign_float(scope, depth, mult, in_loop, returns_float)
+
+    def _gen_decl(self, scope, depth, mult, in_loop, returns_float):
+        rng = self.rng
+        if rng.random() < 0.5:
+            name = self._fresh("v")
+            self._emit(f"int {name} = {self._int_expr(scope, 1)};")
+            scope.int_vars.append(name)
+        else:
+            name = self._fresh("f")
+            self._emit(f"float {name} = {self._float_expr(scope, 1)};")
+            scope.float_vars.append(name)
+
+    def _gen_if(self, scope, depth, mult, in_loop, returns_float):
+        mark = scope.snapshot()
+        self._emit(f"if ({self._condition(scope)}) {{")
+        self.indent += 1
+        self._gen_block(scope, depth, mult, in_loop, returns_float)
+        self.indent -= 1
+        scope.restore(mark)
+        if self.rng.random() < 0.4:
+            self._emit("} else {")
+            self.indent += 1
+            self._gen_block(scope, depth, mult, in_loop, returns_float)
+            self.indent -= 1
+            scope.restore(mark)
+        self._emit("}")
+
+    def _gen_for(self, scope, depth, mult, in_loop, returns_float):
+        bound = self._loop_bound(mult)
+        var = self._fresh("i")
+        step = self.rng.choice(["++", "++", "++", f" += {self.rng.randint(1, 2)}"])
+        self._emit(f"for (int {var} = 0; {var} < {bound}; {var}{step}) {{")
+        mark = scope.snapshot()
+        scope.const_ints.append(var)
+        self.indent += 1
+        self._gen_block(scope, depth + 1, mult * bound, True, returns_float)
+        self.indent -= 1
+        scope.restore(mark)
+        self._emit("}")
+
+    def _gen_while(self, scope, depth, mult, in_loop, returns_float):
+        bound = self._loop_bound(mult)
+        var = self._fresh("w")
+        self._emit(f"int {var} = 0;")
+        self._emit(f"while ({var} < {bound}) {{")
+        mark = scope.snapshot()
+        scope.const_ints.append(var)
+        self.indent += 1
+        # Increment first: a later `break` can only shorten the loop.
+        self._emit(f"{var} += 1;")
+        self._gen_block(scope, depth + 1, mult * bound, True, returns_float)
+        self.indent -= 1
+        scope.restore(mark)
+        self._emit("}")
+
+    def _gen_dowhile(self, scope, depth, mult, in_loop, returns_float):
+        bound = self._loop_bound(mult)
+        var = self._fresh("d")
+        self._emit(f"int {var} = 0;")
+        self._emit("do {")
+        mark = scope.snapshot()
+        scope.const_ints.append(var)
+        self.indent += 1
+        self._emit(f"{var} += 1;")
+        self._gen_block(scope, depth + 1, mult * bound, True, returns_float)
+        self.indent -= 1
+        scope.restore(mark)
+        self._emit(f"}} while ({var} < {bound});")
+
+    def _gen_kernel(self, scope, depth, mult, in_loop, returns_float):
+        """A recognizable parallel-shape kernel: DOALL fill, reduction,
+        serial recurrence, or histogram — the canonical HCPA shapes."""
+        rng = self.rng
+        shape = rng.choice(["doall", "reduction", "chain", "histogram"])
+        bound = self._loop_bound(mult)
+        var = self._fresh("i")
+        self._fn_cost += 6 * mult * bound  # kernel bodies bypass _gen_stmt
+        if shape == "doall" and self.float_arrays:
+            name, size = rng.choice(self.float_arrays)
+            self._emit(f"for (int {var} = 0; {var} < {bound}; {var}++) {{")
+            self._emit(
+                f"  {name}[({var}) % {size}] = "
+                f"(float) {var} * {rng.randint(1, 9) / 10.0:.1f} + "
+                f"{rng.randint(0, 20) / 10.0:.1f};"
+            )
+            self._emit("}")
+        elif shape == "reduction":
+            acc = self._fresh("f")
+            self._emit(f"float {acc} = 0.0;")
+            mark = scope.snapshot()
+            scope.const_ints.append(var)
+            src = self._float_expr(scope, 1)
+            scope.restore(mark)
+            self._emit(f"for (int {var} = 0; {var} < {bound}; {var}++) {{")
+            self._emit(f"  {acc} += {src};")
+            self._emit("}")
+            scope.float_vars.append(acc)
+        elif shape == "chain":
+            acc = self._fresh("f")
+            self._emit(f"float {acc} = 1.0;")
+            factor = rng.randint(50, 99) / 100.0
+            self._emit(f"for (int {var} = 0; {var} < {bound}; {var}++) {{")
+            self._emit(f"  {acc} = {acc} * {factor:.2f} + {rng.randint(1, 9) / 10.0:.1f};")
+            self._emit("}")
+            scope.float_vars.append(acc)
+        elif self.int_arrays:
+            name, size = rng.choice(self.int_arrays)
+            stride = rng.randint(1, 13)
+            self._emit(f"for (int {var} = 0; {var} < {bound}; {var}++) {{")
+            self._emit(f"  {name}[({var} * {stride}) % {size}] += 1;")
+            self._emit("}")
+        else:
+            self._gen_for(scope, depth, mult, in_loop, returns_float)
+
+    def _gen_call(self, scope, depth, mult, in_loop, returns_float):
+        rng = self.rng
+        want_float = rng.random() < 0.5
+        call = self._call_expr(scope, want_float, mult)
+        if call is None:
+            call = self._call_expr(scope, not want_float, mult)
+            want_float = not want_float
+        if call is None:
+            self._gen_assign_int(scope, depth, mult, in_loop, returns_float)
+            return
+        if want_float:
+            name = self._fresh("f")
+            self._emit(f"float {name} = {call};")
+            scope.float_vars.append(name)
+        else:
+            name = self._fresh("v")
+            self._emit(f"int {name} = {call};")
+            scope.int_vars.append(name)
+
+    def _gen_exit(self, scope, depth, mult, in_loop, returns_float):
+        kind = self.rng.choice(["break", "continue"])
+        self._emit(f"if ({self._condition_simple(scope)}) {kind};")
+
+    def _gen_early_return(self, scope, depth, mult, in_loop, returns_float):
+        if returns_float:
+            value = self._float_expr(scope, 1)
+        else:
+            value = f"({self._int_expr(scope, 1)}) % {self.config.int_modulus}"
+        self._emit(f"if ({self._condition_simple(scope)}) return {value};")
+
+    def _gen_print(self, scope, depth, mult, in_loop, returns_float):
+        if self.rng.random() < 0.5:
+            self._emit(f'print("t", {self._int_expr(scope, 1)});')
+        else:
+            self._emit(f"print({self._float_expr(scope, 1)});")
+
+    # ------------------------------------------------------------------
+    # Top level
+    # ------------------------------------------------------------------
+
+    def _gen_globals(self) -> None:
+        rng = self.rng
+        config = self.config
+        for _ in range(rng.randint(1, 3)):
+            size = rng.randint(config.min_array_size, config.max_array_size)
+            if rng.random() < 0.5:
+                name = self._fresh("ga")
+                self._emit(f"float {name}[{size}];")
+                self.float_arrays.append((name, size))
+            else:
+                name = self._fresh("gb")
+                self._emit(f"int {name}[{size}];")
+                self.int_arrays.append((name, size))
+        for _ in range(rng.randint(0, 2)):
+            if rng.random() < 0.5:
+                name = self._fresh("gi")
+                self._emit(f"int {name} = {rng.randint(0, 9)};")
+                self.global_ints.append(name)
+            else:
+                name = self._fresh("gf")
+                self._emit(f"float {name} = {rng.randint(0, 30) / 10.0:.1f};")
+                self.global_floats.append(name)
+        self._emit("")
+
+    def _gen_helper(self) -> None:
+        rng = self.rng
+        name = self._fresh("fn")
+        arity = rng.randint(1, 2)
+        recursive = rng.random() < 0.35
+        returns_float = not recursive and rng.random() < 0.5
+        params = [f"p{k}" for k in range(arity)]
+        param_list = ", ".join(f"int {p}" for p in params)
+        ret = "float" if returns_float else "int"
+        self._emit(f"{ret} {name}({param_list}) {{")
+        self.indent += 1
+        # Helpers may be called from inside loops: their own dynamic cost
+        # must stay small or call sites multiply it past the budget.
+        self._dyn_cap = self.config.helper_dynamic_iterations
+        self._fn_cost = 0
+        if recursive:
+            # Bounded self-recursion on a strictly decreasing parameter.
+            # p0 controls termination, so the body must never write it: the
+            # body sees a shadow copy instead of p0 itself.
+            self._emit(f"if (p0 <= 1) return {rng.randint(1, 3)};")
+            shadow = self._fresh("v")
+            self._emit(f"int {shadow} = p0;")
+            scope = _Scope(int_vars=[shadow] + params[1:])
+            self._gen_block(scope, 0, 1, False, returns_float)
+            extra = self._int_expr(scope, 1)
+            rec_args = ", ".join(["p0 - 1"] + params[1:])
+            self._emit(
+                f"return ({name}({rec_args}) + {extra}) "
+                f"% {self.config.int_modulus};"
+            )
+        else:
+            scope = _Scope(int_vars=list(params))
+            self._gen_block(scope, 0, 1, False, returns_float)
+            if returns_float:
+                self._emit(f"return {self._float_expr(scope)};")
+            else:
+                self._emit(
+                    f"return ({self._int_expr(scope)}) % {self.config.int_modulus};"
+                )
+        self.indent -= 1
+        self._emit("}")
+        self._emit("")
+        self._dyn_cap = self.config.max_dynamic_iterations
+        cost = self._fn_cost + 10
+        if recursive:
+            cost *= self.config.max_recursion_depth
+        self.helpers.append((name, arity, returns_float, recursive, cost))
+
+    def _gen_main(self) -> None:
+        self._emit("int main() {")
+        self.indent += 1
+        scope = _Scope()
+        # Seed main with a couple of locals so expressions have material.
+        self._gen_decl(scope, 0, 1, False, None)
+        self._gen_decl(scope, 0, 1, False, None)
+        self._gen_block(scope, 0, 1, False, None)
+        # Fold observable state into the exit value so differences anywhere
+        # in the program surface in the return value, not just the profile.
+        parts = [f"({self._int_expr(scope, 1)})"]
+        if scope.float_vars or self.global_floats:
+            pool = list(scope.float_vars) + list(self.global_floats)
+            # min() clamps inf/NaN before the int cast can overflow.
+            parts.append(f"(int) min(fabs({self.rng.choice(pool)}), 1000000.0)")
+        if self.float_arrays:
+            name, size = self.rng.choice(self.float_arrays)
+            cell = f"{name}[{self.rng.randint(0, size - 1)}]"
+            parts.append(f"(int) min(fabs({cell}), 1000000.0)")
+        if self.int_arrays:
+            name, size = self.rng.choice(self.int_arrays)
+            parts.append(f"{name}[{self.rng.randint(0, size - 1)}]")
+        checksum = " + ".join(parts)
+        self._emit(f"return ({checksum}) % 251;")
+        self.indent -= 1
+        self._emit("}")
+
+    def generate(self) -> str:
+        """Produce the program text (idempotent per generator instance)."""
+        if self.lines:
+            return "\n".join(self.lines) + "\n"
+        self._emit(f"// kremlin fuzz seed {self.seed}")
+        self._gen_globals()
+        for _ in range(self.rng.randint(0, self.config.max_functions)):
+            self._gen_helper()
+        self._gen_main()
+        return "\n".join(self.lines) + "\n"
+
+
+def generate_program(seed: int, config: GeneratorConfig | None = None) -> str:
+    """Generate the deterministic MiniC program for ``seed``."""
+    return ProgramGenerator(seed, config).generate()

@@ -1,0 +1,169 @@
+"""Render a MiniC AST back to source text.
+
+The shrinker parses a failing program, applies structural edits to the
+AST, and needs to turn each candidate back into compilable text. Output is
+normalized — one statement per line, fully parenthesized subexpressions —
+which is exactly what we want corpus reproducers to look like.
+"""
+
+from __future__ import annotations
+
+from repro.frontend.ast_nodes import (
+    AssignStmt,
+    BinaryExpr,
+    BlockStmt,
+    BreakStmt,
+    CallExpr,
+    CastExpr,
+    CondExpr,
+    ContinueStmt,
+    DeclStmt,
+    DoWhileStmt,
+    Expr,
+    ExprStmt,
+    FloatLiteral,
+    ForStmt,
+    FuncDecl,
+    IfStmt,
+    IndexExpr,
+    IntLiteral,
+    NameExpr,
+    Program,
+    ReturnStmt,
+    Stmt,
+    StringLiteral,
+    UnaryExpr,
+    VarDecl,
+    WhileStmt,
+)
+
+
+def render_expr(expr: Expr) -> str:
+    if isinstance(expr, IntLiteral):
+        return str(expr.value)
+    if isinstance(expr, FloatLiteral):
+        text = repr(expr.value)
+        return text if ("." in text or "e" in text or "inf" in text or "nan" in text) else text + ".0"
+    if isinstance(expr, StringLiteral):
+        escaped = expr.value.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+    if isinstance(expr, NameExpr):
+        return expr.name
+    if isinstance(expr, IndexExpr):
+        indices = "".join(f"[{render_expr(i)}]" for i in expr.indices)
+        return f"{expr.name}{indices}"
+    if isinstance(expr, UnaryExpr):
+        return f"({expr.op}{render_expr(expr.operand)})"
+    if isinstance(expr, BinaryExpr):
+        return f"({render_expr(expr.left)} {expr.op} {render_expr(expr.right)})"
+    if isinstance(expr, CallExpr):
+        args = ", ".join(render_expr(a) for a in expr.args)
+        return f"{expr.callee}({args})"
+    if isinstance(expr, CondExpr):
+        return (
+            f"({render_expr(expr.cond)} ? {render_expr(expr.then)} : "
+            f"{render_expr(expr.otherwise)})"
+        )
+    if isinstance(expr, CastExpr):
+        return f"(({expr.target}) {render_expr(expr.operand)})"
+    raise TypeError(f"cannot render expression {type(expr).__name__}")
+
+
+def _render_decl(decl: VarDecl) -> str:
+    dims = "".join(f"[{d if d is not None else ''}]" for d in decl.type.dims)
+    text = f"{decl.type.base} {decl.name}{dims}"
+    if decl.init is not None:
+        text += f" = {render_expr(decl.init)}"
+    return text
+
+
+def _render_simple(stmt: Stmt) -> str:
+    """A statement legal in a ``for`` header (no trailing semicolon)."""
+    if isinstance(stmt, DeclStmt):
+        pieces = []
+        for i, d in enumerate(stmt.decls):
+            if i == 0:
+                pieces.append(_render_decl(d))
+            else:
+                dims = "".join(f"[{x}]" for x in d.type.dims)
+                init = f" = {render_expr(d.init)}" if d.init is not None else ""
+                pieces.append(f"{d.name}{dims}{init}")
+        return ", ".join(pieces)
+    if isinstance(stmt, AssignStmt):
+        return (
+            f"{render_expr(stmt.target)} {stmt.op} {render_expr(stmt.value)}"
+        )
+    if isinstance(stmt, ExprStmt):
+        return render_expr(stmt.expr)
+    raise TypeError(f"cannot render {type(stmt).__name__} in a for header")
+
+
+def render_stmt(stmt: Stmt, indent: int, lines: list[str]) -> None:
+    pad = "  " * indent
+    if isinstance(stmt, BlockStmt):
+        lines.append(pad + "{")
+        for child in stmt.body:
+            render_stmt(child, indent + 1, lines)
+        lines.append(pad + "}")
+    elif isinstance(stmt, (DeclStmt, AssignStmt, ExprStmt)):
+        lines.append(pad + _render_simple(stmt) + ";")
+    elif isinstance(stmt, IfStmt):
+        lines.append(pad + f"if ({render_expr(stmt.cond)})")
+        render_stmt(_as_block(stmt.then_body), indent, lines)
+        if stmt.else_body is not None:
+            lines.append(pad + "else")
+            render_stmt(_as_block(stmt.else_body), indent, lines)
+    elif isinstance(stmt, WhileStmt):
+        lines.append(pad + f"while ({render_expr(stmt.cond)})")
+        render_stmt(_as_block(stmt.body), indent, lines)
+    elif isinstance(stmt, DoWhileStmt):
+        lines.append(pad + "do")
+        render_stmt(_as_block(stmt.body), indent, lines)
+        lines.append(pad + f"while ({render_expr(stmt.cond)});")
+    elif isinstance(stmt, ForStmt):
+        init = _render_simple(stmt.init) if stmt.init is not None else ""
+        cond = render_expr(stmt.cond) if stmt.cond is not None else ""
+        step = _render_simple(stmt.step) if stmt.step is not None else ""
+        lines.append(pad + f"for ({init}; {cond}; {step})")
+        render_stmt(_as_block(stmt.body), indent, lines)
+    elif isinstance(stmt, ReturnStmt):
+        if stmt.value is None:
+            lines.append(pad + "return;")
+        else:
+            lines.append(pad + f"return {render_expr(stmt.value)};")
+    elif isinstance(stmt, BreakStmt):
+        lines.append(pad + "break;")
+    elif isinstance(stmt, ContinueStmt):
+        lines.append(pad + "continue;")
+    else:
+        raise TypeError(f"cannot render statement {type(stmt).__name__}")
+
+
+def _as_block(stmt: Stmt) -> BlockStmt:
+    if isinstance(stmt, BlockStmt):
+        return stmt
+    return BlockStmt(span=stmt.span, body=[stmt])
+
+
+def render_function(func: FuncDecl, lines: list[str]) -> None:
+    params = ", ".join(
+        p.type.base + " " + p.name
+        + "".join(f"[{d if d is not None else ''}]" for d in p.type.dims)
+        for p in func.params
+    )
+    lines.append(f"{func.return_type.base} {func.name}({params})")
+    render_stmt(_as_block(func.body), 0, lines)
+
+
+def render_program(program: Program) -> str:
+    """Render a whole translation unit to normalized MiniC source."""
+    lines: list[str] = []
+    for decl in program.globals:
+        lines.append(_render_decl(decl) + ";")
+    if program.globals:
+        lines.append("")
+    for index, func in enumerate(program.functions):
+        if index:
+            lines.append("")
+        render_function(func, lines)
+    return "\n".join(lines) + "\n"

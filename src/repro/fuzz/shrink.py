@@ -1,0 +1,288 @@
+"""Structural AST shrinker for failing MiniC programs.
+
+Given a program and a predicate ("does this still reproduce the
+failure?"), greedily applies semantic-level edits — drop a function, drop
+a statement, replace an ``if`` by one of its branches, unwrap a loop,
+replace an expression by one of its operands or a literal — re-rendering
+and re-testing after each one, until no edit makes the program smaller.
+
+Edits are (apply, undo) closure pairs over the live AST, so a rejected
+candidate costs one render + one predicate call and no re-parsing. A
+candidate that renders to something uncompilable is simply rejected by
+the predicate; the shrinker never needs to know *why* an edit is illegal.
+
+The output is normalized source (one statement per line, fully
+parenthesized), which is exactly the form corpus reproducers are stored
+in under ``tests/fuzz/corpus/``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.frontend.ast_nodes import (
+    AssignStmt,
+    BinaryExpr,
+    BlockStmt,
+    CallExpr,
+    CastExpr,
+    CondExpr,
+    DeclStmt,
+    DoWhileStmt,
+    Expr,
+    ExprStmt,
+    FloatLiteral,
+    ForStmt,
+    IfStmt,
+    IndexExpr,
+    IntLiteral,
+    Program,
+    ReturnStmt,
+    Stmt,
+    StringLiteral,
+    UnaryExpr,
+    WhileStmt,
+)
+from repro.frontend.errors import MiniCError
+from repro.frontend.parser import parse_program
+from repro.fuzz.render import render_program
+
+#: default cap on predicate evaluations — each one is a full differential
+#: run, so this bounds shrink time, not just iteration count
+DEFAULT_BUDGET = 400
+
+_Edit = tuple[Callable[[], None], Callable[[], None]]
+
+
+def _remove_at(lst: list, index: int) -> _Edit:
+    item = lst[index]
+    return (lambda: lst.pop(index), lambda: lst.insert(index, item))
+
+
+def _replace_at(lst: list, index: int, new) -> _Edit:
+    old = lst[index]
+    return (
+        lambda: lst.__setitem__(index, new),
+        lambda: lst.__setitem__(index, old),
+    )
+
+
+def _set_attr(obj, attr: str, new) -> _Edit:
+    old = getattr(obj, attr)
+    return (lambda: setattr(obj, attr, new), lambda: setattr(obj, attr, old))
+
+
+def _walk_blocks(program: Program) -> list[list[Stmt]]:
+    """Every statement list in the program, outermost first."""
+    blocks: list[list[Stmt]] = []
+
+    def visit(stmt: Stmt) -> None:
+        if isinstance(stmt, BlockStmt):
+            blocks.append(stmt.body)
+            for child in stmt.body:
+                visit(child)
+        elif isinstance(stmt, IfStmt):
+            visit(stmt.then_body)
+            if stmt.else_body is not None:
+                visit(stmt.else_body)
+        elif isinstance(stmt, (WhileStmt, DoWhileStmt, ForStmt)):
+            visit(stmt.body)
+
+    for func in program.functions:
+        visit(func.body)
+    return blocks
+
+
+def _replacements(expr: Expr) -> list[Expr]:
+    """Smaller expressions a given expression may shrink to."""
+    reps: list[Expr] = []
+    if isinstance(expr, StringLiteral):
+        return reps  # print format strings: nothing useful to swap in
+    if isinstance(expr, BinaryExpr):
+        reps += [expr.left, expr.right]
+    elif isinstance(expr, CondExpr):
+        reps += [expr.then, expr.otherwise]
+    elif isinstance(expr, (UnaryExpr, CastExpr)):
+        reps.append(expr.operand)
+    elif isinstance(expr, CallExpr):
+        reps += list(expr.args[:2])
+    if isinstance(expr, IntLiteral):
+        for value in dict.fromkeys((0, 1, expr.value // 2)):
+            if value != expr.value:
+                reps.append(IntLiteral(span=expr.span, value=value))
+    elif isinstance(expr, FloatLiteral):
+        for value in (0.0, 1.0):
+            if value != expr.value:
+                reps.append(FloatLiteral(span=expr.span, value=value))
+    else:
+        reps.append(IntLiteral(span=expr.span, value=0))
+        reps.append(IntLiteral(span=expr.span, value=1))
+    return reps
+
+
+def _expr_slots(program: Program) -> list[tuple[Callable[[], Expr], Callable]]:
+    """(get, set) closure pairs for every expression position, parents
+    before their children so whole subtrees get tried first."""
+    slots: list[tuple[Callable[[], Expr], Callable]] = []
+
+    def attr_slot(obj, name: str) -> None:
+        slots.append(
+            (
+                lambda o=obj, n=name: getattr(o, n),
+                lambda v, o=obj, n=name: setattr(o, n, v),
+            )
+        )
+        recurse(getattr(obj, name))
+
+    def item_slot(lst: list, index: int) -> None:
+        slots.append(
+            (
+                lambda l=lst, i=index: l[i],
+                lambda v, l=lst, i=index: l.__setitem__(i, v),
+            )
+        )
+        recurse(lst[index])
+
+    def recurse(expr: Expr) -> None:
+        if isinstance(expr, BinaryExpr):
+            attr_slot(expr, "left")
+            attr_slot(expr, "right")
+        elif isinstance(expr, (UnaryExpr, CastExpr)):
+            attr_slot(expr, "operand")
+        elif isinstance(expr, CondExpr):
+            attr_slot(expr, "cond")
+            attr_slot(expr, "then")
+            attr_slot(expr, "otherwise")
+        elif isinstance(expr, CallExpr):
+            for i in range(len(expr.args)):
+                item_slot(expr.args, i)
+        elif isinstance(expr, IndexExpr):
+            for i in range(len(expr.indices)):
+                item_slot(expr.indices, i)
+
+    def stmt_exprs(stmt: Stmt) -> None:
+        if isinstance(stmt, DeclStmt):
+            for decl in stmt.decls:
+                if decl.init is not None:
+                    attr_slot(decl, "init")
+        elif isinstance(stmt, AssignStmt):
+            attr_slot(stmt, "value")
+            if isinstance(stmt.target, IndexExpr):
+                for i in range(len(stmt.target.indices)):
+                    item_slot(stmt.target.indices, i)
+        elif isinstance(stmt, ExprStmt):
+            attr_slot(stmt, "expr")
+        elif isinstance(stmt, (IfStmt, WhileStmt, DoWhileStmt)):
+            attr_slot(stmt, "cond")
+        elif isinstance(stmt, ForStmt):
+            if stmt.init is not None:
+                stmt_exprs(stmt.init)
+            if stmt.cond is not None:
+                attr_slot(stmt, "cond")
+            if stmt.step is not None:
+                stmt_exprs(stmt.step)
+        elif isinstance(stmt, ReturnStmt):
+            if stmt.value is not None:
+                attr_slot(stmt, "value")
+
+    for decl in program.globals:
+        if decl.init is not None:
+            attr_slot(decl, "init")
+    for block in _walk_blocks(program):
+        for stmt in block:
+            stmt_exprs(stmt)
+    return slots
+
+
+def _candidates(program: Program) -> list[_Edit]:
+    """All single edits, ordered biggest win first. Indices stay valid
+    within one pass because rejected edits are fully undone and the list
+    is rebuilt after every accepted edit."""
+    edits: list[_Edit] = []
+    for i in range(len(program.functions) - 1, -1, -1):
+        if program.functions[i].name != "main":
+            edits.append(_remove_at(program.functions, i))
+    for i in range(len(program.globals) - 1, -1, -1):
+        edits.append(_remove_at(program.globals, i))
+    for block in _walk_blocks(program):
+        for i, stmt in enumerate(block):
+            edits.append(_remove_at(block, i))
+            if isinstance(stmt, IfStmt):
+                edits.append(_replace_at(block, i, stmt.then_body))
+                if stmt.else_body is not None:
+                    edits.append(_replace_at(block, i, stmt.else_body))
+            elif isinstance(stmt, (WhileStmt, DoWhileStmt, ForStmt)):
+                edits.append(_replace_at(block, i, stmt.body))
+            if isinstance(stmt, AssignStmt) and stmt.op != "=":
+                edits.append(_set_attr(stmt, "op", "="))
+    for get, set_ in _expr_slots(program):
+        current = get()
+        for replacement in _replacements(current):
+            edits.append(
+                (
+                    lambda v=replacement, s=set_: s(v),
+                    lambda v=current, s=set_: s(v),
+                )
+            )
+    return edits
+
+
+def shrink_source(
+    source: str,
+    predicate: Callable[[str], bool],
+    budget: int = DEFAULT_BUDGET,
+) -> str:
+    """Greedily shrink ``source`` while ``predicate`` keeps holding.
+
+    ``predicate`` receives candidate source text and must return True when
+    the candidate still reproduces the original failure (and False for
+    anything else, including programs that no longer compile). Returns the
+    smallest reproducer found, normalized; if the source cannot even be
+    parsed or the predicate rejects the normalized form, returns ``source``
+    unchanged.
+    """
+    try:
+        program = parse_program(source, "<shrink>")
+        normalized = render_program(program)
+    except (MiniCError, TypeError):
+        return source
+
+    evaluations = 0
+
+    def holds(text: str) -> bool:
+        nonlocal evaluations
+        if evaluations >= budget:
+            return False
+        evaluations += 1
+        try:
+            return bool(predicate(text))
+        except Exception:
+            return False
+
+    if normalized != source and not holds(normalized):
+        return source
+    best = normalized
+    seen = {normalized}
+
+    changed = True
+    while changed and evaluations < budget:
+        changed = False
+        for apply_, undo in _candidates(program):
+            if evaluations >= budget:
+                break
+            try:
+                apply_()
+                text = render_program(program)
+            except Exception:
+                undo()
+                continue
+            if len(text) >= len(best) or text in seen:
+                undo()
+                continue
+            seen.add(text)
+            if holds(text):
+                best = text
+                changed = True
+                break  # the AST changed shape: rebuild the edit list
+            undo()
+    return best

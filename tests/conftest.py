@@ -8,17 +8,38 @@ from repro import analyze
 from repro.hcpa.aggregate import aggregate_profile
 from repro.instrument.compile import kremlin_cc
 from repro.interp.interpreter import Interpreter
-from repro.kremlib.profiler import profile_program
+from repro.kremlib.profiler import KremlinProfiler, profile_program
+
+#: execution configurations behaviour tests can be parametrized over:
+#: the tree-walking reference, the predecoded bytecode engine, and the
+#: bytecode engine with the KremLib profiler attached (which swaps in the
+#: fused profiling fast paths — a third code path with identical semantics)
+ENGINE_MODES = ("tree", "bytecode", "fused")
 
 
 def compile_source(source: str, filename: str = "test.c"):
     return kremlin_cc(source, filename)
 
 
-def run_source(source: str, entry: str = "main", args: tuple = ()):
-    """Compile and execute without profiling; returns RunResult."""
+def run_source(
+    source: str,
+    entry: str = "main",
+    args: tuple = (),
+    engine_mode: str = "bytecode",
+):
+    """Compile and execute; returns RunResult.
+
+    ``engine_mode`` is one of :data:`ENGINE_MODES`. Mode ``fused`` runs the
+    bytecode engine under the profiler so the fused decode paths execute;
+    the run result must still be indistinguishable from an unprofiled run.
+    """
     program = kremlin_cc(source, "test.c")
-    return Interpreter(program).run(entry=entry, args=args)
+    if engine_mode == "fused":
+        observer = KremlinProfiler(program)
+        interp = Interpreter(program, observer=observer, engine="bytecode")
+    else:
+        interp = Interpreter(program, engine=engine_mode)
+    return interp.run(entry=entry, args=args)
 
 
 def profile_source(source: str):

@@ -1,0 +1,33 @@
+// hand-seeded: break/continue in nested counted loops plus a do-while —
+// early exits change which region-exit events fire and once desynced the
+// two engines' region stacks under profiling
+int hist[12];
+
+int helper(int a, int b) {
+  int acc = a % 31;
+  int w = 0;
+  while (w < 5) {
+    w += 1;
+    if (w == b % 5) continue;
+    acc = (acc + w * 3) % 101;
+  }
+  return acc;
+}
+
+int main() {
+  int total = 0;
+  for (int i = 0; i < 8; i++) {
+    for (int j = 0; j < 6; j++) {
+      if (j > i) break;
+      if ((i + j) % 3 == 0) continue;
+      hist[(i * 5 + j) % 12] += 1;
+      total = (total + helper(i, j)) % 997;
+    }
+  }
+  int d = 0;
+  do {
+    d += 1;
+    total = (total + hist[d % 12]) % 997;
+  } while (d < 4);
+  return total % 251;
+}

@@ -1,0 +1,18 @@
+// hand-seeded: NaN-adjacent float flow through the fused profiling fast
+// paths — min/max with mixed magnitudes, casts, and a contracting
+// recurrence; the result comparison is repr-based so NaN must round-trip
+// identically through both engines
+float cells[16];
+
+int main() {
+  float x = 1.0;
+  for (int i = 0; i < 16; i++) {
+    cells[i] = (float) i * 0.5 + 0.25;
+  }
+  for (int i = 0; i < 24; i++) {
+    x = x * 0.75 + cells[(i * 5) % 16];
+  }
+  float clamped = min(fabs(x), 1000000.0);
+  float lifted = max(sqrt(fabs(x)), 0.5);
+  return ((int) clamped + (int) lifted) % 251;
+}

@@ -1,0 +1,33 @@
+"""Replay every corpus reproducer through the full differential + oracle.
+
+Each ``*.c`` file under ``tests/fuzz/corpus/`` is a minimal reproducer of
+a bug the fuzzer once found (or a hand-seeded program exercising a
+historically delicate surface). A corpus entry that fails here means a
+fixed bug has come back.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz.differential import run_differential
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+CORPUS_FILES = sorted(CORPUS_DIR.glob("*.c"))
+
+
+def test_corpus_is_populated():
+    """The corpus ships with at least the hand-seeded reproducers."""
+    assert CORPUS_FILES, f"no corpus programs under {CORPUS_DIR}"
+
+
+@pytest.mark.parametrize(
+    "path", CORPUS_FILES, ids=[p.stem for p in CORPUS_FILES]
+)
+def test_corpus_program_passes_differential_and_oracle(path):
+    source = path.read_text()
+    outcome = run_differential(source, filename=path.name)
+    # Every run crosses the whole matrix: plain engines, profiled engines
+    # at each depth window, and the oracle groups.
+    assert outcome.checks >= 10
+    assert outcome.profile.total_work > 0

@@ -1,0 +1,128 @@
+"""The invariant oracle: accepts real profiles, rejects corrupted ones."""
+
+import pytest
+
+from repro.fuzz.differential import run_differential
+from repro.fuzz.oracle import (
+    OracleViolation,
+    check_aggregate,
+    check_dictionary,
+    check_merge,
+    check_planner_determinism,
+    check_roundtrip,
+    run_oracle,
+)
+from repro.hcpa.aggregate import aggregate_profile
+from repro.hcpa.serialize import profile_from_json, profile_to_json
+
+SOURCE = """
+float a[32];
+int fib(int n) {
+  if (n <= 1) return 1;
+  return (fib(n - 1) + fib(n - 2)) % 997;
+}
+int main() {
+  for (int i = 0; i < 32; i++) {
+    a[i] = (float) i * 0.5 + 1.0;
+  }
+  float s = 0.0;
+  for (int i = 0; i < 32; i++) {
+    s += a[i];
+  }
+  return (fib(8) + (int) s) % 251;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    return run_differential(SOURCE, oracle=False).profiles
+
+
+def _copy(profile):
+    return profile_from_json(profile_to_json(profile))
+
+
+def test_real_profiles_pass_every_oracle(profiles):
+    assert run_oracle(profiles) >= 8
+
+
+def test_corrupt_cp_above_work_is_caught(profiles):
+    broken = _copy(profiles[None])
+    entry = broken.dictionary.entries[0]
+    entry.cp = entry.work + 1
+    with pytest.raises(OracleViolation, match="cp-bounded-by-work"):
+        check_dictionary(broken, depth_limited=False)
+
+
+def test_child_cp_above_parent_is_caught_at_unlimited_depth(profiles):
+    broken = _copy(profiles[None])
+    parent = broken.root_entry
+    assert parent.children, "root should have children"
+    child = broken.dictionary.entries[parent.children[0][0]]
+    child.cp = parent.cp + child.work + 1
+    child.work = child.cp  # keep the per-entry cp<=work invariant intact
+    with pytest.raises(OracleViolation) as info:
+        check_dictionary(broken, depth_limited=False)
+    assert info.value.invariant in (
+        "child-cp-bounded-by-parent",
+        "children-work-bounded",
+    )
+
+
+def test_leaf_first_violation_is_caught(profiles):
+    broken = _copy(profiles[None])
+    root = broken.root_entry
+    # Make the root claim itself as a child: char not smaller than parent.
+    root.children = ((root.char, 1),) + root.children
+    with pytest.raises(OracleViolation, match="leaf-first-order"):
+        check_dictionary(broken, depth_limited=False)
+
+
+def test_aggregate_accepts_recursive_coverage(profiles):
+    """fib self-nests, so its aggregated coverage may exceed 1 — the
+    oracle must not flag recursion as a violation."""
+    aggregated = aggregate_profile(profiles[None])
+    assert check_aggregate(aggregated) == 1
+    fib = next(
+        p for p in aggregated.profiles.values() if p.region.name == "fib"
+    )
+    assert fib.instances > 1
+
+
+def test_aggregate_rejects_negative_coverage(profiles):
+    aggregated = aggregate_profile(profiles[None])
+    some_id = aggregated.root_static_id
+    aggregated.profiles[some_id].coverage = -0.5
+    with pytest.raises(OracleViolation, match="coverage-nonnegative"):
+        check_aggregate(aggregated)
+
+
+def test_roundtrip_check_passes_on_real_profile(profiles):
+    assert check_roundtrip(profiles[None]) == 1
+
+
+def test_merge_laws_hold_for_depth_window_pair(profiles):
+    assert check_merge([profiles[None], profiles[2]]) == 1
+
+
+def test_merge_regression_is_caught(profiles, monkeypatch):
+    """If merge_profiles ever stops summing run totals correctly, the
+    additivity law flags it."""
+    from repro.fuzz import oracle as module
+
+    real = module.merge_profiles
+
+    def skewed(items):
+        merged = real(items)
+        if len(items) > 1:
+            merged.root_entry.work += 1
+        return merged
+
+    monkeypatch.setattr(module, "merge_profiles", skewed)
+    with pytest.raises(OracleViolation, match="merge-work-additive"):
+        module.check_merge([profiles[None], profiles[2]])
+
+
+def test_planner_determinism_both_personalities(profiles):
+    assert check_planner_determinism(profiles[None]) == 1

@@ -1,0 +1,82 @@
+"""The structural shrinker: minimality, validity, and budget behaviour."""
+
+from repro.frontend.parser import parse_program
+from repro.fuzz.render import render_program
+from repro.fuzz.shrink import shrink_source
+
+BIG = """
+int gb[24];
+float junk;
+
+int helper(int a) {
+  int x = (a * 3) % 31;
+  for (int i = 0; i < 5; i++) {
+    x = (x + i) % 31;
+  }
+  return x;
+}
+
+int main() {
+  junk = 4.5;
+  int keep = 0;
+  for (int i = 0; i < 9; i++) {
+    gb[i % 24] = (i * 7) % 97;
+    keep = (keep + helper(i)) % 97;
+  }
+  do {
+    keep = (keep + 1) % 97;
+  } while (keep % 2 == 1);
+  return keep;
+}
+"""
+
+
+def test_shrinks_to_predicate_kernel():
+    """Everything not needed to satisfy the predicate is stripped."""
+    predicate = lambda text: "do" in text and "while" in text
+    shrunk = shrink_source(BIG, predicate)
+    assert predicate(shrunk)
+    assert len(shrunk) < len(BIG) / 2
+    # the unrelated helper machinery is gone
+    assert "helper" not in shrunk
+    assert "junk" not in shrunk
+
+
+def test_shrunk_output_is_parseable_normal_form():
+    shrunk = shrink_source(BIG, lambda text: "for" in text)
+    # normalized output round-trips through the renderer unchanged
+    assert render_program(parse_program(shrunk, "<t>")) == shrunk
+
+
+def test_unshrinkable_input_returned_verbatim():
+    garbage = "this is not a MiniC program"
+    assert shrink_source(garbage, lambda text: True) == garbage
+
+
+def test_predicate_rejecting_everything_returns_normalized_or_original():
+    shrunk = shrink_source(BIG, lambda text: text == render_program(
+        parse_program(BIG, "<t>")
+    ))
+    # nothing smaller satisfies the exact-match predicate
+    assert shrunk == render_program(parse_program(BIG, "<t>"))
+
+
+def test_budget_limits_predicate_calls():
+    calls = []
+
+    def counting(text):
+        calls.append(text)
+        return True
+
+    shrink_source(BIG, counting, budget=10)
+    assert len(calls) <= 10
+
+
+def test_predicate_exceptions_count_as_rejection():
+    def explosive(text):
+        if "helper" not in text:
+            raise RuntimeError("boom")
+        return True
+
+    shrunk = shrink_source(BIG, explosive)
+    assert "helper" in shrunk

@@ -1,0 +1,153 @@
+"""Cilk++ planner tests: nested selection, lower thresholds, task regions,
+and the non-nested greedy fallback branch — mirroring test_openmp.py."""
+
+from repro.planner.cilk import CILK_PERSONALITY, CilkPlanner
+from repro.planner.openmp import OPENMP_PERSONALITY, OpenMPPlanner
+from tests.conftest import profile_source
+
+NESTED_DOALL = """
+float m[12][256];
+int main() {
+  for (int i = 0; i < 12; i++) {
+    for (int j = 0; j < 256; j++) {
+      m[i][j] = (float) (i * j) * 0.5 + 1.0;
+    }
+  }
+  return (int) m[3][3];
+}
+"""
+
+TASKY = """
+float a[2048];
+float b[2048];
+void phase_a() {
+  for (int i = 0; i < 2048; i++) { a[i] = (float) i * 0.5 + 1.0; }
+}
+void phase_b() {
+  for (int i = 0; i < 2048; i++) { b[i] = (float) i * 0.25 + 2.0; }
+}
+int main() {
+  phase_a();
+  phase_b();
+  return (int) (a[5] + b[7]);
+}
+"""
+
+
+def plan_for(source, personality=CILK_PERSONALITY):
+    _, _profile, aggregated = profile_source(source)
+    plan = CilkPlanner(personality).plan(aggregated)
+    return plan, aggregated
+
+
+class TestNestedSelection:
+    def test_nested_doalls_both_selected(self):
+        """Unlike OpenMP's one-per-path DP, work stealing makes the nested
+        pair profitable — both loops are recommended."""
+        plan, _ = plan_for(NESTED_DOALL)
+        names = set(plan.region_names)
+        assert {"main#loop1", "main#loop2"} <= names
+
+    def test_openmp_rejects_what_cilk_nests(self):
+        """The same profile yields a strict subset under OpenMP."""
+        _, _profile, aggregated = profile_source(NESTED_DOALL)
+        cilk_ids = set(CilkPlanner().plan(aggregated).region_ids)
+        openmp_ids = set(OpenMPPlanner().plan(aggregated).region_ids)
+        assert openmp_ids < cilk_ids
+
+
+class TestLowerThresholds:
+    def test_modest_sp_accepted(self):
+        """SP between the Cilk (2.0) and OpenMP (5.0) cutoffs is planned
+        only by Cilk."""
+        source = """
+        float g[4][4096];
+        int main() {
+          // outer loop of 4: SP ~ 4 — below OpenMP's cutoff, above Cilk's
+          for (int c = 0; c < 4; c++) {
+            float h = 0.0;
+            for (int i = 0; i < 4096; i++) {
+              h = h * 0.5 + (float) i;
+              g[c][i] = h;
+            }
+          }
+          return (int) g[1][9];
+        }
+        """
+        _, _profile, aggregated = profile_source(source)
+        cilk_names = set(CilkPlanner().plan(aggregated).region_names)
+        openmp_names = set(OpenMPPlanner().plan(aggregated).region_names)
+        assert "main#loop1" in cilk_names
+        assert "main#loop1" not in openmp_names
+
+    def test_sp_floor_still_enforced(self):
+        """Serial chains (SP ~= 1) stay rejected even at Cilk thresholds."""
+        source = """
+        float out[64];
+        int main() {
+          float h = 1.0;
+          for (int i = 0; i < 2048; i++) { h = h * 0.99 + 0.1; }
+          for (int i = 0; i < 64; i++) { out[i] = (float) i + h; }
+          return (int) out[3];
+        }
+        """
+        plan, _ = plan_for(source)
+        assert "main#loop1" not in plan.region_names
+        for item in plan:
+            assert item.self_parallelism >= CILK_PERSONALITY.min_self_parallelism
+
+    def test_finer_instance_work_accepted(self):
+        personality = CILK_PERSONALITY
+        assert personality.min_instance_work < OPENMP_PERSONALITY.min_instance_work
+
+
+class TestTaskRegions:
+    def test_function_regions_planned_as_tasks(self):
+        plan, _ = plan_for(TASKY)
+        tasks = [item for item in plan if not item.region.is_loop]
+        assert tasks, "cilk personality should recommend function regions"
+        for item in tasks:
+            assert item.classification == "TASK"
+
+    def test_openmp_stays_loops_only(self):
+        _, _profile, aggregated = profile_source(TASKY)
+        for item in OpenMPPlanner().plan(aggregated):
+            assert item.region.is_loop
+
+
+class TestNonNestedFallback:
+    def test_non_nested_cilk_keeps_outermost_winner(self):
+        """CILK_PERSONALITY with allow_nested=False exercises the greedy
+        fallback: no selected region may be nested inside another."""
+        flat = CILK_PERSONALITY.with_overrides(allow_nested=False)
+        plan, aggregated = plan_for(NESTED_DOALL, flat)
+        selected = set(plan.region_ids)
+        for static_id in selected:
+            assert not (selected & aggregated.descendants_of(static_id))
+
+    def test_fallback_is_subset_of_nested_plan(self):
+        flat = CILK_PERSONALITY.with_overrides(allow_nested=False)
+        nested_plan, _ = plan_for(NESTED_DOALL)
+        flat_plan, _ = plan_for(NESTED_DOALL, flat)
+        assert set(flat_plan.region_ids) <= set(nested_plan.region_ids)
+        assert len(flat_plan) < len(nested_plan)
+
+
+class TestOrderingAndExclusion:
+    def test_plan_sorted_by_estimated_speedup(self):
+        plan, _ = plan_for(TASKY)
+        estimates = [item.est_program_speedup for item in plan]
+        assert estimates == sorted(estimates, reverse=True)
+
+    def test_excluded_regions_stay_out(self):
+        plan, aggregated = plan_for(NESTED_DOALL)
+        top = plan[0].static_id
+        replanned = CilkPlanner().plan(aggregated, excluded={top})
+        assert top not in replanned.region_ids
+        assert top in replanned.excluded
+
+    def test_plan_deterministic(self):
+        _, _profile, aggregated = profile_source(NESTED_DOALL)
+        first = CilkPlanner().plan(aggregated)
+        second = CilkPlanner().plan(aggregated)
+        assert first.region_ids == second.region_ids

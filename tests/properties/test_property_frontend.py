@@ -1,6 +1,7 @@
 """Property-based tests for the front end and end-to-end pipeline."""
 
 import hypothesis.strategies as st
+import pytest
 from hypothesis import given, settings
 
 from repro.frontend.lexer import tokenize
@@ -102,14 +103,17 @@ def test_random_loop_nests_profile_cleanly(params):
         instances *= bound
 
 
+@pytest.mark.parametrize("plain_engine", ("tree", "bytecode"))
 @given(random_loop_programs())
 @settings(max_examples=15, deadline=None)
-def test_profiling_never_changes_program_output(params):
+def test_profiling_never_changes_program_output(plain_engine, params):
+    """Holds for both engines: the profiler (and, on the bytecode engine,
+    its fused fast paths) must not perturb execution."""
     source, expected, _, _ = params
     from repro.interp.interpreter import Interpreter
 
     program = kremlin_cc(source, "prop.c")
-    plain = Interpreter(program).run()
+    plain = Interpreter(program, engine=plain_engine).run()
     _, profiled = profile_program(program)
     assert plain.value == profiled.value == expected
     assert plain.instructions_retired == profiled.instructions_retired

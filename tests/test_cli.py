@@ -124,6 +124,16 @@ class TestKremlinCli:
             main([])
 
 
+class TestKremlinFuzzSubcommand:
+    def test_fuzz_dispatch_runs_harness(self, capsys):
+        assert main([
+            "fuzz", "--seed", "0", "--iterations", "2", "--corpus-dir", "none",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "fuzz: 2 programs" in out
+        assert "[base seed 0]" in out
+
+
 class TestKremlinCcCli:
     def test_reports_structure(self, source_file, capsys):
         assert main_cc([source_file]) == 0
