@@ -1,0 +1,45 @@
+// The quickstart program as a standalone MiniC file, for the CLI:
+//
+//   kremlin examples/quickstart.c --personality=openmp
+//   kremlin examples/quickstart.c --metrics
+//   kremlin trace examples/quickstart.c -o trace.json
+//
+// Three very different loops: an elementwise DOALL (saxpy), a dot-product
+// reduction, and a genuinely serial recurrence (relax).
+
+float a[2048];
+float b[2048];
+float dotp;
+
+void saxpy(float alpha) {
+  for (int i = 0; i < 2048; i++) {
+    a[i] = alpha * a[i] + b[i];
+  }
+}
+
+void dot() {
+  float s = 0.0;
+  for (int i = 0; i < 2048; i++) {
+    s += a[i] * b[i];
+  }
+  dotp = s;
+}
+
+void relax() {
+  float x = 1.0;
+  for (int i = 0; i < 2048; i++) {
+    x = 0.5 * x + 0.25;      // loop-carried: serial
+  }
+  b[0] = x;
+}
+
+int main() {
+  for (int i = 0; i < 2048; i++) {
+    a[i] = (float) i * 0.5;
+    b[i] = (float) (2048 - i) * 0.25;
+  }
+  saxpy(2.0);
+  dot();
+  relax();
+  return (int) dotp;
+}

@@ -10,7 +10,7 @@ This is the paper's Figure 3 workflow as a library call::
 Run with:  python examples/quickstart.py
 """
 
-from repro import analyze, best_configuration
+from repro import KremlinSession, CompileOptions, PlanOptions, best_configuration
 
 # A small serial program with three very different loops: an elementwise
 # DOALL, a dot-product reduction, and a genuinely serial recurrence.
@@ -55,9 +55,13 @@ int main() {
 
 
 def main() -> None:
-    # One call: compile with instrumentation, run under the KremLib HCPA
+    # One session: compile with instrumentation, run under the KremLib HCPA
     # runtime, aggregate the compressed profile, and plan.
-    report = analyze(SOURCE, filename="quickstart.c", personality="openmp")
+    session = KremlinSession(
+        compile_options=CompileOptions(filename="quickstart.c"),
+        plan_options=PlanOptions(personality="openmp"),
+    )
+    report = session.analyze(SOURCE)
 
     print("=== Discovery: every region, with work / parallelism ===")
     print(report.render_regions())

@@ -6,12 +6,17 @@ Reproduces *Kremlin: Rethinking and Rebooting gprof for the Multicore Age*
 
 Quickstart::
 
-    from repro import analyze
+    from repro import KremlinSession, PlanOptions
 
-    report = analyze(source_code, personality="openmp")
+    session = KremlinSession(plan_options=PlanOptions(personality="openmp"))
+    report = session.analyze(source_code)
     print(report.render_plan())        # the Figure 3 table
     for item in report.plan:           # ranked regions to parallelize
         print(item.region.name, item.self_parallelism)
+
+(``repro.analyze(source)`` still works as a one-shot shim; its legacy
+keyword arguments are deprecated in favour of the session's frozen
+option dataclasses.)
 
 The pipeline underneath: ``kremlin_cc`` compiles MiniC source to
 instrumented IR; ``profile_program`` executes it under the KremLib HCPA
@@ -24,8 +29,16 @@ model multicore.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
 
+from repro.api import (
+    CompileOptions,
+    KremlinReport,
+    KremlinSession,
+    PlanOptions,
+    ProfileOptions,
+    analyze_with_options,
+)
 from repro.exec_model import (
     DEFAULT_MACHINE,
     MachineModel,
@@ -43,6 +56,7 @@ from repro.hcpa import (
     total_parallelism,
 )
 from repro.hcpa import (
+    ProfileVersionError,
     load_profile,
     merge_profiles,
     save_profile,
@@ -60,90 +74,78 @@ from repro.planner import (
     Planner,
     PlannerPersonality,
     SelfParallelismFilterPlanner,
+    available_personalities,
+    create_planner,
+    register_personality,
 )
 from repro.report import format_flat_profile, format_plan, format_region_table
 
-__version__ = "1.0.0"
-
-_PLANNERS = {
-    "openmp": OpenMPPlanner,
-    "cilk": CilkPlanner,
-    "gprof": GprofPlanner,
-    "sp-filter": SelfParallelismFilterPlanner,
-}
+__version__ = "1.1.0"
 
 
 def make_planner(personality: str) -> Planner:
-    """Instantiate a planner by personality name."""
-    try:
-        return _PLANNERS[personality]()
-    except KeyError:
-        raise ValueError(
-            f"unknown personality {personality!r}; "
-            f"choose from {sorted(_PLANNERS)}"
-        ) from None
+    """Instantiate a planner by personality name (registry lookup)."""
+    return create_planner(personality)
 
 
-@dataclass
-class KremlinReport:
-    """Everything one ``analyze`` call produces."""
-
-    program: CompiledProgram
-    profile: ParallelismProfile
-    aggregated: AggregatedProfile
-    plan: ParallelismPlan
-    run: RunResult
-
-    def render_plan(self, limit: int | None = None) -> str:
-        return format_plan(self.plan, limit)
-
-    def render_regions(self) -> str:
-        return format_region_table(self.aggregated)
-
-    @property
-    def compression(self) -> CompressionStats:
-        return compression_stats(self.profile)
-
-    def replan(
-        self, personality: str | None = None, exclude: set[int] | None = None
-    ) -> ParallelismPlan:
-        """Re-run planning, optionally with a different personality or an
-        exclusion list (the paper's §3 workflow)."""
-        planner = make_planner(personality or self.plan.personality)
-        excluded = frozenset(self.plan.excluded | (exclude or set()))
-        new_plan = planner.plan(self.aggregated, excluded)
-        new_plan.program_name = self.plan.program_name
-        return new_plan
+_UNSET = object()
 
 
 def analyze(
     source: str,
-    filename: str = "<input>",
-    personality: str = "openmp",
-    entry: str = "main",
-    args: tuple = (),
-    max_depth: int | None = None,
+    filename=_UNSET,
+    personality=_UNSET,
+    entry=_UNSET,
+    args=_UNSET,
+    max_depth=_UNSET,
 ) -> KremlinReport:
-    """One-shot pipeline: compile, profile, aggregate, and plan."""
-    program = kremlin_cc(source, filename)
-    profile, run = profile_program(
-        program, entry=entry, args=args, max_depth=max_depth
+    """One-shot pipeline: compile, profile, aggregate, and plan.
+
+    Thin shim over :class:`repro.api.KremlinSession`. The loose keyword
+    arguments are deprecated: build a session with
+    :class:`~repro.api.CompileOptions` / :class:`~repro.api.ProfileOptions`
+    / :class:`~repro.api.PlanOptions` instead. ``analyze(source)`` with no
+    legacy kwargs stays warning-free.
+    """
+    legacy = {
+        name: value
+        for name, value in (
+            ("filename", filename),
+            ("personality", personality),
+            ("entry", entry),
+            ("args", args),
+            ("max_depth", max_depth),
+        )
+        if value is not _UNSET
+    }
+    if legacy:
+        warnings.warn(
+            f"repro.analyze() keyword(s) {sorted(legacy)} are deprecated; "
+            "use repro.KremlinSession with CompileOptions/ProfileOptions/"
+            "PlanOptions instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    session = KremlinSession(
+        compile_options=CompileOptions(
+            filename=legacy.get("filename", "<input>")
+        ),
+        profile_options=ProfileOptions(
+            entry=legacy.get("entry", "main"),
+            args=legacy.get("args", ()),
+            max_depth=legacy.get("max_depth"),
+        ),
+        plan_options=PlanOptions(
+            personality=legacy.get("personality", "openmp")
+        ),
     )
-    aggregated = aggregate_profile(profile)
-    plan = make_planner(personality).plan(aggregated)
-    plan.program_name = filename
-    return KremlinReport(
-        program=program,
-        profile=profile,
-        aggregated=aggregated,
-        plan=plan,
-        run=run,
-    )
+    return session.analyze(source)
 
 
 __all__ = [
     "AggregatedProfile",
     "CilkPlanner",
+    "CompileOptions",
     "CompiledProgram",
     "CompressionStats",
     "DEFAULT_MACHINE",
@@ -151,13 +153,17 @@ __all__ = [
     "Interpreter",
     "KremlinProfiler",
     "KremlinReport",
+    "KremlinSession",
     "MachineModel",
     "OpenMPPlanner",
     "ParallelismPlan",
     "ParallelismProfile",
     "PlanItem",
+    "PlanOptions",
     "Planner",
     "PlannerPersonality",
+    "ProfileOptions",
+    "ProfileVersionError",
     "RegionProfile",
     "RunResult",
     "SelfParallelismFilterPlanner",
@@ -165,8 +171,11 @@ __all__ = [
     "StaticRegionTree",
     "aggregate_profile",
     "analyze",
+    "analyze_with_options",
+    "available_personalities",
     "best_configuration",
     "compression_stats",
+    "create_planner",
     "format_flat_profile",
     "format_plan",
     "format_region_table",
@@ -176,6 +185,7 @@ __all__ = [
     "save_profile",
     "make_planner",
     "profile_program",
+    "register_personality",
     "self_parallelism",
     "simulate_plan",
     "total_parallelism",

@@ -1,0 +1,270 @@
+"""Stable public API: the :class:`KremlinSession` facade.
+
+The one-shot :func:`repro.analyze` helper grew a tail of loose kwargs
+(``filename``, ``personality``, ``entry``, ``args``, ``max_depth``) that
+had to be threaded through ``profile_program`` and three planner
+constructors. This module replaces that sprawl with three small **frozen**
+option dataclasses — one per pipeline phase — and a session object that
+owns them plus (optionally) session-scoped observability::
+
+    from repro.api import KremlinSession, PlanOptions
+    from repro.obs import Tracer, MetricsRegistry
+
+    session = KremlinSession(
+        plan_options=PlanOptions(personality="cilk"),
+        tracer=Tracer(),                 # optional: trace the pipeline
+        metrics=MetricsRegistry(),       # optional: hot-path counters
+    )
+    report = session.analyze(source)
+    print(report.render_plan())
+    print(render_tree(session.tracer))   # where did the wall-clock go?
+
+``repro.analyze(...)`` remains as a thin shim that builds a session from
+its legacy kwargs (with a ``DeprecationWarning`` when any are used).
+
+Observability scoping: a session created with ``tracer=``/``metrics=``
+installs them for the duration of each pipeline call and restores the
+previous globals afterwards, so two sessions never bleed spans or
+counters into each other. A session created without them inherits
+whatever tracer/registry is globally installed (the no-op defaults unless
+:func:`repro.obs.tracing`/:func:`repro.obs.collecting_metrics` are
+active).
+"""
+
+from __future__ import annotations
+
+from contextlib import ExitStack, contextmanager
+from dataclasses import dataclass, field
+
+from repro.hcpa.aggregate import AggregatedProfile, aggregate_profile
+from repro.hcpa.compression import CompressionStats, compression_stats
+from repro.hcpa.summaries import ParallelismProfile
+from repro.instrument.compile import CompiledProgram, kremlin_cc
+from repro.instrument.costs import DEFAULT_COST_MODEL, CostModel
+from repro.interp.interpreter import RunResult
+from repro.kremlib.profiler import profile_program
+from repro.obs.metrics import MetricsRegistry, collecting_metrics, get_metrics
+from repro.obs.trace import Tracer, get_tracer, tracing
+from repro.planner.plan import ParallelismPlan
+from repro.planner.registry import create_planner
+
+
+@dataclass(frozen=True)
+class CompileOptions:
+    """Options for the compile/instrument phase (``kremlin-cc``)."""
+
+    filename: str = "<input>"
+    cost_model: CostModel = field(
+        default_factory=lambda: DEFAULT_COST_MODEL, repr=False
+    )
+
+
+@dataclass(frozen=True)
+class ProfileOptions:
+    """Options for the execute/profile phase (KremLib HCPA)."""
+
+    entry: str = "main"
+    args: tuple = ()
+    #: limit the profiled region depth (the paper's depth window flag)
+    max_depth: int | None = None
+    #: abort the run past this many retired instructions
+    max_instructions: int | None = None
+    #: execution engine: "bytecode" (fused fast paths) or "tree"
+    engine: str = "bytecode"
+
+
+@dataclass(frozen=True)
+class PlanOptions:
+    """Options for the planning phase."""
+
+    personality: str = "openmp"
+    #: static region ids excluded before planning (§3's exclusion list)
+    exclude: frozenset[int] = frozenset()
+
+
+@dataclass
+class KremlinReport:
+    """Everything one ``analyze`` call produces."""
+
+    program: CompiledProgram
+    profile: ParallelismProfile
+    aggregated: AggregatedProfile
+    plan: ParallelismPlan
+    run: RunResult
+
+    def render_plan(self, limit: int | None = None) -> str:
+        from repro.report import format_plan
+
+        return format_plan(self.plan, limit)
+
+    def render_regions(self) -> str:
+        from repro.report import format_region_table
+
+        return format_region_table(self.aggregated)
+
+    @property
+    def compression(self) -> CompressionStats:
+        return compression_stats(self.profile)
+
+    def replan(
+        self, personality: str | None = None, exclude: set[int] | None = None
+    ) -> ParallelismPlan:
+        """Re-run planning, optionally with a different personality or an
+        exclusion list (the paper's §3 workflow)."""
+        planner = create_planner(personality or self.plan.personality)
+        excluded = frozenset(self.plan.excluded | (exclude or set()))
+        new_plan = planner.plan(self.aggregated, excluded)
+        new_plan.program_name = self.plan.program_name
+        return new_plan
+
+
+class KremlinSession:
+    """The stable facade over the whole pipeline.
+
+    Construct once with frozen option bundles, then call the phase
+    methods (:meth:`compile`, :meth:`profile`, :meth:`aggregate`,
+    :meth:`plan`) or the one-shot :meth:`analyze`. Sessions are cheap;
+    make a new one rather than mutating options.
+    """
+
+    def __init__(
+        self,
+        compile_options: CompileOptions | None = None,
+        profile_options: ProfileOptions | None = None,
+        plan_options: PlanOptions | None = None,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+    ):
+        self.compile_options = compile_options or CompileOptions()
+        self.profile_options = profile_options or ProfileOptions()
+        self.plan_options = plan_options or PlanOptions()
+        #: session-scoped tracer; None = use the globally installed one
+        self.tracer = tracer
+        #: session-scoped metric registry; None = use the global one
+        self.metrics = metrics
+
+    # ------------------------------------------------------------------
+    # Observability scoping
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def _observed(self):
+        """Install session-scoped tracer/metrics around one phase call."""
+        with ExitStack() as stack:
+            if self.tracer is not None:
+                stack.enter_context(tracing(self.tracer))
+            if self.metrics is not None:
+                stack.enter_context(collecting_metrics(self.metrics))
+            yield
+
+    # ------------------------------------------------------------------
+    # Pipeline phases
+    # ------------------------------------------------------------------
+
+    def compile(self, source: str) -> CompiledProgram:
+        """Compile + instrument MiniC source (the ``kremlin-cc`` step)."""
+        options = self.compile_options
+        with self._observed():
+            return kremlin_cc(
+                source, options.filename, cost_model=options.cost_model
+            )
+
+    def profile(
+        self, program: CompiledProgram
+    ) -> tuple[ParallelismProfile, RunResult]:
+        """Execute under the KremLib HCPA runtime."""
+        options = self.profile_options
+        with self._observed():
+            return profile_program(
+                program,
+                entry=options.entry,
+                args=options.args,
+                max_depth=options.max_depth,
+                max_instructions=options.max_instructions,
+                engine=options.engine,
+            )
+
+    def aggregate(self, profile: ParallelismProfile) -> AggregatedProfile:
+        """Per-region aggregation on the compressed dictionary."""
+        with self._observed():
+            tracer = get_tracer()
+            with tracer.span("aggregate"):
+                aggregated = aggregate_profile(profile)
+            with tracer.span("compress"):
+                stats = compression_stats(profile)
+                tracer.annotate(
+                    dictionary_entries=stats.dictionary_entries,
+                    ratio=round(stats.ratio, 2),
+                )
+            return aggregated
+
+    def plan(
+        self,
+        aggregated: AggregatedProfile,
+        exclude: frozenset[int] | set[int] | None = None,
+    ) -> ParallelismPlan:
+        """Rank regions under the session's planner personality."""
+        options = self.plan_options
+        excluded = frozenset(options.exclude | set(exclude or ()))
+        with self._observed():
+            tracer = get_tracer()
+            with tracer.span("plan", personality=options.personality):
+                plan = create_planner(options.personality).plan(
+                    aggregated, excluded
+                )
+                tracer.annotate(regions=len(plan.items))
+            return plan
+
+    def analyze(self, source: str) -> KremlinReport:
+        """One-shot pipeline: compile, profile, aggregate, and plan."""
+        with self._observed():
+            tracer = get_tracer()
+            with tracer.span("analyze", file=self.compile_options.filename):
+                program = self.compile(source)
+                profile, run = self.profile(program)
+                aggregated = self.aggregate(profile)
+                plan = self.plan(aggregated)
+                plan.program_name = self.compile_options.filename
+                self._record_run_metrics(run)
+            return KremlinReport(
+                program=program,
+                profile=profile,
+                aggregated=aggregated,
+                plan=plan,
+                run=run,
+            )
+
+    def _record_run_metrics(self, run: RunResult) -> None:
+        from repro.obs.metrics import metrics_enabled
+
+        if not metrics_enabled():
+            return
+        registry = get_metrics()
+        registry.counter("session.analyses").inc()
+        registry.counter(
+            f"interp.instructions.{self.profile_options.engine}"
+        ).inc(run.instructions_retired)
+
+
+def analyze_with_options(
+    source: str,
+    compile_options: CompileOptions | None = None,
+    profile_options: ProfileOptions | None = None,
+    plan_options: PlanOptions | None = None,
+) -> KremlinReport:
+    """Functional one-shot form of :meth:`KremlinSession.analyze`."""
+    return KremlinSession(
+        compile_options=compile_options,
+        profile_options=profile_options,
+        plan_options=plan_options,
+    ).analyze(source)
+
+
+__all__ = [
+    "CompileOptions",
+    "KremlinReport",
+    "KremlinSession",
+    "PlanOptions",
+    "ProfileOptions",
+    "analyze_with_options",
+]

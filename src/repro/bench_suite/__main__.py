@@ -13,9 +13,10 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from repro.bench_suite.registry import evaluation_benchmarks
-from repro.bench_suite.runner import run_suite
+from repro.bench_suite.runner import run_suite, worker_utilization
 from repro.exec_model import best_configuration
 from repro.hcpa import compression_stats
 from repro.planner import OpenMPPlanner
@@ -49,7 +50,18 @@ def main(argv: list[str] | None = None) -> int:
     def progress(name: str, elapsed: float) -> None:
         print(f"profiling {name} ... {elapsed:.1f}s", file=sys.stderr)
 
+    sweep_started = time.perf_counter()
     results = run_suite(names, jobs=options.jobs, progress=progress)
+    wall = time.perf_counter() - sweep_started
+
+    if options.jobs > 1:
+        # Per-worker utilization: how evenly the pool shared the sweep.
+        for worker, busy, share in worker_utilization(results, wall):
+            print(
+                f"worker {worker}: {busy:.1f}s busy "
+                f"({share:.0%} of {wall:.1f}s wall)",
+                file=sys.stderr,
+            )
 
     table = Table(
         headers=[

@@ -15,6 +15,7 @@ payload round-trip inline without spawning any processes.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
@@ -38,6 +39,15 @@ class SweepResult:
     total_cost: int
     #: worker-side wall-clock seconds for compile+profile
     elapsed: float = field(default=0.0)
+    #: pid of the worker process that profiled this benchmark
+    worker: int = 0
+
+    @property
+    def throughput(self) -> float:
+        """Retired instructions per worker-side second."""
+        if self.elapsed <= 0.0:
+            return 0.0
+        return self.instructions_retired / self.elapsed
 
 
 def _profile_worker(name: str) -> dict:
@@ -64,6 +74,7 @@ def _profile_worker(name: str) -> dict:
         "instructions_retired": run.instructions_retired,
         "total_cost": run.total_cost,
         "elapsed": time.perf_counter() - started,
+        "worker": os.getpid(),
     }
 
 
@@ -83,6 +94,7 @@ def _rebuild(payload: dict) -> SweepResult:
         instructions_retired=payload["instructions_retired"],
         total_cost=payload["total_cost"],
         elapsed=payload["elapsed"],
+        worker=payload.get("worker", 0),
     )
 
 
@@ -101,24 +113,74 @@ def run_suite(
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     jobs = min(jobs, len(names)) or 1
 
+    from repro.obs.trace import get_tracer
+
+    started = time.perf_counter()
     payloads: dict[str, dict] = {}
-    if jobs == 1:
-        for name in names:
-            payload = _profile_worker(name)
-            payloads[name] = payload
-            if progress is not None:
-                progress(name, payload["elapsed"])
-    else:
-        from concurrent.futures import ProcessPoolExecutor, as_completed
-
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            futures = {
-                pool.submit(_profile_worker, name): name for name in names
-            }
-            for future in as_completed(futures):
-                payload = future.result()
-                payloads[payload["name"]] = payload
+    with get_tracer().span("bench-sweep", jobs=jobs, benchmarks=len(names)):
+        if jobs == 1:
+            for name in names:
+                payload = _profile_worker(name)
+                payloads[name] = payload
                 if progress is not None:
-                    progress(payload["name"], payload["elapsed"])
+                    progress(name, payload["elapsed"])
+        else:
+            from concurrent.futures import ProcessPoolExecutor, as_completed
 
-    return [_rebuild(payloads[name]) for name in names]
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                futures = {
+                    pool.submit(_profile_worker, name): name for name in names
+                }
+                for future in as_completed(futures):
+                    payload = future.result()
+                    payloads[payload["name"]] = payload
+                    if progress is not None:
+                        progress(payload["name"], payload["elapsed"])
+
+    results = [_rebuild(payloads[name]) for name in names]
+    _record_sweep_metrics(results, jobs, time.perf_counter() - started)
+    return results
+
+
+def _record_sweep_metrics(
+    results: list[SweepResult], jobs: int, wall_elapsed: float
+) -> None:
+    from repro.obs.metrics import get_metrics, metrics_enabled
+
+    if not metrics_enabled():
+        return
+    registry = get_metrics()
+    registry.counter("bench.programs").inc(len(results))
+    histogram = registry.histogram("bench.elapsed_seconds")
+    for result in results:
+        registry.counter("bench.instructions").inc(
+            result.instructions_retired
+        )
+        histogram.record(result.elapsed)
+    registry.gauge("bench.jobs").set(jobs)
+    registry.gauge("bench.wall_seconds").set(round(wall_elapsed, 4))
+    for worker, busy, share in worker_utilization(results, wall_elapsed):
+        registry.gauge(f"bench.worker.{worker}.utilization").set(share)
+
+
+def worker_utilization(
+    results: Sequence[SweepResult], wall_elapsed: float
+) -> list[tuple[int, float, float]]:
+    """Per-worker busy time for a sweep.
+
+    Returns ``(worker pid, busy seconds, utilization)`` rows sorted by pid,
+    where utilization is the fraction of the sweep's wall-clock the worker
+    spent profiling. With ``jobs=1`` there is a single row near 1.0; a
+    well-balanced ``--jobs N`` sweep shows N rows with similar shares.
+    """
+    busy: dict[int, float] = {}
+    for result in results:
+        busy[result.worker] = busy.get(result.worker, 0.0) + result.elapsed
+    return [
+        (
+            worker,
+            seconds,
+            (seconds / wall_elapsed) if wall_elapsed > 0 else 0.0,
+        )
+        for worker, seconds in sorted(busy.items())
+    ]

@@ -5,15 +5,23 @@
     $ kremlin-cc tracking.c            # compile + instrument (validation)
     $ kremlin tracking.c --personality=openmp
     $ kremlin tracking.c --regions     # discovery table instead of a plan
+    $ kremlin tracking.c --metrics     # runtime counters on stderr
+    $ kremlin trace tracking.c         # Chrome trace_event JSON on stdout
 """
 
 from __future__ import annotations
 
 import argparse
 import io
+import json
 import sys
 
-from repro import analyze, make_planner
+from repro.api import (
+    CompileOptions,
+    KremlinSession,
+    PlanOptions,
+    ProfileOptions,
+)
 from repro.frontend.errors import MiniCError
 from repro.hcpa import (
     ProfileFormatError,
@@ -24,6 +32,15 @@ from repro.hcpa import (
 from repro.instrument import kremlin_cc
 from repro.interp.errors import InterpreterError
 from repro.ir.printer import print_module
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    chrome_trace,
+    collecting_metrics,
+    render_metrics,
+    render_tree,
+)
+from repro.planner.registry import available_personalities, create_planner
 from repro.report import format_flat_profile, format_plan, format_region_table
 
 
@@ -42,6 +59,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.fuzz.harness import fuzz_main
 
         return fuzz_main(argv[1:])
+    if argv and argv[0] == "trace":
+        # `kremlin trace`: run the full pipeline under a tracer and emit a
+        # Chrome trace_event document (load in about:tracing or Perfetto).
+        return _trace_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="kremlin",
         description=(
@@ -65,7 +86,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--personality",
         default="openmp",
-        choices=["openmp", "cilk", "gprof", "sp-filter"],
+        choices=available_personalities(),
         help="planner personality (default: openmp)",
     )
     parser.add_argument("--entry", default="main", help="entry function")
@@ -127,6 +148,17 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="plan from a previously saved profile instead of running",
     )
+    parser.add_argument(
+        "--metrics",
+        nargs="?",
+        const="pretty",
+        choices=["json", "pretty"],
+        default=None,
+        help=(
+            "collect runtime self-profiling counters and print them to "
+            "stderr (optionally as JSON)"
+        ),
+    )
     options = parser.parse_args(argv)
 
     if options.jobs < 1:
@@ -180,19 +212,43 @@ def _render_source_job(job: tuple) -> tuple[int, str, str]:
     return code, out.getvalue(), err.getvalue()
 
 
+def _build_session(options, path: str, **obs) -> KremlinSession:
+    return KremlinSession(
+        compile_options=CompileOptions(filename=path),
+        profile_options=ProfileOptions(
+            entry=options.entry, max_depth=options.max_depth
+        ),
+        plan_options=PlanOptions(personality=options.personality),
+        **obs,
+    )
+
+
 def _render_source(options, path: str, out, err) -> int:
+    # Metrics are collected per source with a fresh registry so --jobs
+    # workers report exactly their own counters; the registry is installed
+    # for the whole body so profile serialization is counted too.
+    metrics = (
+        MetricsRegistry() if getattr(options, "metrics", None) else None
+    )
+    if metrics is not None:
+        with collecting_metrics(metrics):
+            code = _render_source_inner(options, path, out, err)
+        print(f"-- metrics: {path} --", file=err)
+        if options.metrics == "json":
+            print(json.dumps(metrics.to_dict(), sort_keys=True), file=err)
+        else:
+            print(render_metrics(metrics), file=err)
+        return code
+    return _render_source_inner(options, path, out, err)
+
+
+def _render_source_inner(options, path: str, out, err) -> int:
     try:
         source = _read_source(path)
-        report = analyze(
-            source,
-            filename=path,
-            personality=options.personality,
-            entry=options.entry,
-            max_depth=options.max_depth,
-        )
+        report = _build_session(options, path).analyze(source)
         if options.exclude:
             excluded = {int(x) for x in options.exclude.split(",") if x.strip()}
-            report.plan = make_planner(options.personality).plan(
+            report.plan = create_planner(options.personality).plan(
                 report.aggregated, frozenset(excluded)
             )
     except (MiniCError, InterpreterError, OSError, ValueError) as error:
@@ -251,7 +307,7 @@ def _plan_from_profile(options) -> int:
         excluded = frozenset(
             int(x) for x in options.exclude.split(",") if x.strip()
         )
-        plan = make_planner(options.personality).plan(aggregated, excluded)
+        plan = create_planner(options.personality).plan(aggregated, excluded)
         plan.program_name = profile.program_name
     except (ProfileFormatError, OSError, ValueError) as error:
         print(f"kremlin: error: {error}", file=sys.stderr)
@@ -263,6 +319,91 @@ def _plan_from_profile(options) -> int:
     if options.flat:
         print()
         print(format_flat_profile(aggregated))
+    return 0
+
+
+def _trace_main(argv: list[str]) -> int:
+    """``kremlin trace``: self-profile one analysis run.
+
+    Emits a Chrome ``trace_event`` JSON document (open in ``about:tracing``
+    or https://ui.perfetto.dev) with one complete event per pipeline stage
+    and the runtime counters attached as counter/metadata events.
+    """
+    parser = argparse.ArgumentParser(
+        prog="kremlin trace",
+        description=(
+            "Profile the Kremlin pipeline itself while analyzing a program "
+            "and emit a Chrome trace_event JSON document."
+        ),
+    )
+    parser.add_argument("source", help="MiniC source file")
+    parser.add_argument(
+        "--personality",
+        default="openmp",
+        choices=available_personalities(),
+        help="planner personality (default: openmp)",
+    )
+    parser.add_argument("--entry", default="main", help="entry function")
+    parser.add_argument(
+        "--max-depth",
+        type=int,
+        default=None,
+        help="limit the profiled region depth",
+    )
+    parser.add_argument(
+        "--engine",
+        default="bytecode",
+        choices=["bytecode", "tree"],
+        help="execution engine to trace (default: bytecode)",
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        metavar="PATH",
+        default=None,
+        help="write the trace JSON here instead of stdout",
+    )
+    parser.add_argument(
+        "--pretty",
+        action="store_true",
+        help="also print the human-readable span tree to stderr",
+    )
+    options = parser.parse_args(argv)
+
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    session = KremlinSession(
+        compile_options=CompileOptions(filename=options.source),
+        profile_options=ProfileOptions(
+            entry=options.entry,
+            max_depth=options.max_depth,
+            engine=options.engine,
+        ),
+        plan_options=PlanOptions(personality=options.personality),
+        tracer=tracer,
+        metrics=metrics,
+    )
+    try:
+        source = _read_source(options.source)
+        session.analyze(source)
+    except (MiniCError, InterpreterError, OSError, ValueError) as error:
+        print(f"kremlin: error: {error}", file=sys.stderr)
+        return 1
+
+    document = chrome_trace(tracer, metrics)
+    text = json.dumps(document, sort_keys=True)
+    if options.output:
+        with open(options.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(
+            f"wrote {len(document['traceEvents'])} trace events "
+            f"to {options.output}",
+            file=sys.stderr,
+        )
+    else:
+        print(text)
+    if options.pretty:
+        print(render_tree(tracer), file=sys.stderr)
     return 0
 
 

@@ -503,4 +503,12 @@ class Parser:
 
 def parse_program(text: str, filename: str = "<input>") -> Program:
     """Parse MiniC source text into a :class:`Program`."""
-    return Parser(SourceFile(filename, text)).parse_program()
+    from repro.obs.trace import get_tracer
+
+    tracer = get_tracer()
+    # Lexing is eager in the Parser constructor, so the "lex" span wraps
+    # construction and "parse" wraps the grammar walk proper.
+    with tracer.span("lex"):
+        parser = Parser(SourceFile(filename, text))
+    with tracer.span("parse"):
+        return parser.parse_program()

@@ -63,12 +63,19 @@ class FuzzStats:
     passed: int = 0
     skipped: int = 0
     checks: int = 0
+    shrink_evals: int = 0
     failures: list[FuzzFailure] = field(default_factory=list)
     elapsed: float = 0.0
 
     @property
     def ok(self) -> bool:
         return not self.failures
+
+    @property
+    def programs_per_second(self) -> float:
+        if self.elapsed <= 0.0:
+            return 0.0
+        return self.iterations / self.elapsed
 
 
 def _failure_category(error: Exception) -> str:
@@ -116,12 +123,14 @@ class FuzzHarness:
         self.shrink_budget = shrink_budget
         self.keep_going = keep_going
         self.out = out if out is not None else sys.stdout
+        self._shrink_evals = 0
 
     def _say(self, message: str) -> None:
         print(message, file=self.out)
 
     def run(self) -> FuzzStats:
         stats = FuzzStats()
+        self._shrink_evals = 0
         started = time.perf_counter()
         for offset in range(self.iterations):
             program_seed = self.seed + offset
@@ -143,7 +152,25 @@ class FuzzHarness:
             stats.passed += 1
             stats.checks += outcome.checks
         stats.elapsed = time.perf_counter() - started
+        stats.shrink_evals = self._shrink_evals
+        self._record_metrics(stats)
         return stats
+
+    def _record_metrics(self, stats: FuzzStats) -> None:
+        from repro.obs.metrics import get_metrics, metrics_enabled
+
+        if not metrics_enabled():
+            return
+        registry = get_metrics()
+        registry.counter("fuzz.programs").inc(stats.iterations)
+        registry.counter("fuzz.passed").inc(stats.passed)
+        registry.counter("fuzz.skipped").inc(stats.skipped)
+        registry.counter("fuzz.failures").inc(len(stats.failures))
+        registry.counter("fuzz.checks").inc(stats.checks)
+        registry.counter("fuzz.shrink_evals").inc(stats.shrink_evals)
+        registry.gauge("fuzz.programs_per_second").set(
+            round(stats.programs_per_second, 2)
+        )
 
     def _handle_failure(
         self, program_seed: int, source: str, error: Exception
@@ -152,9 +179,17 @@ class FuzzHarness:
         message = str(error)
         self._say(f"seed {program_seed}: FAIL {message}")
         self._say("shrinking ...")
+        base_predicate = _same_failure_predicate(
+            category, self.max_instructions
+        )
+
+        def predicate(text: str) -> bool:
+            self._shrink_evals += 1
+            return base_predicate(text)
+
         shrunk = shrink_source(
             source,
-            _same_failure_predicate(category, self.max_instructions),
+            predicate,
             budget=self.shrink_budget,
         )
         failure = FuzzFailure(
@@ -240,6 +275,8 @@ def fuzz_main(argv=None) -> int:
         f"({stats.passed} passed, {stats.skipped} skipped, "
         f"{len(stats.failures)} failed), "
         f"{stats.checks} checks in {stats.elapsed:.1f}s "
+        f"({stats.programs_per_second:.1f} programs/s, "
+        f"{stats.shrink_evals} shrink evals) "
         f"[base seed {options.seed}]"
     )
     for failure in stats.failures:

@@ -267,11 +267,11 @@ def check_merge(profiles: list[ParallelismProfile]) -> int:
 
 
 def _plan_image(profile: ParallelismProfile, personality: str) -> tuple:
-    from repro import make_planner
+    from repro.planner.registry import create_planner
     from repro.report import format_plan
 
     aggregated = aggregate_profile(profile)
-    plan = make_planner(personality).plan(aggregated)
+    plan = create_planner(personality).plan(aggregated)
     names = {
         item.region.name for item in plan if item.region.name != "<multi-run>"
     }

@@ -18,6 +18,7 @@ from repro.hcpa.compression import CompressionStats, compression_stats
 from repro.hcpa.merge import ProfileMergeError, merge_profiles
 from repro.hcpa.serialize import (
     ProfileFormatError,
+    ProfileVersionError,
     load_profile,
     profile_from_json,
     profile_to_json,

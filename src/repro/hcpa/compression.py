@@ -63,6 +63,30 @@ def compression_stats(profile: ParallelismProfile) -> CompressionStats:
     )
 
 
+def record_compression_metrics(profile: ParallelismProfile) -> None:
+    """Feed the compressor's effectiveness into the metrics registry.
+
+    The dictionary hit ratio falls out of the interning bookkeeping:
+    every dynamic region exit interns one raw record, and only misses
+    grow the entry list, so ``hits = raw_records - entries``.
+    """
+    from repro.obs.metrics import get_metrics, metrics_enabled
+
+    if not metrics_enabled():
+        return
+    dictionary = profile.dictionary
+    registry = get_metrics()
+    registry.counter("compress.raw_records").inc(dictionary.raw_records)
+    registry.counter("compress.dictionary_entries").inc(
+        len(dictionary.entries)
+    )
+    registry.counter("compress.hits").inc(
+        dictionary.raw_records - len(dictionary.entries)
+    )
+    stats = compression_stats(profile)
+    registry.gauge("compress.ratio").set(round(stats.ratio, 4))
+
+
 def _human(size: int) -> str:
     value = float(size)
     for unit in ("B", "KB", "MB", "GB"):

@@ -18,13 +18,49 @@ from typing import IO
 from repro.frontend.source import SourceLocation, SourceSpan
 from repro.hcpa.summaries import CompressionDictionary, DictEntry, ParallelismProfile
 from repro.instrument.regions import RegionKind, StaticRegion, StaticRegionTree
+from repro.obs.metrics import get_metrics, metrics_enabled
 
+#: magic string identifying a Kremlin parallelism-profile file
 FORMAT_NAME = "kremlin-parallelism-profile"
+#: schema version written by this build
 FORMAT_VERSION = 1
+#: schema versions this build can read
+SUPPORTED_VERSIONS = (1,)
 
 
 class ProfileFormatError(Exception):
-    """Raised when a profile file is malformed or from an unknown version."""
+    """Raised when a profile file is malformed."""
+
+
+class ProfileVersionError(ProfileFormatError):
+    """Raised when a profile file's schema version is not supported.
+
+    Distinct from :class:`ProfileFormatError` so callers can tell "this is
+    a Kremlin profile, but from an incompatible version — re-profile" from
+    "this is not a profile at all".
+    """
+
+    def __init__(self, found):
+        supported = ", ".join(str(v) for v in SUPPORTED_VERSIONS)
+        super().__init__(
+            f"unsupported profile schema version {found!r} "
+            f"(this build reads version{'s' if len(SUPPORTED_VERSIONS) > 1 else ''} "
+            f"{supported}); re-profile the program with this version of kremlin"
+        )
+        self.found = found
+
+
+def _check_header(data: dict) -> None:
+    """Validate the magic + schema-version header before any other key."""
+    magic = data.get("format")
+    if magic != FORMAT_NAME:
+        raise ProfileFormatError(
+            "not a kremlin parallelism profile "
+            f"(magic header {magic!r}, expected {FORMAT_NAME!r})"
+        )
+    version = data.get("version")
+    if version not in SUPPORTED_VERSIONS:
+        raise ProfileVersionError(version)
 
 
 def _span_to_json(span: SourceSpan) -> dict:
@@ -79,12 +115,28 @@ def profile_to_json(profile: ParallelismProfile) -> dict:
 
 
 def profile_from_json(data: dict) -> ParallelismProfile:
-    """Decode a profile produced by :func:`profile_to_json`."""
-    if data.get("format") != FORMAT_NAME:
-        raise ProfileFormatError("not a kremlin parallelism profile")
-    if data.get("version") != FORMAT_VERSION:
+    """Decode a profile produced by :func:`profile_to_json`.
+
+    Raises :class:`ProfileVersionError` on a schema-version mismatch and
+    :class:`ProfileFormatError` on anything else malformed — never a raw
+    ``KeyError`` from a missing section.
+    """
+    _check_header(data)
+    missing = [
+        key
+        for key in (
+            "regions",
+            "dictionary",
+            "root_char",
+            "raw_records",
+            "instructions_retired",
+            "total_work",
+        )
+        if key not in data
+    ]
+    if missing:
         raise ProfileFormatError(
-            f"unsupported profile version {data.get('version')!r}"
+            f"profile file is missing required field(s): {', '.join(missing)}"
         )
 
     regions = StaticRegionTree()
@@ -142,15 +194,19 @@ def save_profile(profile: ParallelismProfile, path_or_file: str | IO[str]) -> No
 
     Missing parent directories are created, so ``kremlin --save-profile
     results/run1/prog.json`` works on a fresh checkout."""
-    data = profile_to_json(profile)
+    text = json.dumps(profile_to_json(profile))
+    if metrics_enabled():
+        registry = get_metrics()
+        registry.counter("serialize.profiles").inc()
+        registry.counter("serialize.bytes").inc(len(text))
     if isinstance(path_or_file, str):
         parent = os.path.dirname(path_or_file)
         if parent:
             os.makedirs(parent, exist_ok=True)
         with open(path_or_file, "w", encoding="utf-8") as handle:
-            json.dump(data, handle)
+            handle.write(text)
     else:
-        json.dump(data, path_or_file)
+        path_or_file.write(text)
 
 
 def load_profile(path_or_file: str | IO[str]) -> ParallelismProfile:

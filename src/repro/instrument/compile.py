@@ -17,6 +17,7 @@ from repro.instrument.regions import StaticRegionTree
 from repro.ir.module import Module
 from repro.ir.verifier import verify_module
 from repro.lowering.lower import lower_program
+from repro.obs.trace import get_tracer
 
 
 @dataclass
@@ -44,10 +45,16 @@ def kremlin_cc(
     cost_model: CostModel = DEFAULT_COST_MODEL,
 ) -> CompiledProgram:
     """Compile MiniC source into an instrumented, verified program."""
-    program = parse_program(source, filename)
-    module = lower_program(program)
-    verify_module(module)
-    instrumentation = instrument_module(module, cost_model)
+    tracer = get_tracer()
+    with tracer.span("compile", file=filename):
+        program = parse_program(source, filename)
+        with tracer.span("lower"):
+            module = lower_program(program)
+        with tracer.span("verify"):
+            verify_module(module)
+        with tracer.span("instrument") as span:
+            instrumentation = instrument_module(module, cost_model)
+            span.args["regions"] = len(module.regions)
     return CompiledProgram(
         module=module,
         instrumentation=instrumentation,

@@ -60,6 +60,7 @@ from repro.ir.types import FLOAT, INT
 from repro.ir.values import GlobalRef, Register
 from repro.kremlib.profiler import KremlinProfiler, ProfilerError, _ActiveRegion
 from repro.kremlib.shadow import resolve_entry
+from repro.obs.metrics import get_metrics, metrics_enabled
 
 
 def _compute_ts(inputs, cost: int, depth: int) -> list:
@@ -105,6 +106,26 @@ class FusedDecoder(PlainDecoder):
         # cannot poison it.
         self.rcache: dict = {}
         self._max_depth = profiler.max_depth
+        # Decode-time metrics gating: the enabled flag is sampled ONCE,
+        # here. When metrics are off, no counting line is ever emitted and
+        # the generated source is byte-identical to an uninstrumented
+        # build — disabled observability costs nothing by construction.
+        self._metrics_on = metrics_enabled()
+        if self._metrics_on:
+            registry = get_metrics()
+            self._frames_cell = registry.counter("shadow.frames").cell
+            self._base_env.update(
+                {
+                    "_mfp": registry.counter("fastpath.known_hits").cell,
+                    "_mres": registry.counter(
+                        "fastpath.entry_resolutions"
+                    ).cell,
+                    "_mev": registry.counter("shadow.stale_evictions").cell,
+                    "_mcell": registry.counter("shadow.cell_writes").cell,
+                }
+            )
+        else:
+            self._frames_cell = None
         self._base_env.update(
             {
                 "state": self.state,
@@ -138,6 +159,8 @@ class FusedDecoder(PlainDecoder):
 
     def exec_entry(self, shell, function, registers):
         sregs: list = [None] * shell.num_registers
+        if self._frames_cell is not None:
+            self._frames_cell[0] += 1
         return self.engine.exec_fused(shell, (registers, sregs, []))
 
     # -- layout ------------------------------------------------------------
@@ -286,6 +309,11 @@ class FusedDecoder(PlainDecoder):
             "        if _vl > _dp:",
             "            _vl = _dp",
         ]
+        if self._metrics_on:
+            lines += [
+                "    if _vl == 0:",
+                "        _mev[0] += 1",
+            ]
 
     def _merge_entry(self, lines: list[str], expr: str, cost: int, tv: str):
         """Merge a generic entry into the existing list ``tv``."""
@@ -377,6 +405,11 @@ class FusedDecoder(PlainDecoder):
             entry_exprs.append("control[-1][2] if control else None")
         else:
             self._seg_control(lines)
+        if self._metrics_on:
+            if known:
+                lines.append(f"_mfp[0] += {len(known)}")
+            if entry_exprs:
+                lines.append(f"_mres[0] += {len(entry_exprs)}")
         tv = self._ts_name()
         if known:
             if len(known) == 1:
@@ -525,6 +558,8 @@ class FusedDecoder(PlainDecoder):
             f"    mem_shadow[{sid}] = _cm",
             f"_cm[{cell_index}] = ({tv}, _cu)",
         ]
+        if self._metrics_on:
+            lines.append("_mcell[0] += 1")
 
     # -- region events -----------------------------------------------------
 
@@ -700,6 +735,7 @@ class FusedDecoder(PlainDecoder):
         state = self.state
         stack = prof.stack
         cps = self.cps
+        mframes = self._frames_cell
 
         def step(ctx):
             regs, sregs, control = ctx
@@ -718,6 +754,8 @@ class FusedDecoder(PlainDecoder):
             tracked_depth = state[1]
             ctrl = resolve_entry(control[-1][2], current) if control else None
             callee_sregs: list = [None] * num_registers
+            if mframes is not None:
+                mframes[0] += 1
             all_inputs = [] if ctrl is None else [ctrl]
             for param_index, arg_index in shadow_binds:
                 arg_inputs = [] if ctrl is None else [ctrl]

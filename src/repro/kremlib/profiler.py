@@ -32,6 +32,8 @@ from repro.interp.interpreter import ExecutionObserver, Interpreter, RunResult
 from repro.ir.instructions import BinOp
 from repro.ir.values import Register
 from repro.kremlib.shadow import ShadowFrame, resolve_entry
+from repro.obs.metrics import get_metrics, metrics_enabled
+from repro.obs.trace import get_tracer
 
 _UNLIMITED_DEPTH = 1 << 30
 
@@ -78,6 +80,16 @@ class KremlinProfiler(ExecutionObserver):
         self._pending_return: list | None = None
         self._finished_profile: ParallelismProfile | None = None
 
+        # Observability: the enabled flag is snapshotted at construction
+        # (same decode-time gating contract as the fused decoder), and the
+        # counter cells are bound once so the guarded hot-path increments
+        # are a single list-subscript bump.
+        self._metrics_on = metrics_enabled()
+        if self._metrics_on:
+            registry = get_metrics()
+            self._m_frames = registry.counter("shadow.frames").cell
+            self._m_cells = registry.counter("shadow.cell_writes").cell
+
         # Control-dependence schedule from the instrumentation pass.
         self._branch_join: dict[int, int | None] = {}
         self._is_join: set[int] = set()
@@ -101,6 +113,8 @@ class KremlinProfiler(ExecutionObserver):
         if shadow is None:
             shadow = ShadowFrame(frame.function.num_registers)
             frame.shadow = shadow
+            if self._metrics_on:
+                self._m_frames[0] += 1
         return shadow
 
     def _resolve(self, entry):
@@ -299,6 +313,8 @@ class KremlinProfiler(ExecutionObserver):
             cell_map = {}
             self.mem_shadow[storage_id] = cell_map
         cell_map[index] = (ts, self.tags)
+        if self._metrics_on:
+            self._m_cells[0] += 1
 
     def on_builtin(self, instr, frame) -> None:
         shadow = frame.shadow
@@ -446,18 +462,27 @@ class KremlinProfiler(ExecutionObserver):
             )
         if self.root_char is None:
             raise ProfilerError("no root region was recorded")
-        root = self.dictionary.entry(self.root_char)
-        self._finished_profile = ParallelismProfile(
-            dictionary=self.dictionary,
-            root_char=self.root_char,
-            regions=self.program.regions,
-            instructions_retired=interpreter.instructions_retired,
-            total_work=root.work,
-            program_name=self.program.filename,
-            max_depth=(
-                None if self.max_depth == _UNLIMITED_DEPTH else self.max_depth
-            ),
-        )
+        with get_tracer().span("hcpa-update") as span:
+            root = self.dictionary.entry(self.root_char)
+            self._finished_profile = ParallelismProfile(
+                dictionary=self.dictionary,
+                root_char=self.root_char,
+                regions=self.program.regions,
+                instructions_retired=interpreter.instructions_retired,
+                total_work=root.work,
+                program_name=self.program.filename,
+                max_depth=(
+                    None
+                    if self.max_depth == _UNLIMITED_DEPTH
+                    else self.max_depth
+                ),
+            )
+            span.args["dictionary_entries"] = len(self.dictionary.entries)
+            span.args["raw_records"] = self.dictionary.raw_records
+        if self._metrics_on:
+            from repro.hcpa.compression import record_compression_metrics
+
+            record_compression_metrics(self._finished_profile)
 
     @property
     def profile(self) -> ParallelismProfile:
@@ -472,15 +497,25 @@ def profile_program(
     args: tuple = (),
     max_depth: int | None = None,
     max_instructions: int | None = None,
+    engine: str = "bytecode",
 ) -> tuple[ParallelismProfile, RunResult]:
     """Run a compiled program under the KremLib profiler.
 
     Returns the parallelism profile and the ordinary run result (so callers
-    can check the program's own outputs/return value).
+    can check the program's own outputs/return value). ``engine`` selects
+    the execution engine (``"bytecode"`` fused fast paths, or ``"tree"``).
     """
     profiler = KremlinProfiler(program, max_depth=max_depth)
     interpreter = Interpreter(
-        program, observer=profiler, max_instructions=max_instructions
+        program,
+        observer=profiler,
+        max_instructions=max_instructions,
+        engine=engine,
     )
-    result = interpreter.run(entry=entry, args=args)
+    tracer = get_tracer()
+    with tracer.span(
+        "execute", engine=interpreter.engine, entry=entry
+    ) as span:
+        result = interpreter.run(entry=entry, args=args)
+        span.args["instructions"] = result.instructions_retired
     return profiler.profile, result

@@ -1,0 +1,209 @@
+"""Trace and metric exporters.
+
+Three formats over the same :class:`~repro.obs.trace.Tracer`:
+
+* :func:`render_tree` — indented human-readable tree with durations and
+  per-span percentages of the root, for terminals;
+* :func:`spans_to_jsonl` — one JSON object per span per line, for ad-hoc
+  ``jq``-style analysis;
+* :func:`chrome_trace` — the Chrome ``trace_event`` JSON object format
+  (``{"traceEvents": [...]}``) with complete (``"ph": "X"``) events,
+  loadable directly in ``about:tracing`` or https://ui.perfetto.dev.
+  Metric counters ride along as ``"ph": "C"`` counter events plus a
+  summary metadata event, so one file carries the whole story.
+
+:func:`validate_chrome_trace` is the schema checker the tests and the CI
+smoke script share; it returns a list of problems (empty = valid).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Span, Tracer
+
+#: trace_event timestamps are in microseconds
+_US = 1e6
+
+
+def _span_dict(span: Span) -> dict:
+    return {
+        "name": span.name,
+        "index": span.index,
+        "parent": span.parent,
+        "depth": span.depth,
+        "start": span.start,
+        "end": span.end,
+        "duration": span.duration,
+        "args": span.args,
+    }
+
+
+def spans_to_jsonl(tracer: Tracer) -> str:
+    """One JSON object per finished span per line, in start order."""
+    lines = [
+        json.dumps(_span_dict(span), sort_keys=True)
+        for span in tracer.finished_spans()
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _format_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds * 1e6:.0f}us"
+
+
+def render_tree(tracer: Tracer) -> str:
+    """Human-readable span tree with durations and %-of-root."""
+    spans = tracer.finished_spans()
+    if not spans:
+        return "(no spans recorded)"
+    roots = [span for span in spans if span.parent is None]
+    total = sum(span.duration for span in roots) or 1.0
+    lines = []
+    for span in spans:
+        pct = 100.0 * span.duration / total
+        label = f"{'  ' * span.depth}{span.name}"
+        suffix = ""
+        if span.args:
+            pairs = ", ".join(f"{k}={v}" for k, v in sorted(span.args.items()))
+            suffix = f"  [{pairs}]"
+        lines.append(
+            f"{label:<32} {_format_seconds(span.duration):>10} "
+            f"{pct:5.1f}%{suffix}"
+        )
+    return "\n".join(lines)
+
+
+def render_metrics(registry: MetricsRegistry) -> str:
+    """Human-readable metric table, sorted by name."""
+    snapshot = registry.to_dict()
+    lines = []
+    for name, value in snapshot["counters"].items():
+        lines.append(f"{name:<40} {value:>16,}")
+    for name, value in snapshot["gauges"].items():
+        lines.append(f"{name:<40} {value:>16,.3f}")
+    for name, stats in snapshot["histograms"].items():
+        lines.append(
+            f"{name:<40} count={stats['count']} mean={stats['mean']:.4g} "
+            f"min={stats['min']} max={stats['max']}"
+        )
+    return "\n".join(lines) if lines else "(no metrics recorded)"
+
+
+def chrome_trace(
+    tracer: Tracer,
+    metrics: MetricsRegistry | None = None,
+    process_name: str = "kremlin",
+) -> dict:
+    """Encode a trace (and optional metrics) as a trace_event document."""
+    pid = os.getpid()
+    events: list[dict] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    last_ts = 0.0
+    for span in tracer.finished_spans():
+        ts = span.start * _US
+        dur = span.duration * _US
+        last_ts = max(last_ts, ts + dur)
+        events.append(
+            {
+                "ph": "X",
+                "name": span.name,
+                "cat": "pipeline",
+                "ts": ts,
+                "dur": dur,
+                "pid": pid,
+                "tid": 0,
+                "args": dict(span.args),
+            }
+        )
+    if metrics is not None:
+        snapshot = metrics.to_dict()
+        for name, value in snapshot["counters"].items():
+            events.append(
+                {
+                    "ph": "C",
+                    "name": name,
+                    "cat": "metrics",
+                    "ts": last_ts,
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"value": value},
+                }
+            )
+        events.append(
+            {
+                "ph": "M",
+                "name": "kremlin_metrics",
+                "pid": pid,
+                "tid": 0,
+                "args": snapshot,
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"generator": "repro.obs", "format": "trace_event"},
+    }
+
+
+#: phases we emit; the validator accepts exactly these
+_KNOWN_PHASES = {"X", "C", "M"}
+
+
+def validate_chrome_trace(document) -> list[str]:
+    """Validate a trace_event document; returns problems (empty = valid)."""
+    problems: list[str] = []
+    if not isinstance(document, dict):
+        return ["document is not a JSON object"]
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents is missing or not a list"]
+    if not events:
+        problems.append("traceEvents is empty")
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        phase = event.get("ph")
+        if phase not in _KNOWN_PHASES:
+            problems.append(f"{where}: unknown phase {phase!r}")
+            continue
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            problems.append(f"{where}: missing name")
+        if not isinstance(event.get("pid"), int):
+            problems.append(f"{where}: missing integer pid")
+        if not isinstance(event.get("tid"), int):
+            problems.append(f"{where}: missing integer tid")
+        if "args" in event and not isinstance(event["args"], dict):
+            problems.append(f"{where}: args is not an object")
+        if phase in ("X", "C"):
+            ts = event.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                problems.append(f"{where}: bad ts {ts!r}")
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: bad dur {dur!r}")
+        if phase == "C":
+            args = event.get("args")
+            if not isinstance(args, dict) or not args:
+                problems.append(f"{where}: counter event without args")
+    try:
+        json.dumps(document)
+    except (TypeError, ValueError) as error:
+        problems.append(f"document is not JSON-serializable: {error}")
+    return problems

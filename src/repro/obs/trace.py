@@ -1,0 +1,216 @@
+"""Structured tracing: nested spans over the pipeline stages.
+
+A :class:`Tracer` records :class:`Span` objects — name, start/end time,
+parent link, nesting depth, and free-form ``args``. Spans are identified
+by **start order** (``span.index``), which is deterministic for a
+deterministic pipeline; completed spans are stored in start order too, so
+every exporter's output is reproducible under a fake clock.
+
+The disabled path is :data:`NULL_TRACER`, a singleton whose ``span()``
+returns one cached no-op context manager: instrumented call sites pay a
+method call and a ``with`` block per *stage* (roughly ten per analyzed
+program), never per instruction.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Span:
+    """One timed, named interval; a node in the trace tree."""
+
+    __slots__ = ("name", "index", "parent", "depth", "start", "end", "args")
+
+    def __init__(
+        self, name: str, index: int, parent: int | None, depth: int, start: float
+    ):
+        self.name = name
+        #: start-order id; stable across runs of a deterministic pipeline
+        self.index = index
+        #: ``index`` of the enclosing span, or None for a root
+        self.parent = parent
+        self.depth = depth
+        self.start = start
+        self.end: float | None = None
+        self.args: dict = {}
+
+    @property
+    def duration(self) -> float:
+        return (self.end if self.end is not None else self.start) - self.start
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, index={self.index}, depth={self.depth}, "
+            f"start={self.start}, end={self.end})"
+        )
+
+
+class FakeClock:
+    """Deterministic clock for tests: each call advances by ``step``."""
+
+    def __init__(self, start: float = 0.0, step: float = 1.0):
+        self.now = start
+        self.step = step
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.step
+        return value
+
+
+class _SpanContext:
+    """Context manager yielded by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._tracer._close(self._span, exc)
+
+
+class Tracer:
+    """Records nested spans; one per traced pipeline run (or global)."""
+
+    enabled = True
+
+    def __init__(self, clock=None):
+        self.clock = clock if clock is not None else time.perf_counter
+        #: completed AND open spans, in start order
+        self.spans: list[Span] = []
+        self._open: list[Span] = []
+
+    def span(self, name: str, **args) -> _SpanContext:
+        """Open a span; use as ``with tracer.span("parse"): ...``."""
+        parent = self._open[-1] if self._open else None
+        span = Span(
+            name,
+            index=len(self.spans),
+            parent=parent.index if parent is not None else None,
+            depth=len(self._open),
+            start=self.clock(),
+        )
+        if args:
+            span.args.update(args)
+        self.spans.append(span)
+        self._open.append(span)
+        return _SpanContext(self, span)
+
+    def _close(self, span: Span, exc) -> None:
+        span.end = self.clock()
+        if exc is not None:
+            span.args["error"] = f"{type(exc).__name__}: {exc}"
+        # Spans close strictly LIFO under ``with``; tolerate being closed
+        # out of order anyway (an exporter run mid-trace must not wedge).
+        if self._open and self._open[-1] is span:
+            self._open.pop()
+        elif span in self._open:  # pragma: no cover - defensive
+            self._open.remove(span)
+
+    def annotate(self, **args) -> None:
+        """Attach args to the innermost open span (no-op when none)."""
+        if self._open:
+            self._open[-1].args.update(args)
+
+    def finished_spans(self) -> list[Span]:
+        """Spans with an end time, in start order."""
+        return [span for span in self.spans if span.end is not None]
+
+
+class _NullSpanContext:
+    """Shared no-op context manager; returns the shared null span."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return _NULL_SPAN
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+class _NullSpan:
+    """Inert span handed out by the null tracer; swallows annotations."""
+
+    __slots__ = ()
+    name = "<null>"
+    index = -1
+    parent = None
+    depth = 0
+    start = 0.0
+    end = 0.0
+    duration = 0.0
+
+    @property
+    def args(self) -> dict:
+        return {}  # fresh throwaway; writes vanish by design
+
+
+_NULL_SPAN = _NullSpan()
+_NULL_CONTEXT = _NullSpanContext()
+
+
+class NullTracer:
+    """Disabled tracer: every operation is a cached no-op."""
+
+    enabled = False
+    spans: list = []
+
+    def span(self, name: str, **args) -> _NullSpanContext:
+        return _NULL_CONTEXT
+
+    def annotate(self, **args) -> None:
+        return None
+
+    def finished_spans(self) -> list:
+        return []
+
+
+NULL_TRACER = NullTracer()
+_current: Tracer | NullTracer = NULL_TRACER
+
+
+def get_tracer() -> Tracer | NullTracer:
+    """The process-wide tracer (the null tracer unless one is installed)."""
+    return _current
+
+
+def set_tracer(tracer: Tracer | NullTracer | None) -> Tracer | NullTracer:
+    """Install ``tracer`` globally (None restores the null tracer).
+
+    Returns the previously installed tracer so callers can restore it.
+    """
+    global _current
+    previous = _current
+    _current = tracer if tracer is not None else NULL_TRACER
+    return previous
+
+
+class tracing:
+    """Context manager: install a tracer for a scope, restore on exit.
+
+    ::
+
+        with tracing() as tracer:
+            report = session.analyze(source)
+        print(render_tree(tracer))
+
+    Accepts an existing tracer or a ``clock`` for a fresh one.
+    """
+
+    def __init__(self, tracer: Tracer | None = None, clock=None):
+        self.tracer = tracer if tracer is not None else Tracer(clock=clock)
+        self._previous: Tracer | NullTracer | None = None
+
+    def __enter__(self) -> Tracer:
+        self._previous = set_tracer(self.tracer)
+        return self.tracer
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        set_tracer(self._previous)

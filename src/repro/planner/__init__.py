@@ -23,6 +23,13 @@ from repro.planner.cilk import CILK_PERSONALITY, CilkPlanner
 from repro.planner.gprof import GprofPlanner, SelfParallelismFilterPlanner
 from repro.planner.openmp import OPENMP_PERSONALITY, OpenMPPlanner
 from repro.planner.plan import ParallelismPlan, PlanItem
+from repro.planner.registry import (
+    available_personalities,
+    create_planner,
+    planner_class,
+    register_personality,
+    unregister_personality,
+)
 from repro.planner.speedup import estimate_program_speedup, saved_work
 
 __all__ = [
@@ -36,6 +43,11 @@ __all__ = [
     "Planner",
     "PlannerPersonality",
     "SelfParallelismFilterPlanner",
+    "available_personalities",
+    "create_planner",
     "estimate_program_speedup",
+    "planner_class",
+    "register_personality",
     "saved_work",
+    "unregister_personality",
 ]

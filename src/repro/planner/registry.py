@@ -1,0 +1,78 @@
+"""Planner personality registry.
+
+One name → planner-class table shared by every entry point (``cli.py``,
+``repro.api``, the fuzz oracle, examples), replacing the hardcoded
+dispatch dicts that used to live in each of them. Third-party
+personalities plug in with :func:`register_personality`::
+
+    from repro.planner.registry import register_personality
+
+    register_personality("mycluster", MyClusterPlanner)
+
+and immediately resolve everywhere a personality name is accepted —
+``kremlin --personality=mycluster``, ``PlanOptions(personality=...)``,
+``KremlinReport.replan(...)``.
+"""
+
+from __future__ import annotations
+
+from repro.planner.base import Planner
+from repro.planner.cilk import CilkPlanner
+from repro.planner.gprof import GprofPlanner, SelfParallelismFilterPlanner
+from repro.planner.openmp import OpenMPPlanner
+
+_REGISTRY: dict[str, type[Planner]] = {}
+
+
+def register_personality(
+    name: str, cls: type[Planner], replace: bool = False
+) -> None:
+    """Register a planner class under a personality name.
+
+    Raises ValueError on a duplicate name unless ``replace=True``.
+    """
+    if not name:
+        raise ValueError("personality name must be non-empty")
+    if not (isinstance(cls, type) and issubclass(cls, Planner)):
+        raise TypeError(
+            f"personality {name!r} must be a Planner subclass, got {cls!r}"
+        )
+    if name in _REGISTRY and not replace:
+        raise ValueError(
+            f"personality {name!r} is already registered "
+            f"({_REGISTRY[name].__name__}); pass replace=True to override"
+        )
+    _REGISTRY[name] = cls
+
+
+def unregister_personality(name: str) -> None:
+    """Remove a registered personality (primarily for tests)."""
+    _REGISTRY.pop(name, None)
+
+
+def planner_class(name: str) -> type[Planner]:
+    """Look up the planner class for a personality name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown personality {name!r}; "
+            f"choose from {available_personalities()}"
+        ) from None
+
+
+def create_planner(name: str) -> Planner:
+    """Instantiate a planner by personality name."""
+    return planner_class(name)()
+
+
+def available_personalities() -> list[str]:
+    """Sorted names of every registered personality."""
+    return sorted(_REGISTRY)
+
+
+# The built-in personalities of the paper's evaluation (§5, Figure 9).
+register_personality("openmp", OpenMPPlanner)
+register_personality("cilk", CilkPlanner)
+register_personality("gprof", GprofPlanner)
+register_personality("sp-filter", SelfParallelismFilterPlanner)

@@ -1,0 +1,128 @@
+"""The versioned profile header: magic + schema version."""
+
+import io
+import json
+import unittest
+
+from repro import KremlinSession
+from repro.hcpa.serialize import (
+    FORMAT_NAME,
+    FORMAT_VERSION,
+    SUPPORTED_VERSIONS,
+    ProfileFormatError,
+    ProfileVersionError,
+    load_profile,
+    profile_from_json,
+    profile_to_json,
+    save_profile,
+)
+
+SOURCE = """
+int main() {
+  int s = 0;
+  for (int i = 0; i < 6; i = i + 1) {
+    s = s + i;
+  }
+  return s;
+}
+"""
+
+
+def _profile():
+    return KremlinSession().analyze(SOURCE).profile
+
+
+class TestHeader(unittest.TestCase):
+    def test_written_header(self):
+        data = profile_to_json(_profile())
+        self.assertEqual(data["format"], FORMAT_NAME)
+        self.assertEqual(data["version"], FORMAT_VERSION)
+        self.assertIn(FORMAT_VERSION, SUPPORTED_VERSIONS)
+
+    def test_round_trip(self):
+        profile = _profile()
+        handle = io.StringIO()
+        save_profile(profile, handle)
+        handle.seek(0)
+        loaded = load_profile(handle)
+        self.assertEqual(
+            json.dumps(profile_to_json(loaded), sort_keys=True),
+            json.dumps(profile_to_json(profile), sort_keys=True),
+        )
+
+    def test_round_trip_via_path(self):
+        import tempfile, os
+
+        profile = _profile()
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "nested", "dir", "p.json")
+            save_profile(profile, path)
+            loaded = load_profile(path)
+        self.assertEqual(
+            profile_to_json(loaded), profile_to_json(profile)
+        )
+
+
+class TestRejection(unittest.TestCase):
+    def _data(self) -> dict:
+        return profile_to_json(_profile())
+
+    def test_old_version_rejected_with_clear_error(self):
+        data = self._data()
+        data["version"] = 0
+        with self.assertRaises(ProfileVersionError) as caught:
+            profile_from_json(data)
+        message = str(caught.exception)
+        self.assertIn("unsupported profile schema version 0", message)
+        self.assertIn("re-profile", message)
+        self.assertEqual(caught.exception.found, 0)
+
+    def test_future_version_rejected(self):
+        data = self._data()
+        data["version"] = 99
+        with self.assertRaises(ProfileVersionError):
+            profile_from_json(data)
+
+    def test_missing_version_rejected(self):
+        data = self._data()
+        del data["version"]
+        with self.assertRaises(ProfileVersionError):
+            profile_from_json(data)
+
+    def test_missing_magic_is_a_format_error_not_version_error(self):
+        data = self._data()
+        del data["format"]
+        with self.assertRaises(ProfileFormatError) as caught:
+            profile_from_json(data)
+        self.assertNotIsInstance(caught.exception, ProfileVersionError)
+        self.assertIn("not a kremlin parallelism profile", str(caught.exception))
+
+    def test_wrong_magic_rejected(self):
+        data = self._data()
+        data["format"] = "gmon.out"
+        with self.assertRaises(ProfileFormatError):
+            profile_from_json(data)
+
+    def test_version_error_is_a_format_error(self):
+        # Callers catching the broad error keep working.
+        self.assertTrue(issubclass(ProfileVersionError, ProfileFormatError))
+
+    def test_missing_required_field_is_reported_by_name(self):
+        data = self._data()
+        del data["dictionary"]
+        with self.assertRaises(ProfileFormatError) as caught:
+            profile_from_json(data)
+        self.assertIn("dictionary", str(caught.exception))
+
+    def test_load_profile_of_non_object_rejected(self):
+        with self.assertRaises(ProfileFormatError):
+            load_profile(io.StringIO("[1, 2, 3]"))
+
+    def test_version_error_importable_from_top_level(self):
+        import repro
+
+        self.assertIs(repro.ProfileVersionError, ProfileVersionError)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,134 @@
+"""Exporter formats: JSONL, the human tree, and Chrome trace_event."""
+
+import json
+import os
+import unittest
+
+from repro.obs import (
+    FakeClock,
+    MetricsRegistry,
+    Tracer,
+    chrome_trace,
+    render_metrics,
+    render_tree,
+    spans_to_jsonl,
+    validate_chrome_trace,
+)
+
+
+def _sample_tracer() -> Tracer:
+    tracer = Tracer(clock=FakeClock())
+    with tracer.span("analyze", file="x.c"):
+        with tracer.span("compile"):
+            pass
+        with tracer.span("execute"):
+            tracer.annotate(instructions=42)
+    return tracer
+
+
+class TestJsonl(unittest.TestCase):
+    def test_one_object_per_line_in_start_order(self):
+        text = spans_to_jsonl(_sample_tracer())
+        lines = text.strip().splitlines()
+        objects = [json.loads(line) for line in lines]
+        self.assertEqual(
+            [o["name"] for o in objects], ["analyze", "compile", "execute"]
+        )
+        self.assertEqual(objects[1]["parent"], 0)
+        self.assertEqual(objects[2]["args"], {"instructions": 42})
+        self.assertTrue(text.endswith("\n"))
+
+    def test_empty_tracer_gives_empty_string(self):
+        self.assertEqual(spans_to_jsonl(Tracer(clock=FakeClock())), "")
+
+
+class TestRenderTree(unittest.TestCase):
+    def test_tree_shows_nesting_and_args(self):
+        text = render_tree(_sample_tracer())
+        lines = text.splitlines()
+        self.assertIn("analyze", lines[0])
+        self.assertTrue(lines[1].startswith("  compile"))
+        self.assertIn("[instructions=42]", lines[2])
+        self.assertIn("100.0%", lines[0])
+
+    def test_empty_tracer(self):
+        self.assertEqual(
+            render_tree(Tracer(clock=FakeClock())), "(no spans recorded)"
+        )
+
+
+class TestRenderMetrics(unittest.TestCase):
+    def test_counters_gauges_histograms_render(self):
+        registry = MetricsRegistry()
+        registry.counter("a.count").inc(1234)
+        registry.gauge("b.ratio").set(0.5)
+        registry.histogram("c.hist").record(2.0)
+        text = render_metrics(registry)
+        self.assertIn("a.count", text)
+        self.assertIn("1,234", text)
+        self.assertIn("b.ratio", text)
+        self.assertIn("count=1", text)
+
+    def test_empty_registry(self):
+        self.assertEqual(
+            render_metrics(MetricsRegistry()), "(no metrics recorded)"
+        )
+
+
+class TestChromeTrace(unittest.TestCase):
+    def test_schema_validates(self):
+        registry = MetricsRegistry()
+        registry.counter("fastpath.known_hits").inc(10)
+        document = chrome_trace(_sample_tracer(), registry)
+        self.assertEqual(validate_chrome_trace(document), [])
+
+    def test_structure(self):
+        registry = MetricsRegistry()
+        registry.counter("k").inc(3)
+        document = chrome_trace(_sample_tracer(), registry)
+        events = document["traceEvents"]
+        phases = [event["ph"] for event in events]
+        # metadata first, then the complete spans, counters, and summary
+        self.assertEqual(phases[0], "M")
+        self.assertEqual(phases.count("X"), 3)
+        self.assertEqual(phases.count("C"), 1)
+        span_events = [e for e in events if e["ph"] == "X"]
+        self.assertEqual(
+            [e["name"] for e in span_events],
+            ["analyze", "compile", "execute"],
+        )
+        for event in span_events:
+            self.assertEqual(event["cat"], "pipeline")
+            self.assertEqual(event["pid"], os.getpid())
+        counter = next(e for e in events if e["ph"] == "C")
+        self.assertEqual(counter["args"], {"value": 3})
+        summary = events[-1]
+        self.assertEqual(summary["ph"], "M")
+        self.assertEqual(summary["name"], "kremlin_metrics")
+        self.assertEqual(summary["args"]["counters"], {"k": 3})
+
+    def test_timestamps_are_microseconds(self):
+        document = chrome_trace(_sample_tracer())
+        execute = next(
+            e for e in document["traceEvents"] if e["name"] == "execute"
+        )
+        # FakeClock: execute spans ticks 3..4 seconds -> 3e6 us, 1e6 dur.
+        self.assertEqual(execute["ts"], 3_000_000.0)
+        self.assertEqual(execute["dur"], 1_000_000.0)
+
+    def test_document_is_json_serializable(self):
+        json.dumps(chrome_trace(_sample_tracer(), MetricsRegistry()))
+
+    def test_validator_catches_problems(self):
+        self.assertTrue(validate_chrome_trace("nope"))
+        self.assertTrue(validate_chrome_trace({}))
+        self.assertTrue(
+            validate_chrome_trace({"traceEvents": [{"ph": "Z"}]})
+        )
+        bad_event = {"ph": "X", "name": "x", "pid": 1, "tid": 0, "ts": -5}
+        problems = validate_chrome_trace({"traceEvents": [bad_event]})
+        self.assertTrue(any("bad ts" in p for p in problems))
+
+
+if __name__ == "__main__":
+    unittest.main()

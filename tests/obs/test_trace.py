@@ -1,0 +1,123 @@
+"""Span nesting, timing determinism, and the null tracer."""
+
+import unittest
+
+from repro.obs import (
+    NULL_TRACER,
+    FakeClock,
+    NullTracer,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    tracing,
+)
+
+
+class TestSpanNesting(unittest.TestCase):
+    def test_nested_spans_record_parent_and_depth(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+            with tracer.span("sibling"):
+                pass
+        outer, inner, sibling = tracer.spans
+        self.assertEqual(outer.name, "outer")
+        self.assertIsNone(outer.parent)
+        self.assertEqual(outer.depth, 0)
+        self.assertEqual(inner.parent, outer.index)
+        self.assertEqual(inner.depth, 1)
+        self.assertEqual(sibling.parent, outer.index)
+        self.assertEqual(sibling.depth, 1)
+
+    def test_fake_clock_timing_is_deterministic(self):
+        def run_once():
+            tracer = Tracer(clock=FakeClock())
+            with tracer.span("a"):
+                with tracer.span("b"):
+                    pass
+            return [
+                (s.name, s.index, s.start, s.end) for s in tracer.spans
+            ]
+
+        first, second = run_once(), run_once()
+        self.assertEqual(first, second)
+        # FakeClock ticks once per start/stop: a opens at 0, b spans 1-2,
+        # a closes at 3.
+        self.assertEqual(first, [("a", 0, 0.0, 3.0), ("b", 1, 1.0, 2.0)])
+
+    def test_duration_and_finished_spans(self):
+        tracer = Tracer(clock=FakeClock(step=2.0))
+        context = tracer.span("open-ended")
+        context.__enter__()
+        with tracer.span("closed"):
+            pass
+        self.assertEqual([s.name for s in tracer.finished_spans()], ["closed"])
+        self.assertEqual(tracer.spans[1].duration, 2.0)
+
+    def test_exception_is_recorded_on_the_span(self):
+        tracer = Tracer(clock=FakeClock())
+        with self.assertRaises(ValueError):
+            with tracer.span("bad"):
+                raise ValueError("boom")
+        (span,) = tracer.spans
+        self.assertIsNotNone(span.end)
+        self.assertEqual(span.args["error"], "ValueError: boom")
+
+    def test_annotate_targets_innermost_open_span(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                tracer.annotate(rows=7)
+        outer, inner = tracer.spans
+        self.assertNotIn("rows", outer.args)
+        self.assertEqual(inner.args["rows"], 7)
+
+    def test_span_args_kwargs(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("stage", file="x.c") as span:
+            span.args["count"] = 3
+        self.assertEqual(tracer.spans[0].args, {"file": "x.c", "count": 3})
+
+
+class TestNullTracer(unittest.TestCase):
+    def test_null_tracer_is_inert(self):
+        tracer = NullTracer()
+        with tracer.span("anything", key="value") as span:
+            tracer.annotate(ignored=True)
+            span.args["dropped"] = 1  # swallowed by design
+        self.assertEqual(tracer.finished_spans(), [])
+        self.assertFalse(tracer.enabled)
+
+    def test_null_span_context_is_cached(self):
+        self.assertIs(
+            NULL_TRACER.span("a"), NULL_TRACER.span("b"),
+            "disabled tracing must reuse one no-op context manager",
+        )
+
+
+class TestGlobalInstallation(unittest.TestCase):
+    def test_default_is_the_null_tracer(self):
+        self.assertIs(get_tracer(), NULL_TRACER)
+
+    def test_tracing_context_installs_and_restores(self):
+        with tracing(clock=FakeClock()) as tracer:
+            self.assertIs(get_tracer(), tracer)
+            with get_tracer().span("seen"):
+                pass
+        self.assertIs(get_tracer(), NULL_TRACER)
+        self.assertEqual([s.name for s in tracer.spans], ["seen"])
+
+    def test_set_tracer_returns_previous(self):
+        tracer = Tracer(clock=FakeClock())
+        previous = set_tracer(tracer)
+        try:
+            self.assertIs(previous, NULL_TRACER)
+            self.assertIs(get_tracer(), tracer)
+        finally:
+            set_tracer(previous)
+        self.assertIs(get_tracer(), NULL_TRACER)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,179 @@
+"""The repro.api session facade, the deprecation shim, and the planner
+registry."""
+
+import dataclasses
+import json
+import unittest
+import warnings
+
+import repro
+from repro import (
+    CompileOptions,
+    KremlinSession,
+    PlanOptions,
+    ProfileOptions,
+    analyze,
+    analyze_with_options,
+    available_personalities,
+    create_planner,
+    register_personality,
+)
+from repro.hcpa.serialize import profile_to_json
+from repro.planner.openmp import OpenMPPlanner
+from repro.planner.registry import planner_class, unregister_personality
+
+SOURCE = """
+int main() {
+  int s = 0;
+  for (int i = 0; i < 12; i = i + 1) {
+    s = s + i;
+  }
+  return s;
+}
+"""
+
+
+class TestFrozenOptions(unittest.TestCase):
+    def test_options_are_frozen(self):
+        for options in (CompileOptions(), ProfileOptions(), PlanOptions()):
+            with self.assertRaises(dataclasses.FrozenInstanceError):
+                options.anything = 1
+
+    def test_defaults(self):
+        self.assertEqual(CompileOptions().filename, "<input>")
+        profile = ProfileOptions()
+        self.assertEqual(profile.entry, "main")
+        self.assertEqual(profile.engine, "bytecode")
+        self.assertIsNone(profile.max_depth)
+        plan = PlanOptions()
+        self.assertEqual(plan.personality, "openmp")
+        self.assertEqual(plan.exclude, frozenset())
+
+
+class TestKremlinSession(unittest.TestCase):
+    def test_session_analyze_matches_legacy_analyze(self):
+        session_report = KremlinSession(
+            compile_options=CompileOptions(filename="prog.c")
+        ).analyze(SOURCE)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy_report = analyze(SOURCE, filename="prog.c")
+        self.assertEqual(
+            json.dumps(profile_to_json(session_report.profile)),
+            json.dumps(profile_to_json(legacy_report.profile)),
+        )
+        self.assertEqual(
+            session_report.plan.program_name, legacy_report.plan.program_name
+        )
+        self.assertEqual(session_report.run.value, legacy_report.run.value)
+
+    def test_phase_methods_compose(self):
+        session = KremlinSession()
+        program = session.compile(SOURCE)
+        profile, run = session.profile(program)
+        aggregated = session.aggregate(profile)
+        plan = session.plan(aggregated)
+        self.assertEqual(run.value, sum(range(12)))
+        self.assertGreater(profile.instructions_retired, 0)
+        self.assertIsNotNone(plan)
+
+    def test_tree_engine_via_options(self):
+        report = KremlinSession(
+            profile_options=ProfileOptions(engine="tree")
+        ).analyze(SOURCE)
+        baseline = KremlinSession().analyze(SOURCE)
+        self.assertEqual(
+            json.dumps(profile_to_json(report.profile)),
+            json.dumps(profile_to_json(baseline.profile)),
+        )
+
+    def test_analyze_with_options(self):
+        report = analyze_with_options(
+            SOURCE, plan_options=PlanOptions(personality="gprof")
+        )
+        self.assertEqual(report.plan.personality, "gprof")
+
+    def test_replan_switches_personality_without_rerunning(self):
+        report = KremlinSession().analyze(SOURCE)
+        cilk_plan = report.replan(personality="cilk")
+        self.assertEqual(cilk_plan.personality, "cilk")
+        self.assertEqual(report.plan.personality, "openmp")
+
+
+class TestDeprecationShim(unittest.TestCase):
+    def test_plain_analyze_is_warning_free(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            report = analyze(SOURCE)
+        self.assertEqual(report.run.value, sum(range(12)))
+
+    def test_legacy_kwargs_warn(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            analyze(SOURCE, personality="gprof", filename="old.c")
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        self.assertEqual(len(deprecations), 1)
+        message = str(deprecations[0].message)
+        self.assertIn("filename", message)
+        self.assertIn("personality", message)
+        self.assertIn("KremlinSession", message)
+
+    def test_legacy_kwargs_still_work(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            report = analyze(SOURCE, filename="old.c", personality="cilk")
+        self.assertEqual(report.plan.program_name, "old.c")
+        self.assertEqual(report.plan.personality, "cilk")
+
+    def test_make_planner_still_exported(self):
+        self.assertIsInstance(repro.make_planner("openmp"), OpenMPPlanner)
+
+
+class TestPlannerRegistry(unittest.TestCase):
+    def test_builtins_are_registered(self):
+        self.assertEqual(
+            available_personalities(),
+            sorted(["openmp", "cilk", "gprof", "sp-filter"]),
+        )
+
+    def test_lookup_and_create(self):
+        self.assertIs(planner_class("openmp"), OpenMPPlanner)
+        self.assertIsInstance(create_planner("openmp"), OpenMPPlanner)
+
+    def test_unknown_personality_lists_choices(self):
+        with self.assertRaises(ValueError) as caught:
+            create_planner("nope")
+        self.assertIn("unknown personality 'nope'", str(caught.exception))
+        self.assertIn("openmp", str(caught.exception))
+
+    def test_register_custom_personality(self):
+        class EverythingPlanner(OpenMPPlanner):
+            pass
+
+        register_personality("everything", EverythingPlanner)
+        try:
+            self.assertIn("everything", available_personalities())
+            report = KremlinSession(
+                plan_options=PlanOptions(personality="everything")
+            ).analyze(SOURCE)
+            self.assertIsNotNone(report.plan)
+        finally:
+            unregister_personality("everything")
+        self.assertNotIn("everything", available_personalities())
+
+    def test_duplicate_registration_rejected(self):
+        with self.assertRaises(ValueError):
+            register_personality("openmp", OpenMPPlanner)
+        # ... unless replace is explicit.
+        register_personality("openmp", OpenMPPlanner, replace=True)
+        self.assertIs(planner_class("openmp"), OpenMPPlanner)
+
+    def test_non_planner_rejected(self):
+        with self.assertRaises(TypeError):
+            register_personality("bogus", dict)
+
+
+if __name__ == "__main__":
+    unittest.main()
