@@ -4,6 +4,14 @@ These passes play the role of LLVM's analyses in the paper's toolchain:
 dominators and natural loops (region structure validation), postdominators
 and control dependence (the static half of Kremlin's control-dependence
 tracking, §4.1), and induction/reduction detection (dependence breaking).
+
+On top of that scaffolding sits the static loop-dependence analyzer
+(:mod:`~repro.analysis.dataflow`, :mod:`~repro.analysis.dependence`,
+:mod:`~repro.analysis.verdict`) and the lint framework
+(:mod:`~repro.analysis.lint`), driven per-module by
+:func:`~repro.analysis.driver.analyze_module`. The analyzer confirms,
+refutes, or qualifies every region the dynamic planner ranks — see
+docs/ANALYSIS.md.
 """
 
 from repro.analysis.cfg import (
@@ -16,26 +24,92 @@ from repro.analysis.control_dependence import (
     ControlDependenceInfo,
     compute_control_dependence,
 )
+from repro.analysis.dataflow import (
+    Definition,
+    ReachingDefinitions,
+    definitions_in_loop,
+    upward_exposed_registers,
+)
+from repro.analysis.dependence import (
+    DepClass,
+    LoopDependenceInfo,
+    analyze_function_dependences,
+    function_purity,
+    may_alias,
+)
 from repro.analysis.dominators import (
     DominatorTree,
     dominator_tree,
     postdominator_tree,
 )
+from repro.analysis.driver import (
+    FunctionAnalysis,
+    ModuleAnalysis,
+    analyze_module,
+    analyze_program,
+)
 from repro.analysis.induction import detect_ir_dep_breaks
+from repro.analysis.lint import (
+    RULES,
+    Diagnostic,
+    LintContext,
+    Severity,
+    rule,
+    run_lint,
+)
 from repro.analysis.loops import Loop, LoopForest, find_natural_loops
+from repro.analysis.verdict import (
+    UNKNOWN_TAG,
+    DependenceWitness,
+    RegionVerdict,
+    Verdict,
+    tag_is_safe,
+    tag_rank,
+    tag_reduction_vars,
+    tag_refutes_doall,
+    tag_verdict,
+)
 
 __all__ = [
+    "RULES",
+    "UNKNOWN_TAG",
     "ControlDependenceInfo",
+    "Definition",
+    "DepClass",
+    "DependenceWitness",
+    "Diagnostic",
     "DominatorTree",
+    "FunctionAnalysis",
+    "LintContext",
     "Loop",
+    "LoopDependenceInfo",
     "LoopForest",
+    "ModuleAnalysis",
+    "ReachingDefinitions",
+    "RegionVerdict",
+    "Severity",
+    "Verdict",
+    "analyze_function_dependences",
+    "analyze_module",
+    "analyze_program",
     "compute_control_dependence",
+    "definitions_in_loop",
     "detect_ir_dep_breaks",
     "dominator_tree",
     "find_natural_loops",
+    "function_purity",
+    "may_alias",
     "postdominator_tree",
     "postorder",
     "predecessor_map",
     "reachable_blocks",
     "reverse_postorder",
+    "rule",
+    "run_lint",
+    "tag_is_safe",
+    "tag_rank",
+    "tag_reduction_vars",
+    "tag_refutes_doall",
+    "tag_verdict",
+    "upward_exposed_registers",
 ]

@@ -1,0 +1,164 @@
+"""The static-analysis driver: one call analyzes a whole module.
+
+:func:`analyze_module` runs reaching definitions, the loop dependence
+classifier, and (optionally) lint over every function, then maps each
+natural loop's verdict onto the static region tree: the loop header's
+``region_id`` names the innermost region containing the header — the LOOP
+region itself for ``while``/``for`` loops, or the BODY region for
+``do``-style rotated loops, in which case the driver walks ``parent_id``
+up to the enclosing LOOP. The resulting verdict *tags* are stamped onto
+:class:`~repro.instrument.regions.StaticRegion.verdict` so they travel
+with the profile (serialization, merging, planning, reports).
+
+Observability: the whole pass runs under a ``static-analysis`` span with
+``dataflow`` / ``dependence`` / ``lint`` children, and feeds
+``analysis.*`` counters when metrics collection is on.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.analysis.dataflow import ReachingDefinitions
+from repro.analysis.dependence import (
+    LoopDependenceInfo,
+    analyze_function_dependences,
+    function_purity,
+)
+from repro.analysis.lint import Diagnostic, LintContext, run_lint
+from repro.analysis.verdict import RegionVerdict, Verdict
+from repro.instrument.regions import StaticRegionTree
+from repro.ir.module import Module
+from repro.obs.metrics import get_metrics, metrics_enabled
+from repro.obs.trace import get_tracer
+
+
+@dataclass
+class FunctionAnalysis:
+    """Per-function analysis artifacts."""
+
+    name: str
+    reaching: ReachingDefinitions
+    loops: list[LoopDependenceInfo] = field(default_factory=list)
+
+
+@dataclass
+class ModuleAnalysis:
+    """Everything the static analyzer learned about one module."""
+
+    functions: dict[str, FunctionAnalysis] = field(default_factory=dict)
+    #: LOOP region id -> verdict (only loops the analyzer resolved)
+    verdicts: dict[int, RegionVerdict] = field(default_factory=dict)
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    #: analyzer wall time in seconds (bench_suite records this)
+    elapsed: float = 0.0
+
+    def verdict_for(self, region_id: int) -> RegionVerdict | None:
+        return self.verdicts.get(region_id)
+
+    def loop_infos(self) -> list[LoopDependenceInfo]:
+        out: list[LoopDependenceInfo] = []
+        for analysis in self.functions.values():
+            out.extend(analysis.loops)
+        return out
+
+
+def resolve_loop_region(
+    regions: StaticRegionTree | None, info: LoopDependenceInfo
+) -> int | None:
+    """Resolve a natural loop to its LOOP region id, walking BODY regions
+    up to their loop (rotated do-while headers live in the body region)."""
+    if regions is None or info.region_id < 0:
+        return None
+    if info.region_id >= len(regions):
+        return None
+    region = regions.region(info.region_id)
+    while region is not None and not region.is_loop:
+        if region.parent_id is None:
+            return None
+        region = regions.region(region.parent_id)
+    return region.id if region is not None else None
+
+
+def analyze_module(module: Module, lint: bool = True) -> ModuleAnalysis:
+    """Run the full static-analysis stack over ``module``.
+
+    Stamps verdict tags onto the module's region tree as a side effect and
+    returns the detailed :class:`ModuleAnalysis`.
+    """
+    tracer = get_tracer()
+    start = time.perf_counter()
+    analysis = ModuleAnalysis()
+    with tracer.span("static-analysis", functions=len(module.functions)):
+        with tracer.span("dataflow"):
+            reaching = {
+                name: ReachingDefinitions(function)
+                for name, function in module.functions.items()
+            }
+        with tracer.span("dependence") as span:
+            purity = function_purity(module)
+            loop_count = 0
+            for name, function in module.functions.items():
+                infos = analyze_function_dependences(
+                    function, module, rd=reaching[name], purity=purity
+                )
+                loop_count += len(infos)
+                analysis.functions[name] = FunctionAnalysis(
+                    name=name, reaching=reaching[name], loops=infos
+                )
+            span.args["loops"] = loop_count
+        _stamp_verdicts(module.regions, analysis)
+        if lint:
+            with tracer.span("lint") as span:
+                context = LintContext(
+                    module=module,
+                    reaching=reaching,
+                    dependences={
+                        name: fa.loops
+                        for name, fa in analysis.functions.items()
+                    },
+                )
+                analysis.diagnostics = run_lint(context)
+                span.args["diagnostics"] = len(analysis.diagnostics)
+    analysis.elapsed = time.perf_counter() - start
+
+    if metrics_enabled():
+        metrics = get_metrics()
+        metrics.counter("analysis.functions").inc(len(analysis.functions))
+        metrics.counter("analysis.loops").inc(
+            sum(len(fa.loops) for fa in analysis.functions.values())
+        )
+        for verdict in analysis.verdicts.values():
+            name = verdict.verdict.value.lower()
+            metrics.counter(f"analysis.verdicts.{name}").inc()
+        metrics.counter("analysis.diagnostics").inc(
+            len(analysis.diagnostics)
+        )
+        metrics.histogram("analysis.seconds").record(analysis.elapsed)
+    return analysis
+
+
+def _stamp_verdicts(
+    regions: StaticRegionTree | None, analysis: ModuleAnalysis
+) -> None:
+    for info in analysis.loop_infos():
+        region_id = resolve_loop_region(regions, info)
+        if region_id is None:
+            continue
+        verdict = info.verdict
+        existing = analysis.verdicts.get(region_id)
+        if existing is not None and existing.rank <= verdict.rank:
+            continue  # keep the least-safe verdict for shared regions
+        analysis.verdicts[region_id] = verdict
+        if regions is not None:
+            regions.region(region_id).verdict = verdict.tag
+
+
+def analyze_program(program) -> ModuleAnalysis:
+    """Convenience wrapper for a :class:`CompiledProgram`."""
+    return analyze_module(program.module)
+
+
+def unknown_verdict() -> RegionVerdict:
+    return RegionVerdict(Verdict.UNKNOWN)

@@ -1,0 +1,319 @@
+"""Pluggable lint framework over the IR and the dependence analysis.
+
+A *rule* is a function registered with :func:`rule` that inspects one
+function (plus the module-level :class:`LintContext`) and yields
+:class:`Diagnostic` objects. Diagnostics render exactly like the front
+end's :class:`~repro.frontend.errors.MiniCError` — a
+``file:line:col: severity: message`` header followed by the offending
+source line and a caret when the source text is available — so
+``kremlin check`` output reads like compiler output.
+
+Built-in rules:
+
+``loop-carried-dependence``
+    Surfaces every dependence witness the classifier found in a loop whose
+    verdict is ``DOACROSS_ONLY`` or ``UNSAFE``, with the witness chain
+    attached as notes.
+``unused-result``
+    An instruction computes a value nobody reads (calls are exempt — they
+    may be evaluated for effect; so are region markers and allocas).
+``write-never-read``
+    A named source variable (or global) is assigned but its value is never
+    read anywhere in the function (module, for globals).
+``loop-invariant-store``
+    A store inside a loop whose address and value are both loop-invariant:
+    every iteration rewrites the same cell with the same value — the store
+    belongs outside the loop (and it blocks DOALL).
+
+New rules register themselves with the decorator; see docs/ANALYSIS.md.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator
+
+from repro.analysis.dataflow import ReachingDefinitions
+from repro.analysis.dependence import LoopDependenceInfo
+from repro.analysis.verdict import DependenceWitness, Verdict
+from repro.frontend.source import SourceFile, SourceSpan
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Alloca,
+    Call,
+    Copy,
+    Load,
+    RegionEnter,
+    RegionExit,
+    Store,
+)
+from repro.ir.module import Module
+from repro.ir.values import GlobalRef, Register
+
+
+class Severity(enum.Enum):
+    NOTE = "note"
+    WARNING = "warning"
+    ERROR = "error"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass
+class Diagnostic:
+    """One lint finding, rendered like the front end's error formatter."""
+
+    rule: str
+    severity: Severity
+    message: str
+    span: SourceSpan | None = None
+    #: secondary locations, e.g. the hops of a dependence witness chain
+    notes: list[tuple[str, SourceSpan]] = field(default_factory=list)
+
+    def render(self, source: SourceFile | None = None) -> str:
+        if self.span is None:
+            header = f"{self.severity}: {self.message} [{self.rule}]"
+        else:
+            header = (
+                f"{self.span.filename}:{self.span.start}: "
+                f"{self.severity}: {self.message} [{self.rule}]"
+            )
+        lines = [header]
+        if source is not None and self.span is not None:
+            try:
+                text = source.line_text(self.span.start.line)
+            except ValueError:
+                text = None
+            if text is not None:
+                caret = " " * (self.span.start.column - 1) + "^"
+                lines.append(f"  {text}")
+                lines.append(f"  {caret}")
+        for role, span in self.notes:
+            lines.append(f"  {span.filename}:{span.start}: note: {role}")
+        return "\n".join(lines)
+
+    @property
+    def sort_key(self) -> tuple:
+        if self.span is None:
+            return ("", 0, 0, self.rule, self.message)
+        return (
+            self.span.filename,
+            self.span.start.line,
+            self.span.start.column,
+            self.rule,
+            self.message,
+        )
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+@dataclass
+class LintContext:
+    """Everything a rule may consult, precomputed once per module."""
+
+    module: Module
+    #: per-function reaching definitions
+    reaching: dict[str, ReachingDefinitions]
+    #: per-function loop dependence info (innermost-first)
+    dependences: dict[str, list[LoopDependenceInfo]]
+
+
+RuleFn = Callable[[Function, LintContext], Iterable[Diagnostic]]
+
+#: rule name -> implementation; populated by the :func:`rule` decorator.
+RULES: dict[str, RuleFn] = {}
+
+
+def rule(name: str) -> Callable[[RuleFn], RuleFn]:
+    """Register a lint rule under ``name`` (last registration wins)."""
+
+    def decorate(fn: RuleFn) -> RuleFn:
+        RULES[name] = fn
+        return fn
+
+    return decorate
+
+
+def run_lint(
+    context: LintContext, rules: Iterable[str] | None = None
+) -> list[Diagnostic]:
+    """Run the named rules (default: all registered) over every function,
+    returning diagnostics sorted by source position."""
+    selected = list(RULES) if rules is None else list(rules)
+    diagnostics: list[Diagnostic] = []
+    for name in selected:
+        fn = RULES[name]
+        for function in context.module.functions.values():
+            diagnostics.extend(fn(function, context))
+    diagnostics.sort(key=lambda d: d.sort_key)
+    return diagnostics
+
+
+# ----------------------------------------------------------------------
+# Built-in rules
+# ----------------------------------------------------------------------
+
+
+@rule("loop-carried-dependence")
+def _loop_carried_dependence(
+    function: Function, context: LintContext
+) -> Iterator[Diagnostic]:
+    for info in context.dependences.get(function.name, []):
+        verdict = info.verdict
+        if verdict.verdict not in (Verdict.DOACROSS_ONLY, Verdict.UNSAFE):
+            continue
+        severity = (
+            Severity.ERROR
+            if verdict.verdict is Verdict.UNSAFE
+            else Severity.WARNING
+        )
+        for witness in verdict.witnesses:
+            yield Diagnostic(
+                rule="loop-carried-dependence",
+                severity=severity,
+                message=(
+                    f"loop in '{function.name}' is not DOALL-safe: "
+                    f"{witness.description}"
+                ),
+                span=_witness_span(witness),
+                notes=list(witness.chain),
+            )
+
+
+def _witness_span(witness: DependenceWitness) -> SourceSpan | None:
+    return witness.chain[0][1] if witness.chain else None
+
+
+@rule("unused-result")
+def _unused_result(
+    function: Function, context: LintContext
+) -> Iterator[Diagnostic]:
+    rd = context.reaching[function.name]
+    for block in function.blocks:
+        for instr in block.instructions:
+            if instr.result is None:
+                continue
+            if isinstance(
+                instr, (Call, Copy, Alloca, RegionEnter, RegionExit)
+            ):
+                # Calls run for effect; copies are variable assignments
+                # (write-never-read covers those); allocas declare storage.
+                continue
+            used = any(
+                rd.uses_of.get(d)
+                for d in rd.defs_of.get(instr.result, [])
+                if d.instr is instr
+            )
+            if not used:
+                yield Diagnostic(
+                    rule="unused-result",
+                    severity=Severity.WARNING,
+                    message=(
+                        f"result of this '{instr.opcode}' is never used"
+                    ),
+                    span=instr.span,
+                )
+
+
+@rule("write-never-read")
+def _write_never_read(
+    function: Function, context: LintContext
+) -> Iterator[Diagnostic]:
+    rd = context.reaching[function.name]
+    # Named source variables: every def is a Copy (assignment); flag the
+    # variable when no def is ever read.
+    seen: set[Register] = set()
+    for block in function.blocks:
+        for instr in block.instructions:
+            if not isinstance(instr, Copy) or instr.result is None:
+                continue
+            register = instr.result
+            if register in seen or not register.name:
+                continue
+            seen.add(register)
+            defs = rd.defs_of.get(register, [])
+            if any(d.is_parameter for d in defs):
+                continue
+            if any(rd.uses_of.get(d) for d in defs):
+                continue
+            yield Diagnostic(
+                rule="write-never-read",
+                severity=Severity.WARNING,
+                message=(
+                    f"variable '{register.name}' is assigned but its "
+                    "value is never read"
+                ),
+                span=instr.span,
+            )
+
+
+def _module_global_reads(module: Module) -> set[str]:
+    reads: set[str] = set()
+    for function in module.functions.values():
+        for block in function.blocks:
+            for instr in block.instructions:
+                if isinstance(instr, Load) and isinstance(
+                    instr.mem, GlobalRef
+                ):
+                    reads.add(instr.mem.name)
+    return reads
+
+
+@rule("global-write-never-read")
+def _global_write_never_read(
+    function: Function, context: LintContext
+) -> Iterator[Diagnostic]:
+    # Report once, from the module's first function, to avoid duplicates.
+    first = next(iter(context.module.functions.values()), None)
+    if function is not first:
+        return
+    reads = _module_global_reads(context.module)
+    reported: set[str] = set()
+    for fn in context.module.functions.values():
+        for block in fn.blocks:
+            for instr in block.instructions:
+                if not isinstance(instr, Store):
+                    continue
+                if not isinstance(instr.mem, GlobalRef):
+                    continue
+                name = instr.mem.name
+                if name in reads or name in reported:
+                    continue
+                reported.add(name)
+                yield Diagnostic(
+                    rule="global-write-never-read",
+                    severity=Severity.WARNING,
+                    message=(
+                        f"global '{name}' is written but never read"
+                    ),
+                    span=instr.span,
+                )
+
+
+@rule("loop-invariant-store")
+def _loop_invariant_store(
+    function: Function, context: LintContext
+) -> Iterator[Diagnostic]:
+    for info in context.dependences.get(function.name, []):
+        for witness in info.verdict.witnesses:
+            if witness.kind != "invariant-address":
+                continue
+            store_spans = [
+                span
+                for role, span in witness.chain
+                if role.startswith("store")
+            ]
+            if not store_spans:
+                continue
+            yield Diagnostic(
+                rule="loop-invariant-store",
+                severity=Severity.NOTE,
+                message=(
+                    "store writes the same address in every iteration "
+                    "of the enclosing loop"
+                ),
+                span=store_spans[0],
+            )

@@ -1,0 +1,166 @@
+"""The static DOALL-safety verdict lattice.
+
+The dependence classifier (:mod:`repro.analysis.dependence`) condenses
+everything it learns about one loop into a single :class:`RegionVerdict`:
+
+* ``SAFE_DOALL`` — no loop-carried dependence of any kind: every scalar
+  written in the loop is private, an induction variable, or a reduction
+  (and there are none of the latter), every memory access pair passes the
+  conservative subscript test, and the loop has no side-effecting calls
+  or early exits.
+* ``SAFE_WITH_REDUCTION(vars)`` — parallelizable after privatizing the
+  named reduction accumulators (OpenMP ``reduction(...)`` clauses).
+* ``DOACROSS_ONLY`` — a *characterized* cross-iteration dependence exists
+  (a scalar recurrence, a constant-distance array dependence, or a
+  data-dependent early exit); the loop can still be pipelined.
+* ``UNSAFE`` — an *uncharacterized* dependence may exist: a non-affine or
+  indirect subscript, a may-alias between distinct objects, or an impure
+  call. Every ``UNSAFE``/``DOACROSS_ONLY`` verdict carries at least one
+  :class:`DependenceWitness` chain with source locations.
+* ``UNKNOWN`` — not analyzed (non-loop regions, or profiles loaded from a
+  build that predates the analyzer).
+
+Verdicts travel as compact string *tags* (``doall``, ``reduction(x,y)``,
+``doacross``, ``unsafe``, ``?``) so they fit in a profile file and a plan
+table column without dragging the witness objects along.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.frontend.source import SourceSpan
+
+
+class Verdict(enum.Enum):
+    SAFE_DOALL = "SAFE_DOALL"
+    SAFE_WITH_REDUCTION = "SAFE_WITH_REDUCTION"
+    DOACROSS_ONLY = "DOACROSS_ONLY"
+    UNSAFE = "UNSAFE"
+    UNKNOWN = "UNKNOWN"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: lattice rank: higher = safer. UNKNOWN ranks lowest so "no information"
+#: never strengthens a claim.
+_RANKS = {
+    Verdict.SAFE_DOALL: 4,
+    Verdict.SAFE_WITH_REDUCTION: 3,
+    Verdict.DOACROSS_ONLY: 2,
+    Verdict.UNSAFE: 1,
+    Verdict.UNKNOWN: 0,
+}
+
+#: tag for an unanalyzed region (also the default for profiles written by
+#: builds without the analyzer)
+UNKNOWN_TAG = "?"
+
+
+@dataclass
+class DependenceWitness:
+    """A concrete dependence chain: why a loop is not (fully) safe.
+
+    ``chain`` is an ordered list of ``(role, span)`` pairs — e.g. the
+    writing access followed by the reading access — rendered with
+    ``file:line:col`` locations like the front end's diagnostics.
+    """
+
+    kind: str  # e.g. 'scalar-recurrence', 'array-dep', 'may-alias', ...
+    description: str
+    chain: list[tuple[str, SourceSpan]] = field(default_factory=list)
+    #: constant iteration distance when known (None = unknown distance)
+    distance: int | None = None
+
+    def render(self) -> str:
+        lines = [f"{self.kind}: {self.description}"]
+        for role, span in self.chain:
+            lines.append(f"  {span.filename}:{span.start}: {role}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+@dataclass
+class RegionVerdict:
+    """The verdict for one static (loop) region, with its evidence."""
+
+    verdict: Verdict
+    #: source names of reduction accumulators (for SAFE_WITH_REDUCTION)
+    reduction_vars: tuple[str, ...] = ()
+    witnesses: list[DependenceWitness] = field(default_factory=list)
+
+    @property
+    def rank(self) -> int:
+        return _RANKS[self.verdict]
+
+    @property
+    def is_safe(self) -> bool:
+        """Safe to run as DOALL (possibly with reduction clauses)."""
+        return self.verdict in (
+            Verdict.SAFE_DOALL,
+            Verdict.SAFE_WITH_REDUCTION,
+        )
+
+    @property
+    def tag(self) -> str:
+        """Compact serializable form (shown in plan tables)."""
+        if self.verdict is Verdict.SAFE_DOALL:
+            return "doall"
+        if self.verdict is Verdict.SAFE_WITH_REDUCTION:
+            return f"reduction({','.join(self.reduction_vars)})"
+        if self.verdict is Verdict.DOACROSS_ONLY:
+            return "doacross"
+        if self.verdict is Verdict.UNSAFE:
+            return "unsafe"
+        return UNKNOWN_TAG
+
+    def describe(self) -> str:
+        text = str(self.verdict)
+        if self.verdict is Verdict.SAFE_WITH_REDUCTION:
+            text += f"({', '.join(self.reduction_vars)})"
+        return text
+
+    def __str__(self) -> str:
+        return self.describe()
+
+
+def tag_verdict(tag: str) -> Verdict:
+    """Decode a compact tag back into its lattice point."""
+    if tag == "doall":
+        return Verdict.SAFE_DOALL
+    if tag.startswith("reduction(") and tag.endswith(")"):
+        return Verdict.SAFE_WITH_REDUCTION
+    if tag == "doacross":
+        return Verdict.DOACROSS_ONLY
+    if tag == "unsafe":
+        return Verdict.UNSAFE
+    return Verdict.UNKNOWN
+
+
+def tag_reduction_vars(tag: str) -> tuple[str, ...]:
+    """Reduction accumulator names encoded in a ``reduction(...)`` tag."""
+    if not (tag.startswith("reduction(") and tag.endswith(")")):
+        return ()
+    inner = tag[len("reduction(") : -1]
+    return tuple(name for name in inner.split(",") if name)
+
+
+def tag_rank(tag: str) -> int:
+    """Lattice rank of a compact tag (higher = safer)."""
+    return _RANKS[tag_verdict(tag)]
+
+
+def tag_is_safe(tag: str) -> bool:
+    return tag_verdict(tag) in (
+        Verdict.SAFE_DOALL,
+        Verdict.SAFE_WITH_REDUCTION,
+    )
+
+
+def tag_refutes_doall(tag: str) -> bool:
+    """True when the static verdict contradicts a dynamic DOALL claim."""
+    return tag_verdict(tag) in (Verdict.DOACROSS_ONLY, Verdict.UNSAFE)

@@ -169,6 +169,14 @@ class KremlinSession:
                 source, options.filename, cost_model=options.cost_model
             )
 
+    def check(self, source: str):
+        """Static analysis only: compile (no execution) and return the
+        :class:`~repro.analysis.driver.ModuleAnalysis` with per-loop
+        DOALL-safety verdicts and lint diagnostics."""
+        program = self.compile(source)
+        assert program.analysis is not None
+        return program.analysis
+
     def profile(
         self, program: CompiledProgram
     ) -> tuple[ParallelismProfile, RunResult]:

@@ -39,6 +39,8 @@ class SweepResult:
     total_cost: int
     #: worker-side wall-clock seconds for compile+profile
     elapsed: float = field(default=0.0)
+    #: seconds the static dependence analyzer took during compile
+    analysis_seconds: float = field(default=0.0)
     #: pid of the worker process that profiled this benchmark
     worker: int = 0
 
@@ -74,6 +76,9 @@ def _profile_worker(name: str) -> dict:
         "instructions_retired": run.instructions_retired,
         "total_cost": run.total_cost,
         "elapsed": time.perf_counter() - started,
+        "analysis_seconds": (
+            program.analysis.elapsed if program.analysis is not None else 0.0
+        ),
         "worker": os.getpid(),
     }
 
@@ -94,6 +99,7 @@ def _rebuild(payload: dict) -> SweepResult:
         instructions_retired=payload["instructions_retired"],
         total_cost=payload["total_cost"],
         elapsed=payload["elapsed"],
+        analysis_seconds=payload.get("analysis_seconds", 0.0),
         worker=payload.get("worker", 0),
     )
 
@@ -152,11 +158,16 @@ def _record_sweep_metrics(
     registry = get_metrics()
     registry.counter("bench.programs").inc(len(results))
     histogram = registry.histogram("bench.elapsed_seconds")
+    analysis_histogram = registry.histogram("bench.analysis_seconds")
     for result in results:
         registry.counter("bench.instructions").inc(
             result.instructions_retired
         )
         histogram.record(result.elapsed)
+        analysis_histogram.record(result.analysis_seconds)
+        registry.gauge(f"bench.{result.name}.analysis_seconds").set(
+            round(result.analysis_seconds, 4)
+        )
     registry.gauge("bench.jobs").set(jobs)
     registry.gauge("bench.wall_seconds").set(round(wall_elapsed, 4))
     for worker, busy, share in worker_utilization(results, wall_elapsed):

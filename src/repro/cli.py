@@ -63,6 +63,9 @@ def main(argv: list[str] | None = None) -> int:
         # `kremlin trace`: run the full pipeline under a tracer and emit a
         # Chrome trace_event document (load in about:tracing or Perfetto).
         return _trace_main(argv[1:])
+    if argv and argv[0] == "check":
+        # `kremlin check`: static dependence analysis + lint, no execution.
+        return _check_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="kremlin",
         description=(
@@ -320,6 +323,87 @@ def _plan_from_profile(options) -> int:
         print()
         print(format_flat_profile(aggregated))
     return 0
+
+
+def _check_main(argv: list[str]) -> int:
+    """``kremlin check``: run the static analyzer and lint standalone.
+
+    Compiles each source (no execution), prints per-loop DOALL-safety
+    verdicts and lint diagnostics rendered like compiler errors. Exit
+    status 1 on compile errors, 2 when any ERROR-severity diagnostic
+    fires, 0 otherwise.
+    """
+    from repro.analysis import Severity
+    from repro.frontend.source import SourceFile
+
+    parser = argparse.ArgumentParser(
+        prog="kremlin check",
+        description=(
+            "Statically analyze a MiniC program: loop dependence "
+            "classification, DOALL-safety verdicts, and lint diagnostics."
+        ),
+    )
+    parser.add_argument("sources", nargs="+", help="MiniC source file(s)")
+    parser.add_argument(
+        "--no-verdicts",
+        action="store_true",
+        help="print only lint diagnostics, not the per-loop verdict table",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="run only the named lint rule(s) (repeatable)",
+    )
+    options = parser.parse_args(argv)
+
+    status = 0
+    for path in options.sources:
+        try:
+            source = _read_source(path)
+            program = kremlin_cc(source, path)
+        except (MiniCError, OSError) as error:
+            print(f"kremlin: error: {error}", file=sys.stderr)
+            status = max(status, 1)
+            continue
+        analysis = program.analysis
+        assert analysis is not None
+        if options.rule:
+            from repro.analysis import LintContext, run_lint
+
+            context = LintContext(
+                module=program.module,
+                reaching={
+                    name: fa.reaching
+                    for name, fa in analysis.functions.items()
+                },
+                dependences={
+                    name: fa.loops
+                    for name, fa in analysis.functions.items()
+                },
+            )
+            diagnostics = run_lint(context, options.rule)
+        else:
+            diagnostics = analysis.diagnostics
+        if not options.no_verdicts:
+            print(f"{path}: static loop verdicts")
+            loops = program.regions.loops()
+            if not loops:
+                print("  (no loops)")
+            for region in loops:
+                print(
+                    f"  {region.name:<24} {region.location:<24} "
+                    f"{region.verdict}"
+                )
+            if diagnostics:
+                print()
+        source_file = SourceFile(path, source)
+        for diagnostic in diagnostics:
+            print(diagnostic.render(source_file))
+            if diagnostic.severity is Severity.ERROR:
+                status = max(status, 2)
+    return status
 
 
 def _trace_main(argv: list[str]) -> int:

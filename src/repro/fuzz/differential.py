@@ -200,7 +200,7 @@ def run_differential(
     if oracle:
         from repro.fuzz.oracle import run_oracle
 
-        checks += run_oracle(outcome.profiles)
+        checks += run_oracle(outcome.profiles, program=program)
 
     outcome.checks = checks
     return outcome

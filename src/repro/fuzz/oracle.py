@@ -319,15 +319,74 @@ def check_planner_determinism(
 
 
 # ----------------------------------------------------------------------
+# Static-vs-dynamic consistency
+# ----------------------------------------------------------------------
+
+
+def check_static_dynamic(profile: ParallelismProfile, program) -> int:
+    """Statically safe loops with structurally identical iterations must
+    measure as dynamically DOALL.
+
+    The naive form — "statically ``SAFE_DOALL`` implies dynamically DOALL"
+    — is unsound: a loop can be perfectly safe yet *imbalanced* (one heavy
+    iteration behind an ``if``), which legitimately collapses measured
+    self-parallelism. So the invariant is gated on
+    :func:`~repro.analysis.dependence.iterations_structurally_identical`:
+    straight-line bodies whose induction/reduction updates carry the same
+    ``dep_break`` marks the runtime honours. For those loops every
+    iteration costs the same and shares nothing, so self-parallelism must
+    reach the DOALL threshold once the loop actually iterates (average
+    iteration count ≥ 2). In particular a statically-safe loop can never
+    come out dynamically *worse* than DOACROSS. Returns the number of
+    loops the gate admitted.
+    """
+    from repro.analysis.dependence import iterations_structurally_identical
+    from repro.analysis.driver import resolve_loop_region
+
+    analysis = getattr(program, "analysis", None)
+    if analysis is None:
+        return 0
+    aggregated = aggregate_profile(profile)
+    checked = 0
+    for info in analysis.loop_infos():
+        if not info.verdict.is_safe:
+            continue
+        if not iterations_structurally_identical(info):
+            continue
+        region_id = resolve_loop_region(program.regions, info)
+        if region_id is None:
+            continue
+        region_profile = aggregated.profiles.get(region_id)
+        if region_profile is None:
+            continue  # the loop never executed in this run
+        if region_profile.average_iterations < 2.0:
+            continue  # one trip measures no parallelism
+        checked += 1
+        if not region_profile.is_doall:
+            raise OracleViolation(
+                "static-dynamic-doall",
+                f"region #{region_id} {region_profile.region.name}: "
+                f"statically {info.verdict.describe()} with structurally "
+                f"identical iterations, but dynamically not DOALL "
+                f"(SP={region_profile.self_parallelism:.2f}, "
+                f"avg_iter={region_profile.average_iterations:.2f})",
+            )
+    return checked
+
+
+# ----------------------------------------------------------------------
 # Entry point
 # ----------------------------------------------------------------------
 
 
-def run_oracle(profiles: dict) -> int:
+def run_oracle(profiles: dict, program=None) -> int:
     """Run every oracle over the differential harness's profiles.
 
     ``profiles`` maps max_depth (None = unlimited) to the profile observed
-    under that depth window. Returns the number of oracle groups checked.
+    under that depth window. ``program`` is the :class:`CompiledProgram`
+    the profiles came from (when available) — it carries the static
+    analysis needed for the static-vs-dynamic consistency check. Returns
+    the number of oracle groups checked.
     """
     checks = 0
     for max_depth, profile in profiles.items():
@@ -341,4 +400,6 @@ def run_oracle(profiles: dict) -> int:
         if others:
             checks += check_merge([full] + others)
         checks += check_planner_determinism(full)
+        if program is not None:
+            checks += check_static_dynamic(full, program)
     return checks

@@ -108,6 +108,7 @@ def profile_to_json(profile: ParallelismProfile) -> dict:
                 "function": region.function_name,
                 "loop_depth": region.loop_depth,
                 "span": _span_to_json(region.span),
+                "verdict": region.verdict,
             }
             for region in profile.regions
         ],
@@ -149,6 +150,8 @@ def profile_from_json(data: dict) -> ParallelismProfile:
             record["function"],
             loop_depth=record["loop_depth"],
         )
+        # Older profiles predate the static analyzer: default to "?".
+        region.verdict = record.get("verdict", "?")
         if region.id != record["id"]:
             raise ProfileFormatError("region ids must be dense and ordered")
     # Re-establish parent/children links exactly as stored.

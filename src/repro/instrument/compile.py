@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import typing
+
 from repro.frontend.parser import parse_program
 from repro.instrument.costs import DEFAULT_COST_MODEL, CostModel
 from repro.instrument.passes import ModuleInstrumentation, instrument_module
@@ -18,6 +20,9 @@ from repro.ir.module import Module
 from repro.ir.verifier import verify_module
 from repro.lowering.lower import lower_program
 from repro.obs.trace import get_tracer
+
+if typing.TYPE_CHECKING:
+    from repro.analysis.driver import ModuleAnalysis
 
 
 @dataclass
@@ -28,6 +33,9 @@ class CompiledProgram:
     instrumentation: ModuleInstrumentation
     source: str
     filename: str
+    #: static dependence analysis (verdicts + lint); None only when
+    #: compiled with ``analyze=False``
+    analysis: "ModuleAnalysis | None" = None
 
     @property
     def regions(self) -> StaticRegionTree:
@@ -43,8 +51,17 @@ def kremlin_cc(
     source: str,
     filename: str = "<input>",
     cost_model: CostModel = DEFAULT_COST_MODEL,
+    analyze: bool = True,
 ) -> CompiledProgram:
-    """Compile MiniC source into an instrumented, verified program."""
+    """Compile MiniC source into an instrumented, verified program.
+
+    With ``analyze=True`` (the default) the static dependence analyzer
+    runs after instrumentation and stamps DOALL-safety verdict tags onto
+    the region tree; ``analyze=False`` skips it (e.g. for perf-sensitive
+    callers that only execute the program).
+    """
+    from repro.analysis.driver import analyze_module
+
     tracer = get_tracer()
     with tracer.span("compile", file=filename):
         program = parse_program(source, filename)
@@ -55,9 +72,11 @@ def kremlin_cc(
         with tracer.span("instrument") as span:
             instrumentation = instrument_module(module, cost_model)
             span.args["regions"] = len(module.regions)
+        analysis = analyze_module(module) if analyze else None
     return CompiledProgram(
         module=module,
         instrumentation=instrumentation,
         source=source,
         filename=filename,
+        analysis=analysis,
     )

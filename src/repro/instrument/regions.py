@@ -45,6 +45,9 @@ class StaticRegion:
     loop_depth: int = 0
     #: The function this region lexically belongs to.
     function_name: str = ""
+    #: Static DOALL-safety verdict tag for LOOP regions, stamped by
+    #: :func:`repro.analysis.driver.analyze_module` (``"?"`` = unanalyzed).
+    verdict: str = "?"
 
     @property
     def is_function(self) -> bool:

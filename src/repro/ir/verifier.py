@@ -45,11 +45,27 @@ def verify_function(function: Function, module: Module | None = None) -> None:
 
     # First pass: gather all definitions (non-SSA IR, so a use may precede the
     # textual definition only across blocks via loops; we check that every
-    # used register is defined *somewhere* in the function).
+    # used register is defined *somewhere* in the function). Register indices
+    # must be unique per function: two distinct Register objects sharing an
+    # index would print identically (%N) while behaving as separate storage,
+    # which breaks every pass that reasons about registers by name.
+    by_index: dict[int, Register] = {}
+
+    def _note_register(register: Register, where: str) -> None:
+        other = by_index.setdefault(register.index, register)
+        if other is not register:
+            raise VerificationError(
+                f"{function.name}: duplicate register index %{register.index} "
+                f"({other!r} vs {register!r} in {where})"
+            )
+
+    for param in function.params:
+        _note_register(param, "params")
     for block in function.blocks:
         for instr in block.instructions:
             if instr.result is not None:
                 defined.add(id(instr.result))
+                _note_register(instr.result, f"{block.label}/{instr.opcode}")
 
     for block in function.blocks:
         if block.label in seen_labels:

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from repro.analysis.verdict import tag_refutes_doall
 from repro.hcpa.aggregate import AggregatedProfile, RegionProfile
 from repro.instrument.regions import RegionKind
 from repro.planner.plan import ParallelismPlan, PlanItem
@@ -100,12 +101,21 @@ class Planner:
     def make_item(
         self, profile: RegionProfile, total_work: int
     ) -> PlanItem:
+        classification = self.classify(profile)
+        verdict = profile.region.verdict
         return PlanItem(
             profile=profile,
             est_program_speedup=estimate_program_speedup(
                 profile, total_work, self.personality.sp_cap
             ),
-            classification=self.classify(profile),
+            classification=classification,
+            static_verdict=verdict,
+            # Eligibility and ranking stay purely dynamic (the paper's
+            # model); the static analyzer annotates, and demotes a DOALL
+            # claim it can refute with a dependence witness.
+            refuted=(
+                classification == "DOALL" and tag_refutes_doall(verdict)
+            ),
         )
 
     # ------------------------------------------------------------------

@@ -16,8 +16,24 @@ class PlanItem:
     #: estimated ideal whole-program speedup from parallelizing this region
     #: alone (Amdahl with SP as the region's parallelism)
     est_program_speedup: float
-    #: 'DOALL' or 'DOACROSS' for loops, 'TASK' for functions
+    #: 'DOALL' or 'DOACROSS' for loops, 'TASK' for functions — the
+    #: *dynamic* claim, from measured self-parallelism alone
     classification: str
+    #: static DOALL-safety verdict tag stamped on the region
+    #: (``"?"`` = unanalyzed); see :mod:`repro.analysis.verdict`
+    static_verdict: str = "?"
+    #: True when the static analyzer refutes a dynamic DOALL claim
+    #: (verdict ``doacross``/``unsafe``): the loop measured as DOALL but a
+    #: provable cross-iteration dependence means it must be pipelined.
+    refuted: bool = False
+
+    @property
+    def effective_classification(self) -> str:
+        """The classification after static demotion: a refuted DOALL is
+        only safe as DOACROSS."""
+        if self.refuted and self.classification == "DOALL":
+            return "DOACROSS"
+        return self.classification
 
     @property
     def region(self) -> StaticRegion:

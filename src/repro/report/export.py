@@ -18,6 +18,8 @@ _COLUMNS = [
     "location",
     "region",
     "type",
+    "static_verdict",
+    "refuted",
     "self_parallelism",
     "coverage_pct",
     "est_program_speedup",
@@ -34,6 +36,8 @@ def plan_rows(plan: ParallelismPlan) -> list[dict]:
                 "location": item.location,
                 "region": item.region.name,
                 "type": item.classification,
+                "static_verdict": item.static_verdict,
+                "refuted": item.refuted,
                 "self_parallelism": round(item.self_parallelism, 2),
                 "coverage_pct": round(item.coverage * 100.0, 2),
                 "est_program_speedup": round(item.est_program_speedup, 4),
@@ -58,13 +62,15 @@ def plan_to_markdown(plan: ParallelismPlan) -> str:
         f"**Parallelism plan** ({plan.personality} personality, "
         f"{len(plan)} regions)",
         "",
-        "| # | File (lines) | Region | Type | Self-P | Cov (%) | Est |",
-        "|---|---|---|---|---|---|---|",
+        "| # | File (lines) | Region | Type | Static | Self-P | Cov (%) | Est |",
+        "|---|---|---|---|---|---|---|---|",
     ]
     for row in plan_rows(plan):
+        type_cell = row["type"] + ("\\*" if row["refuted"] else "")
         lines.append(
             f"| {row['rank']} | {row['location']} | `{row['region']}` "
-            f"| {row['type']} | {row['self_parallelism']:.1f} "
+            f"| {type_cell} | `{row['static_verdict']}` "
+            f"| {row['self_parallelism']:.1f} "
             f"| {row['coverage_pct']:.1f} "
             f"| {row['est_program_speedup']:.2f}x |"
         )

@@ -47,29 +47,48 @@ class Table:
 
 
 def format_plan(plan: ParallelismPlan, limit: int | None = None) -> str:
-    """Render a plan in the paper's Figure 3 layout."""
-    table = Table(headers=["#", "File (lines)", "Self-P", "Cov (%)", "Type", "Est"])
+    """Render a plan in the paper's Figure 3 layout, plus the static
+    dependence analyzer's verdict column. A ``*`` on the Type marks a
+    dynamic DOALL claim the analyzer refuted (demoted to DOACROSS)."""
+    table = Table(
+        headers=["#", "File (lines)", "Self-P", "Cov (%)", "Type", "Static", "Est"]
+    )
     items = plan.items if limit is None else plan.items[:limit]
+    any_refuted = False
     for rank, item in enumerate(items, start=1):
+        type_cell = item.classification
+        if item.refuted:
+            type_cell += "*"
+            any_refuted = True
         table.add_row(
             rank,
             item.location,
             f"{item.self_parallelism:.1f}",
             f"{item.coverage * 100:.1f}",
-            item.classification,
+            type_cell,
+            item.static_verdict,
             f"{item.est_program_speedup:.2f}x",
         )
     header = (
         f"Parallelism plan ({plan.personality} personality, "
         f"{len(plan.items)} regions)"
     )
-    return f"{header}\n{table.render()}"
+    text = f"{header}\n{table.render()}"
+    if any_refuted:
+        text += (
+            "\n* static analysis found a cross-iteration dependence: "
+            "demoted to DOACROSS"
+        )
+    return text
 
 
 def format_region_table(aggregated: AggregatedProfile) -> str:
     """Dump every executed plannable region's profile (discovery view)."""
     table = Table(
-        headers=["Region", "Kind", "Location", "Work", "Self-P", "Total-P", "Cov (%)"]
+        headers=[
+            "Region", "Kind", "Location", "Work",
+            "Self-P", "Total-P", "Cov (%)", "Static",
+        ]
     )
     for profile in aggregated.plannable():
         table.add_row(
@@ -80,5 +99,6 @@ def format_region_table(aggregated: AggregatedProfile) -> str:
             f"{profile.self_parallelism:.1f}",
             f"{profile.total_parallelism:.1f}",
             f"{profile.coverage * 100:.1f}",
+            profile.region.verdict,
         )
     return table.render()

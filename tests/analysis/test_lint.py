@@ -1,0 +1,204 @@
+"""Lint framework tests: rule registry, diagnostics rendering, built-ins."""
+
+import pytest
+
+from repro.analysis.driver import analyze_module
+from repro.analysis.lint import RULES, Diagnostic, Severity, rule, run_lint
+from repro.frontend.source import SourceFile, SourceSpan
+from tests.conftest import compile_source
+
+
+def lint_source(source, rules=None):
+    program = compile_source(source)
+    analysis = analyze_module(program.module)
+    if rules is None:
+        return analysis.diagnostics
+    from repro.analysis.dataflow import ReachingDefinitions
+    from repro.analysis.lint import LintContext
+
+    context = LintContext(
+        module=program.module,
+        reaching={
+            name: analysis.functions[name].reaching
+            for name in analysis.functions
+        },
+        dependences={
+            name: analysis.functions[name].loops
+            for name in analysis.functions
+        },
+    )
+    return run_lint(context, rules=rules)
+
+
+def by_rule(diagnostics, name):
+    return [d for d in diagnostics if d.rule == name]
+
+
+class TestBuiltinRules:
+    def test_loop_carried_dependence_warning(self):
+        diags = lint_source(
+            """
+            float acc;
+            int main() {
+              float x = 1.0;
+              for (int i = 0; i < 8; i++) { x = x * 0.5 + 0.1; }
+              acc = x;
+              return 0;
+            }
+            """
+        )
+        [diag] = by_rule(diags, "loop-carried-dependence")
+        assert diag.severity is Severity.WARNING  # doacross, not unsafe
+        assert "'x'" in diag.message
+        assert diag.notes  # witness chain rendered as notes
+
+    def test_unsafe_loop_is_error(self):
+        diags = lint_source(
+            """
+            int hist[16];
+            int keys[64];
+            int main() {
+              for (int i = 0; i < 64; i++) { hist[keys[i]] += 1; }
+              return 0;
+            }
+            """
+        )
+        findings = by_rule(diags, "loop-carried-dependence")
+        assert findings
+        assert all(d.severity is Severity.ERROR for d in findings)
+
+    def test_write_never_read(self):
+        diags = lint_source(
+            """
+            int main() {
+              int dead = 42;
+              int live = 1;
+              return live;
+            }
+            """
+        )
+        [diag] = by_rule(diags, "write-never-read")
+        assert "'dead'" in diag.message
+        assert "live" not in diag.message
+
+    def test_global_write_never_read(self):
+        diags = lint_source(
+            """
+            float sink;
+            float used;
+            int main() {
+              sink = 3.0;
+              used = 2.0;
+              return (int) used;
+            }
+            """
+        )
+        findings = by_rule(diags, "global-write-never-read")
+        assert len(findings) == 1
+        assert "sink" in findings[0].message
+
+    def test_loop_invariant_store_note(self):
+        diags = lint_source(
+            """
+            float a[32];
+            int main() {
+              for (int i = 0; i < 32; i++) { a[0] = 1.0; }
+              return 0;
+            }
+            """
+        )
+        findings = by_rule(diags, "loop-invariant-store")
+        assert findings
+        assert all(d.severity is Severity.NOTE for d in findings)
+
+    def test_clean_program_is_quiet(self):
+        diags = lint_source(
+            """
+            float a[32];
+            int main() {
+              for (int i = 0; i < 32; i++) { a[i] = (float) i; }
+              return (int) a[7];
+            }
+            """
+        )
+        assert diags == []
+
+
+class TestFramework:
+    def test_rule_filter_restricts_output(self):
+        source = """
+        float a[32];
+        int main() {
+          int dead = 9;
+          for (int i = 0; i < 32; i++) { a[0] = 1.0; }
+          return 0;
+        }
+        """
+        only_dead = lint_source(source, rules=["write-never-read"])
+        assert {d.rule for d in only_dead} == {"write-never-read"}
+
+    def test_diagnostics_sorted_by_position(self):
+        source = """
+        float a[32];
+        int main() {
+          int dead = 9;
+          float x = 1.0;
+          for (int i = 0; i < 32; i++) { x = x * 0.5; }
+          a[0] = x;
+          return 0;
+        }
+        """
+        diags = lint_source(source)
+        assert diags == sorted(diags, key=lambda d: d.sort_key)
+        assert len(diags) >= 2
+
+    def test_registry_round_trip(self):
+        @rule("test-only-rule")
+        def _test_only(function, context):
+            return [
+                Diagnostic(
+                    rule="test-only-rule",
+                    severity=Severity.NOTE,
+                    message=f"saw {function.name}",
+                )
+            ]
+
+        try:
+            assert "test-only-rule" in RULES
+            diags = lint_source(
+                "int main() { return 0; }", rules=["test-only-rule"]
+            )
+            assert [d.message for d in diags] == ["saw main"]
+        finally:
+            del RULES["test-only-rule"]
+
+    def test_unknown_rule_name_raises(self):
+        with pytest.raises(KeyError):
+            lint_source("int main() { return 0; }", rules=["no-such-rule"])
+
+
+class TestRendering:
+    def test_render_with_caret(self):
+        source_text = "int main() {\n  int dead = 1;\n  return 0;\n}\n"
+        diags = lint_source(source_text)
+        [diag] = by_rule(diags, "write-never-read")
+        rendered = diag.render(SourceFile("test.c", source_text))
+        lines = rendered.splitlines()
+        assert lines[0].startswith("test.c:")
+        assert "[write-never-read]" in lines[0]
+        assert "int dead = 1;" in lines[1]
+        caret_column = lines[2].index("^")
+        assert lines[1][caret_column] != " "
+
+    def test_render_without_source_or_span(self):
+        diag = Diagnostic(
+            rule="r", severity=Severity.ERROR, message="boom"
+        )
+        assert diag.render() == "error: boom [r]"
+        spanned = Diagnostic(
+            rule="r",
+            severity=Severity.NOTE,
+            message="hi",
+            span=SourceSpan.point(3, 7, "x.c"),
+        )
+        assert spanned.render().startswith("x.c:3:7: note: hi")

@@ -18,3 +18,19 @@ class TestRunner:
         out = capsys.readouterr().out
         assert "overall" in out
         assert "fewer regions" in out
+
+
+class TestAnalysisTiming:
+    def test_sweep_records_analyzer_wall_time(self):
+        from repro.bench_suite.runner import run_suite
+        from repro.obs.metrics import collecting_metrics
+
+        with collecting_metrics() as metrics:
+            [result] = run_suite(["ep"])
+        # The static analyzer ran during compile and its wall time rode
+        # along in the worker payload.
+        assert result.analysis_seconds > 0.0
+        assert result.analysis_seconds < result.elapsed
+        snapshot = metrics.to_dict()
+        assert "bench.analysis_seconds" in snapshot["histograms"]
+        assert snapshot["gauges"]["bench.ep.analysis_seconds"] > 0.0

@@ -1,0 +1,92 @@
+"""The static-vs-dynamic consistency oracle (fuzz invariant)."""
+
+import pytest
+
+from repro.analysis.verdict import RegionVerdict, Verdict
+from repro.fuzz.differential import run_differential
+from repro.fuzz.oracle import OracleViolation, check_static_dynamic
+from repro.kremlib.profiler import profile_program
+from tests.conftest import compile_source
+
+DOALL_SOURCE = """
+float a[64];
+int main() {
+  for (int i = 0; i < 64; i++) {
+    a[i] = (float) i * 2.0;
+  }
+  return (int) a[9];
+}
+"""
+
+SERIAL_SOURCE = """
+float acc;
+int main() {
+  float x = 1.0;
+  for (int i = 0; i < 64; i++) {
+    x = x * 0.99 + 0.1;
+  }
+  acc = x;
+  return (int) acc;
+}
+"""
+
+
+def profiled(source):
+    program = compile_source(source)
+    profile, _run = profile_program(program)
+    return program, profile
+
+
+class TestCheckStaticDynamic:
+    def test_safe_doall_loop_is_admitted_and_consistent(self):
+        program, profile = profiled(DOALL_SOURCE)
+        assert check_static_dynamic(profile, program) >= 1
+
+    def test_serial_loop_is_not_admitted(self):
+        # DOACROSS verdicts are outside the invariant's scope: the gate
+        # only admits statically *safe* loops.
+        program, profile = profiled(SERIAL_SOURCE)
+        assert check_static_dynamic(profile, program) == 0
+
+    def test_branchy_loop_fails_structural_gate(self):
+        # Statically safe, but iterations differ structurally (an if in
+        # the body), so measured SP may legitimately fall below the DOALL
+        # threshold: the gate must not admit it.
+        source = """
+        float a[64];
+        int main() {
+          for (int i = 0; i < 64; i++) {
+            if (i < 32) { a[i] = 1.0; } else { a[i] = 2.0; }
+          }
+          return 0;
+        }
+        """
+        program, profile = profiled(source)
+        assert check_static_dynamic(profile, program) == 0
+
+    def test_wrong_safe_verdict_trips_oracle(self):
+        # Force a SAFE_DOALL verdict onto the serial recurrence: the loop
+        # is structurally uniform, so the gate admits it, measures a serial
+        # chain, and must report the inconsistency.
+        program, profile = profiled(SERIAL_SOURCE)
+        [info] = program.analysis.loop_infos()
+        info.verdict = RegionVerdict(Verdict.SAFE_DOALL)
+        with pytest.raises(OracleViolation, match="static-dynamic-doall"):
+            check_static_dynamic(profile, program)
+
+    def test_program_without_analysis_is_skipped(self):
+        from repro.instrument.compile import kremlin_cc
+
+        program = kremlin_cc(DOALL_SOURCE, "skip.c", analyze=False)
+        profile, _run = profile_program(program)
+        assert check_static_dynamic(profile, program) == 0
+
+
+class TestDifferentialIntegration:
+    def test_run_differential_exercises_the_invariant(self):
+        outcome = run_differential(DOALL_SOURCE)
+        # The oracle contributes the static-dynamic checks on top of the
+        # engine matrix; the run must stay clean.
+        assert outcome.checks > 0
+        without = run_differential(DOALL_SOURCE, oracle=False)
+        assert outcome.checks > without.checks

@@ -127,3 +127,20 @@ class TestMalformedInput:
         path.write_text(json.dumps([1, 2, 3]))
         with pytest.raises(ProfileFormatError, match="JSON object"):
             load_profile(str(path))
+
+
+class TestVerdictRoundTrip:
+    def test_verdict_tags_survive_roundtrip(self, original):
+        tags = {r.id: r.verdict for r in original.regions}
+        # The analyzer resolved the profiled loops, so at least one region
+        # carries a real verdict (this program has a doall + a reduction).
+        assert any(tag != "?" for tag in tags.values())
+        restored = profile_from_json(profile_to_json(original))
+        assert {r.id: r.verdict for r in restored.regions} == tags
+
+    def test_legacy_records_default_to_unknown(self, original):
+        data = profile_to_json(original)
+        for record in data["regions"]:
+            record.pop("verdict", None)
+        restored = profile_from_json(data)
+        assert all(r.verdict == "?" for r in restored.regions)

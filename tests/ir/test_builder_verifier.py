@@ -16,7 +16,7 @@ from repro.ir import (
 )
 from repro.ir.instructions import BinOp, Branch, Ret
 from repro.ir.module import GlobalVar
-from repro.ir.values import Constant, GlobalRef
+from repro.ir.values import Constant, GlobalRef, Register
 from repro.ir.verifier import verify_function
 
 SPAN = SourceSpan.point(1, 1, "hand.c")
@@ -223,6 +223,51 @@ class TestVerifier:
         module.add_function(function)
         with pytest.raises(VerificationError, match="no main"):
             verify_module(module)
+
+    def test_duplicate_register_index_across_results(self):
+        # Two distinct Register objects sharing %0 print identically while
+        # behaving as separate storage; the verifier must reject them.
+        function = new_function("main")
+        block = function.new_block()
+        first = Register(0, INT, "a")
+        second = Register(0, INT, "b")
+        block.append(
+            BinOp(SPAN, op="+", lhs=Constant(1, INT), rhs=Constant(2, INT), result=first)
+        )
+        block.append(
+            BinOp(SPAN, op="*", lhs=Constant(3, INT), rhs=Constant(4, INT), result=second)
+        )
+        block.terminate(Ret(SPAN, value=second))
+        with pytest.raises(VerificationError, match="duplicate register index %0"):
+            verify_function(function)
+
+    def test_duplicate_register_index_param_vs_result(self):
+        function = new_function("main")
+        param = Register(0, INT, "p")
+        function.params.append(param)
+        block = function.new_block()
+        clash = Register(0, INT, "t")
+        block.append(
+            BinOp(SPAN, op="+", lhs=param, rhs=Constant(1, INT), result=clash)
+        )
+        block.terminate(Ret(SPAN, value=clash))
+        with pytest.raises(VerificationError, match="duplicate register index"):
+            verify_function(function)
+
+    def test_shared_register_object_is_not_a_duplicate(self):
+        # The non-SSA IR redefines the *same* Register object freely; only
+        # distinct objects sharing an index are rejected.
+        function = new_function("main")
+        block = function.new_block()
+        cell = function.new_register(INT, "x")
+        block.append(
+            BinOp(SPAN, op="+", lhs=Constant(1, INT), rhs=Constant(2, INT), result=cell)
+        )
+        block.append(
+            BinOp(SPAN, op="+", lhs=cell, rhs=Constant(3, INT), result=cell)
+        )
+        block.terminate(Ret(SPAN, value=cell))
+        verify_function(function)
 
     def test_duplicate_block_labels(self):
         function = new_function("main")

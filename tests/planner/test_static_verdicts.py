@@ -1,0 +1,66 @@
+"""Planner x static-analysis integration: verdicts on plan items, demotion
+of refuted DOALL claims, and their rendering."""
+
+from repro.planner.plan import PlanItem
+from repro.report import format_plan
+
+
+def item_by_function(plan, function_name):
+    for item in plan.items:
+        if item.region.function_name == function_name:
+            return item
+    raise KeyError(function_name)
+
+
+class TestPlanItemVerdicts:
+    def test_every_item_carries_a_verdict(self, canonical_loops_report):
+        plan = canonical_loops_report.plan
+        assert plan.items
+        assert all(item.static_verdict != "?" for item in plan.items)
+
+    def test_histogram_doall_claim_is_refuted(self, canonical_loops_report):
+        # Dynamically the histogram measures DOALL (the runtime breaks the
+        # hist[...] += 1 dependence), but the subscript is non-affine so
+        # the static analyzer refutes the claim and demotes it.
+        item = item_by_function(canonical_loops_report.plan, "histogram")
+        assert item.classification == "DOALL"
+        assert item.static_verdict == "unsafe"
+        assert item.refuted
+        assert item.effective_classification == "DOACROSS"
+
+    def test_reduction_keeps_doall_with_verdict(self, canonical_loops_report):
+        item = item_by_function(canonical_loops_report.plan, "reduction")
+        assert item.static_verdict == "reduction(s)"
+        assert not item.refuted
+        assert item.effective_classification == item.classification
+
+    def test_plain_doall_confirmed(self, canonical_loops_report):
+        item = item_by_function(canonical_loops_report.plan, "doall")
+        assert item.static_verdict == "doall"
+        assert not item.refuted
+
+    def test_effective_classification_only_demotes_doall(self):
+        refuted_task = PlanItem.__new__(PlanItem)
+        refuted_task.classification = "TASK"
+        refuted_task.refuted = True
+        assert refuted_task.effective_classification == "TASK"
+
+
+class TestPlanRendering:
+    def test_static_column_and_demotion_footnote(self, canonical_loops_report):
+        text = format_plan(canonical_loops_report.plan)
+        assert "Static" in text
+        assert "DOALL*" in text
+        assert "demoted to DOACROSS" in text
+        assert "reduction(s)" in text
+
+    def test_no_footnote_without_refutation(self, canonical_loops_report):
+        plan = canonical_loops_report.plan
+        kept = [item for item in plan.items if not item.refuted]
+        import copy
+
+        clean = copy.copy(plan)
+        clean.items = kept
+        text = format_plan(clean)
+        assert "demoted" not in text
+        assert "*" not in text.splitlines()[-1]

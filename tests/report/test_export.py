@@ -78,3 +78,19 @@ class TestCliExports:
         )
         assert main([str(source), "--format=markdown"]) == 0
         assert "| DOALL |" in capsys.readouterr().out
+
+
+class TestStaticVerdictExport:
+    def test_rows_include_verdict_columns(self, canonical_loops_report):
+        rows = plan_rows(canonical_loops_report.plan)
+        assert all("static_verdict" in row for row in rows)
+        assert all("refuted" in row for row in rows)
+        refuted = [row for row in rows if row["refuted"]]
+        assert refuted and all(
+            row["static_verdict"] in ("doacross", "unsafe") for row in refuted
+        )
+
+    def test_markdown_escapes_refuted_marker(self, canonical_loops_report):
+        text = plan_to_markdown(canonical_loops_report.plan)
+        assert "Static" in text
+        assert "\\*" in text

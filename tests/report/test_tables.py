@@ -36,7 +36,11 @@ class TestPlanFormatting:
     def test_rows_numbered_in_order(self, canonical_loops_report):
         text = canonical_loops_report.render_plan()
         body_lines = text.splitlines()[3:]
-        ranks = [int(line.split()[0]) for line in body_lines if line.strip()]
+        ranks = [
+            int(line.split()[0])
+            for line in body_lines
+            if line.strip() and not line.startswith("*")
+        ]
         assert ranks == list(range(1, len(ranks) + 1))
 
     def test_limit_truncates(self, canonical_loops_report):
@@ -58,3 +62,19 @@ class TestRegionTable:
     def test_excludes_body_regions(self, canonical_loops_report):
         text = canonical_loops_report.render_regions()
         assert ".body" not in text
+
+
+class TestStaticColumn:
+    def test_region_table_shows_verdicts(self, canonical_loops_report):
+        text = format_region_table(canonical_loops_report.aggregated)
+        assert "Static" in text
+        assert "reduction(s)" in text
+        assert "unsafe" in text
+
+    def test_plan_marks_refuted_rows(self, canonical_loops_report):
+        text = format_plan(canonical_loops_report.plan)
+        refuted_row = next(
+            line for line in text.splitlines() if "DOALL*" in line
+        )
+        assert "unsafe" in refuted_row
+        assert text.splitlines()[-1].startswith("* static analysis")

@@ -100,6 +100,35 @@ class TestKremlinSession(unittest.TestCase):
         self.assertEqual(report.plan.personality, "openmp")
 
 
+REDUCTION_SOURCE = """
+float a[32];
+float acc;
+int main() {
+  float s = 0.0;
+  for (int i = 0; i < 32; i++) { a[i] = (float) i; }
+  for (int i = 0; i < 32; i++) { s += a[i]; }
+  acc = s;
+  return (int) acc;
+}
+"""
+
+
+class TestSessionCheck(unittest.TestCase):
+    def test_check_returns_module_analysis(self):
+        analysis = KremlinSession().check(REDUCTION_SOURCE)
+        tags = sorted(v.tag for v in analysis.verdicts.values())
+        self.assertEqual(tags, ["doall", "reduction(s)"])
+        self.assertEqual(analysis.diagnostics, [])
+        self.assertGreater(analysis.elapsed, 0.0)
+
+    def test_check_does_not_execute(self):
+        # An infinite loop would hang if check() ever ran the program.
+        analysis = KremlinSession().check(
+            "int main() { while (1) { } return 0; }"
+        )
+        self.assertTrue(analysis.functions)
+
+
 class TestDeprecationShim(unittest.TestCase):
     def test_plain_analyze_is_warning_free(self):
         with warnings.catch_warnings():

@@ -154,3 +154,75 @@ class TestKremlinCcCli:
 
     def test_error_path(self, capsys):
         assert main_cc(["/nonexistent.c"]) == 1
+
+
+UNSAFE_SOURCE = """
+int hist[16];
+int keys[64];
+int main() {
+  for (int i = 0; i < 64; i++) {
+    hist[keys[i]] += 1;
+  }
+  return 0;
+}
+"""
+
+CLEAN_SOURCE = """
+float a[64];
+int main() {
+  for (int i = 0; i < 64; i++) { a[i] = (float) i; }
+  return (int) a[5];
+}
+"""
+
+
+class TestKremlinCheck:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        path = tmp_path / "clean.c"
+        path.write_text(CLEAN_SOURCE)
+        assert main(["check", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "static loop verdicts" in out
+        assert "doall" in out
+
+    def test_error_diagnostics_exit_two(self, tmp_path, capsys):
+        path = tmp_path / "unsafe.c"
+        path.write_text(UNSAFE_SOURCE)
+        assert main(["check", str(path)]) == 2
+        out = capsys.readouterr().out
+        assert "unsafe" in out
+        assert "error:" in out
+        assert "[loop-carried-dependence]" in out
+
+    def test_compile_error_exits_one(self, tmp_path, capsys):
+        path = tmp_path / "broken.c"
+        path.write_text("int main( { return 0; }")
+        assert main(["check", str(path)]) == 1
+        assert "broken.c" in capsys.readouterr().err
+
+    def test_missing_file_exits_one(self, capsys):
+        assert main(["check", "/no/such/file.c"]) == 1
+
+    def test_rule_filter(self, tmp_path, capsys):
+        path = tmp_path / "unsafe.c"
+        path.write_text(UNSAFE_SOURCE)
+        assert main(["check", str(path), "--rule", "write-never-read"]) == 0
+        out = capsys.readouterr().out
+        assert "[loop-carried-dependence]" not in out
+
+    def test_no_verdicts_flag(self, tmp_path, capsys):
+        path = tmp_path / "clean.c"
+        path.write_text(CLEAN_SOURCE)
+        assert main(["check", str(path), "--no-verdicts"]) == 0
+        out = capsys.readouterr().out
+        assert "static loop verdicts" not in out
+
+    def test_multiple_sources(self, tmp_path, capsys):
+        clean = tmp_path / "clean.c"
+        clean.write_text(CLEAN_SOURCE)
+        unsafe = tmp_path / "unsafe.c"
+        unsafe.write_text(UNSAFE_SOURCE)
+        # Worst exit status wins across files.
+        assert main(["check", str(clean), str(unsafe)]) == 2
+        out = capsys.readouterr().out
+        assert "clean.c" in out and "unsafe.c" in out
