@@ -51,7 +51,7 @@ EXPECTED_COUNTERS = {
     "compress.raw_records",
     "fastpath.entry_resolutions",
     "fastpath.known_hits",
-    "interp.instructions.bytecode",
+    "interp.instructions.compiled",
     "session.analyses",
     "shadow.cell_writes",
     "shadow.frames",
@@ -112,8 +112,8 @@ def check_metrics() -> list[str]:
             f"session.analyses should be 1, got "
             f"{counters.get('session.analyses')!r}"
         )
-    if counters.get("interp.instructions.bytecode", 0) <= 0:
-        problems.append("interp.instructions.bytecode did not count")
+    if counters.get("interp.instructions.compiled", 0) <= 0:
+        problems.append("interp.instructions.compiled did not count")
 
     # Observability must not change the user-visible output.
     plain_code, plain_out, _ = _run_cli([SOURCE_FILE])

@@ -33,6 +33,7 @@ active).
 
 from __future__ import annotations
 
+import hashlib
 from contextlib import ExitStack, contextmanager
 from dataclasses import dataclass, field
 
@@ -69,8 +70,9 @@ class ProfileOptions:
     max_depth: int | None = None
     #: abort the run past this many retired instructions
     max_instructions: int | None = None
-    #: execution engine: "bytecode" (fused fast paths) or "tree"
-    engine: str = "bytecode"
+    #: execution engine: "compiled" (AOT codegen, the default), "bytecode"
+    #: (predecoded closures), or "tree" (the reference interpreter)
+    engine: str = "compiled"
 
 
 @dataclass(frozen=True)
@@ -142,6 +144,11 @@ class KremlinSession:
         self.tracer = tracer
         #: session-scoped metric registry; None = use the global one
         self.metrics = metrics
+        #: compile cache: source hash -> CompiledProgram. Generated engine
+        #: code objects hang off the program (codegen_unit caches them per
+        #: program), so a cache hit skips recompilation AND codegen — the
+        #: first step toward the ROADMAP service-mode cache.
+        self._compile_cache: dict[str, CompiledProgram] = {}
 
     # ------------------------------------------------------------------
     # Observability scoping
@@ -162,12 +169,32 @@ class KremlinSession:
     # ------------------------------------------------------------------
 
     def compile(self, source: str) -> CompiledProgram:
-        """Compile + instrument MiniC source (the ``kremlin-cc`` step)."""
+        """Compile + instrument MiniC source (the ``kremlin-cc`` step).
+
+        Results are cached by source hash: repeat compile/profile calls on
+        the same session reuse the CompiledProgram — and with it every
+        code object the execution engines generated for it."""
         options = self.compile_options
+        key = hashlib.sha256(source.encode("utf-8")).hexdigest()
         with self._observed():
-            return kremlin_cc(
+            cached = self._compile_cache.get(key)
+            self._count_compile_cache(hit=cached is not None)
+            if cached is not None:
+                return cached
+            program = kremlin_cc(
                 source, options.filename, cost_model=options.cost_model
             )
+            self._compile_cache[key] = program
+            return program
+
+    def _count_compile_cache(self, hit: bool) -> None:
+        from repro.obs.metrics import metrics_enabled
+
+        if not metrics_enabled():
+            return
+        name = "session.compile_cache.hits" if hit else \
+            "session.compile_cache.misses"
+        get_metrics().counter(name).inc()
 
     def check(self, source: str):
         """Static analysis only: compile (no execution) and return the

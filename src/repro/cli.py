@@ -44,6 +44,23 @@ from repro.planner.registry import available_personalities, create_planner
 from repro.report import format_flat_profile, format_plan, format_region_table
 
 
+ENGINES = ("compiled", "bytecode", "tree")
+
+
+def _check_engine(parser: argparse.ArgumentParser, name: str) -> str:
+    """Validate an ``--engine`` value: exit 2 with a suggestion on typos
+    instead of letting an unknown name traceback deep in the pipeline."""
+    if name in ENGINES:
+        return name
+    import difflib
+
+    close = difflib.get_close_matches(name, ENGINES, n=1)
+    hint = f" (did you mean {close[0]!r}?)" if close else ""
+    parser.error(
+        f"unknown engine {name!r}: choose from {', '.join(ENGINES)}{hint}"
+    )
+
+
 def _read_source(path: str) -> str:
     with open(path, "r", encoding="utf-8") as handle:
         return handle.read()
@@ -113,6 +130,14 @@ def main(argv: list[str] | None = None) -> int:
         help="limit the profiled region depth (paper's depth window flag)",
     )
     parser.add_argument(
+        "--engine",
+        default="compiled",
+        help=(
+            "execution engine: compiled (AOT codegen, default), bytecode, "
+            "or tree (reference)"
+        ),
+    )
+    parser.add_argument(
         "--compression",
         action="store_true",
         help="also print trace compression statistics",
@@ -163,6 +188,7 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     options = parser.parse_args(argv)
+    _check_engine(parser, options.engine)
 
     if options.jobs < 1:
         parser.error("--jobs must be >= 1")
@@ -219,7 +245,9 @@ def _build_session(options, path: str, **obs) -> KremlinSession:
     return KremlinSession(
         compile_options=CompileOptions(filename=path),
         profile_options=ProfileOptions(
-            entry=options.entry, max_depth=options.max_depth
+            entry=options.entry,
+            max_depth=options.max_depth,
+            engine=getattr(options, "engine", "compiled"),
         ),
         plan_options=PlanOptions(personality=options.personality),
         **obs,
@@ -436,9 +464,8 @@ def _trace_main(argv: list[str]) -> int:
     )
     parser.add_argument(
         "--engine",
-        default="bytecode",
-        choices=["bytecode", "tree"],
-        help="execution engine to trace (default: bytecode)",
+        default="compiled",
+        help="execution engine to trace: compiled (default), bytecode, tree",
     )
     parser.add_argument(
         "-o",
@@ -453,6 +480,7 @@ def _trace_main(argv: list[str]) -> int:
         help="also print the human-readable span tree to stderr",
     )
     options = parser.parse_args(argv)
+    _check_engine(parser, options.engine)
 
     tracer = Tracer()
     metrics = MetricsRegistry()
@@ -475,7 +503,12 @@ def _trace_main(argv: list[str]) -> int:
         return 1
 
     document = chrome_trace(tracer, metrics)
+    document.setdefault("otherData", {})["engine"] = options.engine
     text = json.dumps(document, sort_keys=True)
+    print(
+        f"kremlin trace: spans produced by the {options.engine!r} engine",
+        file=sys.stderr,
+    )
     if options.output:
         with open(options.output, "w", encoding="utf-8") as handle:
             handle.write(text + "\n")

@@ -3,12 +3,13 @@
 One call to :func:`run_differential` compiles a program once and runs it
 through the full engine matrix:
 
-* ``tree`` vs ``bytecode``, unprofiled — same value, output, instruction
-  count, and total cost;
-* ``tree`` vs ``bytecode`` under the KremLib profiler, at every configured
-  depth window — same run results *and* byte-identical serialized
-  parallelism profiles (the bytecode engine's fused fast paths must be
-  exact, not approximately right);
+* ``tree`` vs each fast engine (``bytecode`` and the AOT ``compiled``
+  engine), unprofiled — same value, output, instruction count, and total
+  cost;
+* ``tree`` vs each fast engine under the KremLib profiler, at every
+  configured depth window — same run results *and* byte-identical
+  serialized parallelism profiles (the fast engines' fused fast paths
+  must be exact, not approximately right);
 * profiled vs unprofiled — the profiler must not perturb execution;
 
 then hands every profile to the invariant oracle
@@ -38,6 +39,9 @@ from repro.kremlib.profiler import KremlinProfiler
 #: paper's depth-window flag (exercises the untracked-region paths)
 DEFAULT_MAX_DEPTHS: tuple[int | None, ...] = (None, 2)
 
+#: performance engines checked against the tree reference
+FAST_ENGINES: tuple[str, ...] = ("bytecode", "compiled")
+
 #: instruction budget per run — generated programs are tiny; anything
 #: hitting this is a runaway and gets skipped, not reported
 DEFAULT_MAX_INSTRUCTIONS = 3_000_000
@@ -63,7 +67,7 @@ class DifferentialOutcome:
 
     source: str
     result: RunResult
-    #: max_depth -> profile (from the bytecode engine; tree is identical)
+    #: max_depth -> profile (from the last fast engine; all identical)
     profiles: dict = field(default_factory=dict)
     checks: int = 0
 
@@ -138,64 +142,69 @@ def run_differential(
     tree_result, _, _, tree_error = _run_one(
         program, "tree", False, None, max_instructions
     )
-    byte_result, _, _, byte_error = _run_one(
-        program, "bytecode", False, None, max_instructions
-    )
-    if tree_error is not None or byte_error is not None:
-        if tree_error == byte_error:
-            raise ProgramInvalid(f"both engines fail: {tree_error}")
-        raise DifferentialFailure(
-            "crash-mismatch",
-            f"tree: {tree_error or 'ok'} vs bytecode: {byte_error or 'ok'}",
+    fast_result = None
+    for engine in FAST_ENGINES:
+        fast_result, _, _, fast_error = _run_one(
+            program, engine, False, None, max_instructions
         )
-    if _canon(tree_result) != _canon(byte_result):
-        raise DifferentialFailure(
-            "result-mismatch",
-            f"plain run diverged: tree {_describe(tree_result)} "
-            f"vs bytecode {_describe(byte_result)}",
-        )
-    checks += 1
+        if tree_error is not None or fast_error is not None:
+            if tree_error == fast_error:
+                raise ProgramInvalid(f"both engines fail: {tree_error}")
+            raise DifferentialFailure(
+                "crash-mismatch",
+                f"tree: {tree_error or 'ok'} vs {engine}: {fast_error or 'ok'}",
+            )
+        if _canon(tree_result) != _canon(fast_result):
+            raise DifferentialFailure(
+                "result-mismatch",
+                f"plain run diverged: tree {_describe(tree_result)} "
+                f"vs {engine} {_describe(fast_result)}",
+            )
+        checks += 1
 
-    outcome = DifferentialOutcome(source=source, result=byte_result)
+    outcome = DifferentialOutcome(source=source, result=fast_result)
 
     for max_depth in max_depths:
         tag = "unlimited" if max_depth is None else f"max_depth={max_depth}"
         tree_prof_result, tree_serial, _, tree_error = _run_one(
             program, "tree", True, max_depth, max_instructions
         )
-        byte_prof_result, byte_serial, byte_profile, byte_error = _run_one(
-            program, "bytecode", True, max_depth, max_instructions
-        )
-        if tree_error is not None or byte_error is not None:
-            if tree_error == byte_error:
-                raise ProgramInvalid(f"both engines fail profiled: {tree_error}")
-            raise DifferentialFailure(
-                "crash-mismatch",
-                f"profiled ({tag}) tree: {tree_error or 'ok'} "
-                f"vs bytecode: {byte_error or 'ok'}",
-            )
-        if _canon(tree_prof_result) != _canon(byte_prof_result):
-            raise DifferentialFailure(
-                "result-mismatch",
-                f"profiled run ({tag}) diverged: "
-                f"tree {_describe(tree_prof_result)} "
-                f"vs bytecode {_describe(byte_prof_result)}",
-            )
-        if _canon(tree_prof_result) != _canon(tree_result):
+        if tree_error is None and _canon(tree_prof_result) != _canon(tree_result):
             raise DifferentialFailure(
                 "observer-perturbation",
                 f"profiling changed execution ({tag}): "
                 f"plain {_describe(tree_result)} "
                 f"vs profiled {_describe(tree_prof_result)}",
             )
-        if tree_serial != byte_serial:
-            raise DifferentialFailure(
-                "profile-mismatch",
-                f"serialized profiles differ ({tag}): "
-                f"{_first_profile_diff(tree_serial, byte_serial)}",
+        for engine in FAST_ENGINES:
+            prof_result, serial, profile, fast_error = _run_one(
+                program, engine, True, max_depth, max_instructions
             )
-        outcome.profiles[max_depth] = byte_profile
-        checks += 3
+            if tree_error is not None or fast_error is not None:
+                if tree_error == fast_error:
+                    raise ProgramInvalid(
+                        f"both engines fail profiled: {tree_error}"
+                    )
+                raise DifferentialFailure(
+                    "crash-mismatch",
+                    f"profiled ({tag}) tree: {tree_error or 'ok'} "
+                    f"vs {engine}: {fast_error or 'ok'}",
+                )
+            if _canon(tree_prof_result) != _canon(prof_result):
+                raise DifferentialFailure(
+                    "result-mismatch",
+                    f"profiled run ({tag}) diverged: "
+                    f"tree {_describe(tree_prof_result)} "
+                    f"vs {engine} {_describe(prof_result)}",
+                )
+            if tree_serial != serial:
+                raise DifferentialFailure(
+                    "profile-mismatch",
+                    f"serialized profiles differ ({tag}, {engine}): "
+                    f"{_first_profile_diff(tree_serial, serial)}",
+                )
+            outcome.profiles[max_depth] = profile
+            checks += 3
 
     if oracle:
         from repro.fuzz.oracle import run_oracle

@@ -58,9 +58,12 @@ class ExecutionObserver:
 
     def on_compute(self, instr, frame) -> None: ...
 
-    def on_load(self, instr, frame, storage_id: int, index: int) -> None: ...
+    # ``storage`` is the ArrayStorage object for array accesses (its id
+    # keys the shadow table and its length sizes array-backed tables) or
+    # the int 0 for scalar globals, with ``index`` the interned name key.
+    def on_load(self, instr, frame, storage, index: int) -> None: ...
 
-    def on_store(self, instr, frame, storage_id: int, index: int) -> None: ...
+    def on_store(self, instr, frame, storage, index: int) -> None: ...
 
     def on_builtin(self, instr, frame) -> None: ...
 
@@ -128,7 +131,7 @@ class Interpreter:
 
     Two execution engines share this class:
 
-    * ``engine="bytecode"`` (default) — the predecoded closure-dispatch
+    * ``engine="bytecode"`` — the predecoded closure-dispatch
       engine from :mod:`repro.interp.bytecode`. Supports ``observer=None``
       (plain stream) and :class:`~repro.kremlib.profiler.KremlinProfiler`
       (fused instrumented stream). Any other observer silently falls back
@@ -142,19 +145,20 @@ class Interpreter:
         program: "CompiledProgram",
         observer: ExecutionObserver | None = None,
         max_instructions: int | None = None,
-        engine: str = "bytecode",
+        engine: str = "compiled",
     ):
         self.program = program
         self.module = program.module
         self.observer = observer
         self.max_instructions = max_instructions
 
-        if engine not in ("bytecode", "tree"):
+        if engine not in ("bytecode", "tree", "compiled"):
             raise InterpreterError(
-                f"unknown engine {engine!r} (expected 'bytecode' or 'tree')"
+                f"unknown engine {engine!r} "
+                "(expected 'tree', 'bytecode', or 'compiled')"
             )
         if (
-            engine == "bytecode"
+            engine in ("bytecode", "compiled")
             and observer is not None
             and not getattr(observer, "supports_fused_decode", False)
         ):
@@ -163,6 +167,7 @@ class Interpreter:
             engine = "tree"
         self.engine = engine
         self._bytecode = None
+        self._compiled = None
 
         self.globals_scalar: dict[str, int | float] = {}
         self.globals_array: dict[str, ArrayStorage] = {}
@@ -220,7 +225,35 @@ class Interpreter:
     # Execution
     # ------------------------------------------------------------------
 
+    def prepare(self) -> None:
+        """Eagerly decode/compile the selected engine's code.
+
+        Normally decode and codegen are lazy (first ``run()``); sessions
+        that want codegen cost up front — e.g. to cache compiled units
+        before timing runs — call this explicitly. No-op for the tree
+        engine.
+        """
+        if self.engine == "compiled":
+            from repro.interp.runtime import CompiledEngine
+
+            if self._compiled is None:
+                self._compiled = CompiledEngine(self)
+            self._compiled.prepare()
+        elif self.engine == "bytecode":
+            from repro.interp.bytecode import BytecodeEngine
+
+            if self._bytecode is None:
+                self._bytecode = BytecodeEngine(self)
+            if not self._bytecode._decoded:
+                self._bytecode._decode()
+
     def run(self, entry: str = "main", args: tuple = ()) -> RunResult:
+        if self.engine == "compiled":
+            from repro.interp.runtime import CompiledEngine
+
+            if self._compiled is None:
+                self._compiled = CompiledEngine(self)
+            return self._compiled.run(entry, args)
         if self.engine == "bytecode":
             from repro.interp.bytecode import BytecodeEngine
 
@@ -295,7 +328,7 @@ class Interpreter:
                                 instr.span,
                             ) from None
                         if observer is not None:
-                            observer.on_load(instr, frame, id(mem), index)
+                            observer.on_load(instr, frame, mem, index)
                     else:
                         registers[instr.result.index] = mem  # global scalar
                         if observer is not None:
@@ -312,7 +345,7 @@ class Interpreter:
                         else:
                             data[checked] = float(value)
                         if observer is not None:
-                            observer.on_store(instr, frame, id(mem), index)
+                            observer.on_store(instr, frame, mem, index)
                     else:
                         name = instr.mem.name  # type: ignore[union-attr]
                         var = self.module.globals[name]

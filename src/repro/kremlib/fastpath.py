@@ -29,6 +29,11 @@ serialized profiles against the tree engine):
   markers, calls, terminators) — exactly the points where the tree
   engine's incremental totals become observable.
 
+The generated profiling fragments themselves (operand resolution, merge
+loops, region bodies) live in :class:`~repro.kremlib.segments.SegmentEmitter`,
+shared with the AOT compiled engine (:mod:`repro.interp.codegen`) so both
+fast paths emit the same arithmetic statement for statement.
+
 Mutable profiler state is shared by identity: the decoder captures the
 profiler's ``stack``/``mem_shadow`` containers (reset via ``.clear()`` so
 identity survives re-runs), mirrors ``tags``/``tracked_depth`` in a
@@ -59,6 +64,7 @@ from repro.ir.instructions import (
 from repro.ir.types import FLOAT, INT
 from repro.ir.values import GlobalRef, Register
 from repro.kremlib.profiler import KremlinProfiler, ProfilerError, _ActiveRegion
+from repro.kremlib.segments import SegmentEmitter
 from repro.kremlib.shadow import resolve_entry
 from repro.obs.metrics import get_metrics, metrics_enabled
 
@@ -80,7 +86,7 @@ def _compute_ts(inputs, cost: int, depth: int) -> list:
     return ts
 
 
-class FusedDecoder(PlainDecoder):
+class FusedDecoder(PlainDecoder, SegmentEmitter):
     """Decode with KremlinProfiler semantics fused into every closure."""
 
     def __init__(self, engine, profiler):
@@ -142,11 +148,12 @@ class FusedDecoder(PlainDecoder):
                 "_rcache": self.rcache,
             }
         )
-        self._seg_known: dict[int, str] = {}
-        self._seg_ts: list[str] = []
-        self._seg_cost = 0
-        self._seg_loaded = False
-        self._seg_ctrl = False
+        self._seg_reset()
+
+    # -- SegmentEmitter host hook ------------------------------------------
+
+    def _sreg(self, index: int) -> str:
+        return f"sregs[{index}]"
 
     # -- run lifecycle -----------------------------------------------------
 
@@ -196,252 +203,7 @@ class FusedDecoder(PlainDecoder):
     # -- segment state -----------------------------------------------------
 
     def _begin_run(self) -> None:
-        self._seg_known = {}
-        self._seg_ts = []
-        self._seg_cost = 0
-        self._seg_loaded = False
-        self._seg_ctrl = False
-
-    def _seg_load(self, lines: list[str]) -> None:
-        if not self._seg_loaded:
-            lines.append("_cu = state[0]")
-            lines.append("_dp = state[1]")
-            self._seg_loaded = True
-
-    def _seg_control(self, lines: list[str]) -> None:
-        """Resolve the control-top entry once per segment into
-        ``(_ctm, _cvl)`` (``_ctm is None`` when there is no influence)."""
-        if self._seg_ctrl:
-            return
-        lines += [
-            "_ce = control[-1][2] if control else None",
-            "if _ce is None:",
-            "    _ctm = None",
-            "else:",
-            "    _ctm, _ctg = _ce",
-            "    if _ctg is _cu:",
-            "        _cvl = len(_ctm)",
-            "        if _cvl > _dp:",
-            "            _cvl = _dp",
-            "    else:",
-            "        _cvl = _rcache.get(_ctg, -1)",
-            "        if _cvl < 0:",
-            "            _cvl = len(_ctg)",
-            "            if len(_cu) < _cvl:",
-            "                _cvl = len(_cu)",
-            "            _k = 0",
-            "            while _k < _cvl and _ctg[_k] == _cu[_k]:",
-            "                _k += 1",
-            "            _cvl = _k",
-            "            _rcache[_ctg] = _cvl",
-            "        if len(_ctm) < _cvl:",
-            "            _cvl = len(_ctm)",
-            "        if _cvl > _dp:",
-            "            _cvl = _dp",
-        ]
-        self._seg_ctrl = True
-
-    def _seg_flush(self, lines: list[str]) -> None:
-        """Fold the segment's accumulated work and cp maxima into the
-        region stack, then reset segment-local codegen knowledge."""
-        ts = self._seg_ts
-        if ts:
-            lines.append("if stack:")
-            lines.append(f"    stack[-1].work += {self._seg_cost}")
-            if len(ts) == 1:
-                lines += [
-                    "    _k = 0",
-                    f"    for _t in {ts[0]}:",
-                    "        if _t > cps[_k]:",
-                    "            cps[_k] = _t",
-                    "        _k += 1",
-                ]
-            else:
-                lines += [
-                    "    _k = 0",
-                    "    while _k < _dp:",
-                    "        _m = cps[_k]",
-                ]
-                for tv in ts:
-                    lines += [
-                        f"        _t = {tv}[_k]",
-                        "        if _t > _m:",
-                        "            _m = _t",
-                    ]
-                lines += [
-                    "        cps[_k] = _m",
-                    "        _k += 1",
-                ]
-        elif self._seg_cost:
-            lines.append("if stack:")
-            lines.append(f"    stack[-1].work += {self._seg_cost}")
-        self._begin_run()
-
-    def _ts_name(self) -> str:
-        self._sym += 1
-        return f"_s{self._sym}"
-
-    # -- generated merge fragments -----------------------------------------
-
-    def _merge_resolution(self, lines: list[str], expr: str) -> None:
-        """Resolve entry ``expr`` against the current tags into
-        ``(_tm, _vl)`` under an ``if _e is not None:`` guard (already
-        emitted by the caller). Statement-level ``resolve_entry``."""
-        lines += [
-            "    _tm, _tg = _e",
-            "    if _tg is _cu:",
-            "        _vl = len(_tm)",
-            "        if _vl > _dp:",
-            "            _vl = _dp",
-            "    else:",
-            "        _vl = _rcache.get(_tg, -1)",
-            "        if _vl < 0:",
-            "            _vl = len(_tg)",
-            "            if len(_cu) < _vl:",
-            "                _vl = len(_cu)",
-            "            _k = 0",
-            "            while _k < _vl and _tg[_k] == _cu[_k]:",
-            "                _k += 1",
-            "            _vl = _k",
-            "            _rcache[_tg] = _vl",
-            "        if len(_tm) < _vl:",
-            "            _vl = len(_tm)",
-            "        if _vl > _dp:",
-            "            _vl = _dp",
-        ]
-        if self._metrics_on:
-            lines += [
-                "    if _vl == 0:",
-                "        _mev[0] += 1",
-            ]
-
-    def _merge_entry(self, lines: list[str], expr: str, cost: int, tv: str):
-        """Merge a generic entry into the existing list ``tv``."""
-        lines.append(f"_e = {expr}")
-        lines.append("if _e is not None:")
-        self._merge_resolution(lines, expr)
-        lines += [
-            "    _k = 0",
-            "    for _t in _tm[:_vl]:",
-            f"        _t += {cost}",
-            f"        if _t > {tv}[_k]:",
-            f"            {tv}[_k] = _t",
-            "        _k += 1",
-        ]
-
-    def _chain_entry(self, lines: list[str], expr: str, cost: int, tv: str):
-        """Merge a generic entry into ``tv`` which may still be None."""
-        lines.append(f"_e = {expr}")
-        lines.append("if _e is not None:")
-        self._merge_resolution(lines, expr)
-        lines += [
-            f"    if {tv} is None:",
-            f"        {tv} = [_t + {cost} for _t in _tm[:_vl]]",
-            "        if _vl < _dp:",
-            f"            {tv} += [{cost}] * (_dp - _vl)",
-            "    else:",
-            "        _k = 0",
-            "        for _t in _tm[:_vl]:",
-            f"            _t += {cost}",
-            f"            if _t > {tv}[_k]:",
-            f"                {tv}[_k] = _t",
-            "            _k += 1",
-        ]
-
-    def _merge_ctrl(self, lines: list[str], cost: int, tv: str) -> None:
-        lines += [
-            "if _ctm is not None:",
-            "    _k = 0",
-            "    for _t in _ctm[:_cvl]:",
-            f"        _t += {cost}",
-            f"        if _t > {tv}[_k]:",
-            f"            {tv}[_k] = _t",
-            "        _k += 1",
-        ]
-
-    def _chain_ctrl(self, lines: list[str], cost: int, tv: str) -> None:
-        lines += [
-            "if _ctm is not None:",
-            f"    if {tv} is None:",
-            f"        {tv} = [_t + {cost} for _t in _ctm[:_cvl]]",
-            "        if _cvl < _dp:",
-            f"            {tv} += [{cost}] * (_dp - _cvl)",
-            "    else:",
-            "        _k = 0",
-            "        for _t in _ctm[:_cvl]:",
-            f"            _t += {cost}",
-            f"            if _t > {tv}[_k]:",
-            f"                {tv}[_k] = _t",
-            "            _k += 1",
-        ]
-
-    def _gen_event(
-        self,
-        lines: list[str],
-        cost: int,
-        reg_indices,
-        cell_expr: str | None = None,
-        result_index: int | None = None,
-        fresh_control: bool = False,
-    ) -> str:
-        """Emit the fused hook body for one profiling event: resolve the
-        shadow sources, merge into a fresh timestamp vector, record it for
-        the segment's batched accounting, and store the result entry.
-        Returns the timestamp variable name."""
-        self._seg_load(lines)
-        known: list[str] = []
-        entry_exprs: list[str] = []
-        for index in reg_indices:
-            name = self._seg_known.get(index)
-            if name is not None:
-                known.append(name)
-            else:
-                entry_exprs.append(f"sregs[{index}]")
-        if cell_expr is not None:
-            entry_exprs.append(cell_expr)
-        if fresh_control:
-            # The branch terminator reads the control top after its own
-            # truncation, so the segment cache cannot be used.
-            entry_exprs.append("control[-1][2] if control else None")
-        else:
-            self._seg_control(lines)
-        if self._metrics_on:
-            if known:
-                lines.append(f"_mfp[0] += {len(known)}")
-            if entry_exprs:
-                lines.append(f"_mres[0] += {len(entry_exprs)}")
-        tv = self._ts_name()
-        if known:
-            if len(known) == 1:
-                lines.append(f"{tv} = [_t + {cost} for _t in {known[0]}]")
-            elif len(known) == 2:
-                lines.append(
-                    f"{tv} = [(_a if _a > _b else _b) + {cost} "
-                    f"for _a, _b in zip({known[0]}, {known[1]})]"
-                )
-            else:
-                lines.append(
-                    f"{tv} = [max(_z) + {cost} "
-                    f"for _z in zip({', '.join(known)})]"
-                )
-            for expr in entry_exprs:
-                self._merge_entry(lines, expr, cost, tv)
-            if not fresh_control:
-                self._merge_ctrl(lines, cost, tv)
-        else:
-            lines.append(f"{tv} = None")
-            for expr in entry_exprs:
-                self._chain_entry(lines, expr, cost, tv)
-            if not fresh_control:
-                self._chain_ctrl(lines, cost, tv)
-            lines.append(f"if {tv} is None:")
-            lines.append(f"    {tv} = [{cost}] * _dp")
-        self._seg_ts.append(tv)
-        self._seg_cost += cost
-        if result_index is not None:
-            lines.append(f"sregs[{result_index}] = ({tv}, _cu)")
-            self._seg_known[result_index] = tv
-        return tv
+        self._seg_reset()
 
     # -- instructions ------------------------------------------------------
 
@@ -449,11 +211,11 @@ class FusedDecoder(PlainDecoder):
         cls = type(instr)
         if cls is RegionEnter:
             self._seg_flush(lines)
-            self._gen_region_enter(instr, lines)
+            self._gen_region_enter(lines, instr.region_id)
             return
         if cls is RegionExit:
             self._seg_flush(lines)
-            self._gen_region_exit(instr, lines)
+            self._gen_region_exit(lines, instr.region_id)
             return
         # Semantic effect first (Load/Store are overridden below to leave
         # the index/storage temps the shadow code needs), then the fused
@@ -492,7 +254,7 @@ class FusedDecoder(PlainDecoder):
                 f"    regs[{res}] = {d}[_slow_index(i, {size}, {span})]",
             ]
             lines.append(f"_cm = mem_shadow.get({id(storage)})")
-            cell = "None if _cm is None else _cm.get(i)"
+            cell = "None if _cm is None else _cm[i]"
         else:
             span = self._name(env, instr.span, "sp")
             index = self._expr(instr.index, env)
@@ -506,7 +268,7 @@ class FusedDecoder(PlainDecoder):
                 f"    regs[{res}] = d[_slow_index(i, len(d), {span})]",
             ]
             lines.append("_cm = mem_shadow.get(id(st))")
-            cell = "None if _cm is None else _cm.get(i)"
+            cell = "None if _cm is None else _cm[i]"
         self._gen_event(
             lines,
             instr.cost,
@@ -522,7 +284,7 @@ class FusedDecoder(PlainDecoder):
             var = self.interp.module.globals[mem.name]
             conv = "int" if var.type == INT else "float"
             lines.append(f"cells[{mem.name!r}] = {conv}({value})")
-            sid, cell_index = "0", str(_global_key(mem))
+            sid, cell_index, alloc = "0", str(_global_key(mem)), "{}"
         elif type(mem) is GlobalRef:
             storage = self.interp.globals_array[mem.name]
             d = self._name(env, storage.data, "d")
@@ -536,7 +298,7 @@ class FusedDecoder(PlainDecoder):
                 f"    i = _slow_index(i, {size}, {span})",
                 f"{d}[i] = {conv}({value})",
             ]
-            sid, cell_index = str(id(storage)), "i"
+            sid, cell_index, alloc = str(id(storage)), "i", f"[None] * {size}"
         else:
             span = self._name(env, instr.span, "sp")
             index = self._expr(instr.index, env)
@@ -549,76 +311,17 @@ class FusedDecoder(PlainDecoder):
                 f"v = {value}",
                 "d[i] = int(v) if st.element_is_int else float(v)",
             ]
-            sid, cell_index = "id(st)", "i"
+            sid, cell_index, alloc = "id(st)", "i", "[None] * len(d)"
         tv = self._gen_event(lines, instr.cost, instr.shadow_ops)
         lines += [
             f"_cm = mem_shadow.get({sid})",
             "if _cm is None:",
-            "    _cm = {}",
+            f"    _cm = {alloc}",
             f"    mem_shadow[{sid}] = _cm",
             f"_cm[{cell_index}] = ({tv}, _cu)",
         ]
         if self._metrics_on:
             lines.append("_mcell[0] += 1")
-
-    # -- region events -----------------------------------------------------
-
-    def _gen_region_enter(self, instr, lines: list[str]) -> None:
-        sid = instr.region_id
-        maxd = self._max_depth
-        lines += [
-            f"_tk = len(stack) < {maxd}",
-            f"_rg = _ActiveRegion({sid}, prof._next_instance, _tk)",
-            "prof._next_instance += 1",
-            "stack.append(_rg)",
-            "_tg = state[0] + (_rg.instance,)",
-            "state[0] = _tg",
-            "prof.tags = _tg",
-            "_td = len(stack)",
-            f"if _td > {maxd}:",
-            f"    _td = {maxd}",
-            "state[1] = _td",
-            "prof.tracked_depth = _td",
-            "if _tk:",
-            "    cps.append(0)",
-            "_rcache.clear()",
-        ]
-
-    def _gen_region_exit(self, instr, lines: list[str]) -> None:
-        sid = instr.region_id
-        maxd = self._max_depth
-        lines += [
-            "if not stack:",
-            "    raise ProfilerError(",
-            f"        'region_exit #{sid} with empty region stack')",
-            "_rg = stack.pop()",
-            f"if _rg.static_id != {sid}:",
-            "    raise ProfilerError(",
-            f"        'unbalanced regions: exiting #{sid} but '",
-            "        '#%d is on top' % _rg.static_id)",
-            "_tg = state[0][:-1]",
-            "state[0] = _tg",
-            "prof.tags = _tg",
-            "_td = len(stack)",
-            f"if _td > {maxd}:",
-            f"    _td = {maxd}",
-            "state[1] = _td",
-            "prof.tracked_depth = _td",
-            "if _rg.tracked:",
-            "    _rg.cp = cps.pop()",
-            "_cp = _rg.cp",
-            "if not _rg.tracked or _cp > _rg.work:",
-            "    _cp = _rg.work",
-            "_c = _intern(_rg.static_id, _rg.work, _cp,",
-            "             tuple(sorted(_rg.children.items())))",
-            "if stack:",
-            "    _pr = stack[-1]",
-            "    _pr.work += _rg.work",
-            "    _pr.children[_c] = _pr.children.get(_c, 0) + 1",
-            "else:",
-            "    prof.root_char = _c",
-            "_rcache.clear()",
-        ]
 
     # -- run boundaries ----------------------------------------------------
 

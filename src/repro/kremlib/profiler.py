@@ -31,7 +31,7 @@ from repro.instrument.compile import CompiledProgram
 from repro.interp.interpreter import ExecutionObserver, Interpreter, RunResult
 from repro.ir.instructions import BinOp
 from repro.ir.values import Register
-from repro.kremlib.shadow import ShadowFrame, resolve_entry
+from repro.kremlib.shadow import ShadowFrame, make_cell_table, resolve_entry
 from repro.obs.metrics import get_metrics, metrics_enabled
 from repro.obs.trace import get_tracer
 
@@ -74,8 +74,11 @@ class KremlinProfiler(ExecutionObserver):
         self.tracked_depth = 0
         self._next_instance = 1
 
-        # Two-level shadow memory: storage id -> {index -> (times, tags)}.
-        self.mem_shadow: dict[int, dict[int, tuple]] = {}
+        # Two-level shadow memory: storage id -> second-level cell table.
+        # Array storages get array-backed tables (one slot per element,
+        # see shadow.make_cell_table); scalar globals share the dict under
+        # storage id 0, keyed by interned global name.
+        self.mem_shadow: dict[int, list | dict] = {}
 
         self._pending_return: list | None = None
         self._finished_profile: ParallelismProfile | None = None
@@ -267,7 +270,7 @@ class KremlinProfiler(ExecutionObserver):
         if result_index is not None:
             registers[result_index] = (ts, current)
 
-    def on_load(self, instr, frame, storage_id: int, index: int) -> None:
+    def on_load(self, instr, frame, storage, index: int) -> None:
         shadow = frame.shadow
         if shadow is None:
             shadow = self._shadow(frame)
@@ -278,9 +281,15 @@ class KremlinProfiler(ExecutionObserver):
             resolved = self._resolve(registers[operand_index])
             if resolved is not None:
                 inputs.append(resolved)
-        cell_map = self.mem_shadow.get(storage_id)
-        if cell_map is not None:
-            resolved = self._resolve(cell_map.get(index))
+        if type(storage) is int:
+            # Scalar global: shared dict table keyed by interned name.
+            cell_map = self.mem_shadow.get(storage)
+            entry = None if cell_map is None else cell_map.get(index)
+        else:
+            cell_map = self.mem_shadow.get(id(storage))
+            entry = None if cell_map is None else cell_map[index]
+        if entry is not None:
+            resolved = self._resolve(entry)
             if resolved is not None:
                 inputs.append(resolved)
         control = self._control_top(shadow)
@@ -291,7 +300,7 @@ class KremlinProfiler(ExecutionObserver):
         self._account(ts, instr.cost)
         registers[instr.result_index] = (ts, self.tags)
 
-    def on_store(self, instr, frame, storage_id: int, index: int) -> None:
+    def on_store(self, instr, frame, storage, index: int) -> None:
         shadow = frame.shadow
         if shadow is None:
             shadow = self._shadow(frame)
@@ -308,10 +317,17 @@ class KremlinProfiler(ExecutionObserver):
 
         ts = self._compute_ts(inputs, instr.cost)
         self._account(ts, instr.cost)
-        cell_map = self.mem_shadow.get(storage_id)
-        if cell_map is None:
-            cell_map = {}
-            self.mem_shadow[storage_id] = cell_map
+        if type(storage) is int:
+            cell_map = self.mem_shadow.get(storage)
+            if cell_map is None:
+                cell_map = {}
+                self.mem_shadow[storage] = cell_map
+        else:
+            sid = id(storage)
+            cell_map = self.mem_shadow.get(sid)
+            if cell_map is None:
+                cell_map = make_cell_table(len(storage.data))
+                self.mem_shadow[sid] = cell_map
         cell_map[index] = (ts, self.tags)
         if self._metrics_on:
             self._m_cells[0] += 1
@@ -497,13 +513,14 @@ def profile_program(
     args: tuple = (),
     max_depth: int | None = None,
     max_instructions: int | None = None,
-    engine: str = "bytecode",
+    engine: str = "compiled",
 ) -> tuple[ParallelismProfile, RunResult]:
     """Run a compiled program under the KremLib profiler.
 
     Returns the parallelism profile and the ordinary run result (so callers
     can check the program's own outputs/return value). ``engine`` selects
-    the execution engine (``"bytecode"`` fused fast paths, or ``"tree"``).
+    the execution engine (``"compiled"`` AOT codegen, ``"bytecode"`` fused
+    closures, or the ``"tree"`` reference).
     """
     profiler = KremlinProfiler(program, max_depth=max_depth)
     interpreter = Interpreter(

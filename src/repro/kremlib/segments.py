@@ -1,0 +1,353 @@
+"""Shared KremLib segment-fusion codegen fragments.
+
+Both profiling fast paths — the fused bytecode decoder
+(:mod:`repro.kremlib.fastpath`) and the AOT compiled engine
+(:mod:`repro.interp.codegen`) — bake the :class:`KremlinProfiler` hook
+bodies into generated Python source. :class:`SegmentEmitter` is the single
+implementation of those generated fragments: shadow-operand resolution,
+timestamp merges, batched work/cp accounting, and the region enter/exit
+bodies. Keeping one emitter guarantees the two engines produce the same
+profiling arithmetic statement for statement, which is what makes their
+serialized profiles bit-identical (the differential suite enforces it).
+
+The host class supplies:
+
+* ``_sreg(index) -> str`` — the source expression for shadow register
+  ``index`` (``sregs[i]`` in the bytecode decoder's closure context,
+  a local ``s{i}`` in compiled functions);
+* ``_sym`` — a monotonically increasing symbol counter (shared with the
+  host's own gensym so names never collide);
+* ``_metrics_on`` — decode-time observability gate (when False, no
+  counting line is emitted anywhere);
+* ``_max_depth`` — the profiler's region-depth limit.
+
+Generated-source environment contract (the host must bind these names):
+``state`` (``[tags, tracked_depth]`` mirror), ``cps``, ``stack``,
+``_rcache``, ``prof``, ``_ActiveRegion``, ``ProfilerError``, ``_intern``,
+``tuple``, ``sorted`` — plus ``_mfp``/``_mres``/``_mev``/``_mcell`` when
+metrics are on. A per-activation ``control`` list must be in scope.
+"""
+
+from __future__ import annotations
+
+
+class SegmentEmitter:
+    """Generates the fused profiling-event source fragments.
+
+    Lines are emitted unindented (relative to the enclosing function
+    body); hosts that nest them inside structured control flow re-indent
+    the returned fragment.
+    """
+
+    # Hosts must set: _sym, _metrics_on, _max_depth (and call _seg_reset
+    # before the first event of every straight-line segment).
+
+    def _sreg(self, index: int) -> str:
+        raise NotImplementedError
+
+    # -- segment state -----------------------------------------------------
+
+    def _seg_reset(self) -> None:
+        self._seg_known: dict[int, str] = {}
+        self._seg_ts: list[str] = []
+        self._seg_cost = 0
+        self._seg_loaded = False
+        self._seg_ctrl = False
+
+    def _seg_load(self, lines: list[str]) -> None:
+        if not self._seg_loaded:
+            lines.append("_cu = state[0]")
+            lines.append("_dp = state[1]")
+            self._seg_loaded = True
+
+    def _seg_control(self, lines: list[str]) -> None:
+        """Resolve the control-top entry once per segment into
+        ``(_ctm, _cvl)`` (``_ctm is None`` when there is no influence)."""
+        if self._seg_ctrl:
+            return
+        lines += [
+            "_ce = control[-1][2] if control else None",
+            "if _ce is None:",
+            "    _ctm = None",
+            "else:",
+            "    _ctm, _ctg = _ce",
+            "    if _ctg is _cu:",
+            "        _cvl = len(_ctm)",
+            "        if _cvl > _dp:",
+            "            _cvl = _dp",
+            "    else:",
+            "        _cvl = _rcache.get(_ctg, -1)",
+            "        if _cvl < 0:",
+            "            _cvl = len(_ctg)",
+            "            if len(_cu) < _cvl:",
+            "                _cvl = len(_cu)",
+            "            _k = 0",
+            "            while _k < _cvl and _ctg[_k] == _cu[_k]:",
+            "                _k += 1",
+            "            _cvl = _k",
+            "            _rcache[_ctg] = _cvl",
+            "        if len(_ctm) < _cvl:",
+            "            _cvl = len(_ctm)",
+            "        if _cvl > _dp:",
+            "            _cvl = _dp",
+        ]
+        self._seg_ctrl = True
+
+    def _seg_flush(self, lines: list[str]) -> None:
+        """Fold the segment's accumulated work and cp maxima into the
+        region stack, then reset segment-local codegen knowledge."""
+        ts = self._seg_ts
+        if ts:
+            lines.append("if stack:")
+            lines.append(f"    stack[-1].work += {self._seg_cost}")
+            if len(ts) == 1:
+                lines += [
+                    "    _k = 0",
+                    f"    for _t in {ts[0]}:",
+                    "        if _t > cps[_k]:",
+                    "            cps[_k] = _t",
+                    "        _k += 1",
+                ]
+            else:
+                lines += [
+                    "    _k = 0",
+                    "    while _k < _dp:",
+                    "        _m = cps[_k]",
+                ]
+                for tv in ts:
+                    lines += [
+                        f"        _t = {tv}[_k]",
+                        "        if _t > _m:",
+                        "            _m = _t",
+                    ]
+                lines += [
+                    "        cps[_k] = _m",
+                    "        _k += 1",
+                ]
+        elif self._seg_cost:
+            lines.append("if stack:")
+            lines.append(f"    stack[-1].work += {self._seg_cost}")
+        self._seg_reset()
+
+    def _ts_name(self) -> str:
+        self._sym += 1
+        return f"_s{self._sym}"
+
+    # -- generated merge fragments -----------------------------------------
+
+    def _merge_resolution(self, lines: list[str], expr: str) -> None:
+        """Resolve entry ``expr`` against the current tags into
+        ``(_tm, _vl)`` under an ``if _e is not None:`` guard (already
+        emitted by the caller). Statement-level ``resolve_entry``."""
+        lines += [
+            "    _tm, _tg = _e",
+            "    if _tg is _cu:",
+            "        _vl = len(_tm)",
+            "        if _vl > _dp:",
+            "            _vl = _dp",
+            "    else:",
+            "        _vl = _rcache.get(_tg, -1)",
+            "        if _vl < 0:",
+            "            _vl = len(_tg)",
+            "            if len(_cu) < _vl:",
+            "                _vl = len(_cu)",
+            "            _k = 0",
+            "            while _k < _vl and _tg[_k] == _cu[_k]:",
+            "                _k += 1",
+            "            _vl = _k",
+            "            _rcache[_tg] = _vl",
+            "        if len(_tm) < _vl:",
+            "            _vl = len(_tm)",
+            "        if _vl > _dp:",
+            "            _vl = _dp",
+        ]
+        if self._metrics_on:
+            lines += [
+                "    if _vl == 0:",
+                "        _mev[0] += 1",
+            ]
+
+    def _merge_entry(self, lines: list[str], expr: str, cost: int, tv: str):
+        """Merge a generic entry into the existing list ``tv``."""
+        lines.append(f"_e = {expr}")
+        lines.append("if _e is not None:")
+        self._merge_resolution(lines, expr)
+        lines += [
+            "    _k = 0",
+            "    for _t in _tm[:_vl]:",
+            f"        _t += {cost}",
+            f"        if _t > {tv}[_k]:",
+            f"            {tv}[_k] = _t",
+            "        _k += 1",
+        ]
+
+    def _chain_entry(self, lines: list[str], expr: str, cost: int, tv: str):
+        """Merge a generic entry into ``tv`` which may still be None."""
+        lines.append(f"_e = {expr}")
+        lines.append("if _e is not None:")
+        self._merge_resolution(lines, expr)
+        lines += [
+            f"    if {tv} is None:",
+            f"        {tv} = [_t + {cost} for _t in _tm[:_vl]]",
+            "        if _vl < _dp:",
+            f"            {tv} += [{cost}] * (_dp - _vl)",
+            "    else:",
+            "        _k = 0",
+            "        for _t in _tm[:_vl]:",
+            f"            _t += {cost}",
+            f"            if _t > {tv}[_k]:",
+            f"                {tv}[_k] = _t",
+            "            _k += 1",
+        ]
+
+    def _merge_ctrl(self, lines: list[str], cost: int, tv: str) -> None:
+        lines += [
+            "if _ctm is not None:",
+            "    _k = 0",
+            "    for _t in _ctm[:_cvl]:",
+            f"        _t += {cost}",
+            f"        if _t > {tv}[_k]:",
+            f"            {tv}[_k] = _t",
+            "        _k += 1",
+        ]
+
+    def _chain_ctrl(self, lines: list[str], cost: int, tv: str) -> None:
+        lines += [
+            "if _ctm is not None:",
+            f"    if {tv} is None:",
+            f"        {tv} = [_t + {cost} for _t in _ctm[:_cvl]]",
+            "        if _cvl < _dp:",
+            f"            {tv} += [{cost}] * (_dp - _cvl)",
+            "    else:",
+            "        _k = 0",
+            "        for _t in _ctm[:_cvl]:",
+            f"            _t += {cost}",
+            f"            if _t > {tv}[_k]:",
+            f"                {tv}[_k] = _t",
+            "            _k += 1",
+        ]
+
+    def _gen_event(
+        self,
+        lines: list[str],
+        cost: int,
+        reg_indices,
+        cell_expr: str | None = None,
+        result_index: int | None = None,
+        fresh_control: bool = False,
+    ) -> str:
+        """Emit the fused hook body for one profiling event: resolve the
+        shadow sources, merge into a fresh timestamp vector, record it for
+        the segment's batched accounting, and store the result entry.
+        Returns the timestamp variable name."""
+        self._seg_load(lines)
+        known: list[str] = []
+        entry_exprs: list[str] = []
+        for index in reg_indices:
+            name = self._seg_known.get(index)
+            if name is not None:
+                known.append(name)
+            else:
+                entry_exprs.append(self._sreg(index))
+        if cell_expr is not None:
+            entry_exprs.append(cell_expr)
+        if fresh_control:
+            # The branch terminator reads the control top after its own
+            # truncation, so the segment cache cannot be used.
+            entry_exprs.append("control[-1][2] if control else None")
+        else:
+            self._seg_control(lines)
+        if self._metrics_on:
+            if known:
+                lines.append(f"_mfp[0] += {len(known)}")
+            if entry_exprs:
+                lines.append(f"_mres[0] += {len(entry_exprs)}")
+        tv = self._ts_name()
+        if known:
+            if len(known) == 1:
+                lines.append(f"{tv} = [_t + {cost} for _t in {known[0]}]")
+            elif len(known) == 2:
+                lines.append(
+                    f"{tv} = [(_a if _a > _b else _b) + {cost} "
+                    f"for _a, _b in zip({known[0]}, {known[1]})]"
+                )
+            else:
+                lines.append(
+                    f"{tv} = [max(_z) + {cost} "
+                    f"for _z in zip({', '.join(known)})]"
+                )
+            for expr in entry_exprs:
+                self._merge_entry(lines, expr, cost, tv)
+            if not fresh_control:
+                self._merge_ctrl(lines, cost, tv)
+        else:
+            lines.append(f"{tv} = None")
+            for expr in entry_exprs:
+                self._chain_entry(lines, expr, cost, tv)
+            if not fresh_control:
+                self._chain_ctrl(lines, cost, tv)
+            lines.append(f"if {tv} is None:")
+            lines.append(f"    {tv} = [{cost}] * _dp")
+        self._seg_ts.append(tv)
+        self._seg_cost += cost
+        if result_index is not None:
+            lines.append(f"{self._sreg(result_index)} = ({tv}, _cu)")
+            self._seg_known[result_index] = tv
+        return tv
+
+    # -- region events -----------------------------------------------------
+
+    def _gen_region_enter(self, lines: list[str], static_id: int) -> None:
+        maxd = self._max_depth
+        lines += [
+            f"_tk = len(stack) < {maxd}",
+            f"_rg = _ActiveRegion({static_id}, prof._next_instance, _tk)",
+            "prof._next_instance += 1",
+            "stack.append(_rg)",
+            "_tg = state[0] + (_rg.instance,)",
+            "state[0] = _tg",
+            "prof.tags = _tg",
+            "_td = len(stack)",
+            f"if _td > {maxd}:",
+            f"    _td = {maxd}",
+            "state[1] = _td",
+            "prof.tracked_depth = _td",
+            "if _tk:",
+            "    cps.append(0)",
+            "_rcache.clear()",
+        ]
+
+    def _gen_region_exit(self, lines: list[str], static_id: int) -> None:
+        maxd = self._max_depth
+        lines += [
+            "if not stack:",
+            "    raise ProfilerError(",
+            f"        'region_exit #{static_id} with empty region stack')",
+            "_rg = stack.pop()",
+            f"if _rg.static_id != {static_id}:",
+            "    raise ProfilerError(",
+            f"        'unbalanced regions: exiting #{static_id} but '",
+            "        '#%d is on top' % _rg.static_id)",
+            "_tg = state[0][:-1]",
+            "state[0] = _tg",
+            "prof.tags = _tg",
+            "_td = len(stack)",
+            f"if _td > {maxd}:",
+            f"    _td = {maxd}",
+            "state[1] = _td",
+            "prof.tracked_depth = _td",
+            "if _rg.tracked:",
+            "    _rg.cp = cps.pop()",
+            "_cp = _rg.cp",
+            "if not _rg.tracked or _cp > _rg.work:",
+            "    _cp = _rg.work",
+            "_c = _intern(_rg.static_id, _rg.work, _cp,",
+            "             tuple(sorted(_rg.children.items())))",
+            "if stack:",
+            "    _pr = stack[-1]",
+            "    _pr.work += _rg.work",
+            "    _pr.children[_c] = _pr.children.get(_c, 0) + 1",
+            "else:",
+            "    prof.root_char = _c",
+            "_rcache.clear()",
+        ]

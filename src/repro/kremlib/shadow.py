@@ -17,6 +17,18 @@ rule that data written by an exited sibling region instance "is discarded
 from __future__ import annotations
 
 
+def make_cell_table(count: int) -> list:
+    """Array-backed second-level shadow table for one array storage.
+
+    One slot per element, ``None`` until first written. Array indices are
+    validated before any shadow event fires, so accesses never need the
+    bounds-tolerant dict protocol; scalar globals (storage id 0) keep a
+    dict keyed by interned global name. Entries in both table kinds are
+    the same ``(times, tags)`` pairs :func:`resolve_entry` consumes.
+    """
+    return [None] * count
+
+
 class ShadowFrame:
     """Per-activation shadow state: register table + control-dep stack.
 

@@ -1,0 +1,28 @@
+// hand-seeded: the AOT compiled engine's symbolic-segment surfaces — a
+// reduction loop whose intermediate shadow stores are provably dead past
+// the region exit (dead-store elision), loop-invariant array cells whose
+// resolution prefixes must survive loop-level region exits (the
+// resolution-cache high-water mark), and a data-dependent branch inside
+// the loop (control entries interleaved with elided stores)
+float a[8];
+float b[8];
+int main() {
+  float acc = 0.0;
+  for (int i = 0; i < 8; i++) {
+    a[i] = (float) i + 1.0;
+    b[i] = (float) (8 - i);
+  }
+  for (int r = 0; r < 5; r++) {
+    for (int i = 0; i < 8; i++) {
+      float t = a[i] * b[i];
+      float u = t + a[(i + r) % 8];
+      if (u > 20.0) {
+        acc = acc + u;
+      } else {
+        acc = acc - t * 0.125;
+      }
+    }
+    b[r % 8] = acc * 0.5;
+  }
+  return (int) fabs(acc) % 97;
+}

@@ -1,11 +1,11 @@
-"""Differential test: tree engine vs. predecoded bytecode engine.
+"""Differential test: tree vs. bytecode vs. AOT-compiled engine.
 
-The bytecode engine is a performance reimplementation of the interpreter;
-the tree-walking engine is the reference. This file runs every benchmark
-in the suite under both engines — plain and under the KremLib profiler —
-and asserts bit-identical results: the program's return value and output,
-the instruction accounting, and (for profiled runs) the serialized
-parallelism profile, byte for byte.
+The bytecode and compiled engines are performance reimplementations of
+the interpreter; the tree-walking engine is the reference. This file runs
+every benchmark in the suite under all three engines — plain and under
+the KremLib profiler — and asserts bit-identical results: the program's
+return value and output, the instruction accounting, and (for profiled
+runs) the serialized parallelism profile, byte for byte.
 """
 
 from __future__ import annotations
@@ -48,33 +48,40 @@ def _assert_same_result(a, b):
     assert a.total_cost == b.total_cost
 
 
+FAST_ENGINES = ("bytecode", "compiled")
+
+
+@pytest.mark.parametrize("engine", FAST_ENGINES)
 @pytest.mark.parametrize("name", NAMES)
-def test_plain_runs_identical(name):
+def test_plain_runs_identical(name, engine):
     tree, _ = _run(name, "tree", profiled=False)
-    bytecode, _ = _run(name, "bytecode", profiled=False)
-    _assert_same_result(tree, bytecode)
+    fast, _ = _run(name, engine, profiled=False)
+    _assert_same_result(tree, fast)
 
 
+@pytest.mark.parametrize("engine", FAST_ENGINES)
 @pytest.mark.parametrize("name", NAMES)
-def test_profiled_runs_identical(name):
+def test_profiled_runs_identical(name, engine):
     tree, tree_profile = _run(name, "tree", profiled=True)
-    bytecode, bytecode_profile = _run(name, "bytecode", profiled=True)
-    _assert_same_result(tree, bytecode)
-    assert tree_profile == bytecode_profile
+    fast, fast_profile = _run(name, engine, profiled=True)
+    _assert_same_result(tree, fast)
+    assert tree_profile == fast_profile
 
 
+@pytest.mark.parametrize("engine", FAST_ENGINES)
 @pytest.mark.parametrize("name", NAMES)
-def test_profiler_does_not_perturb_execution(name):
+def test_profiler_does_not_perturb_execution(name, engine):
     """observer=None and KremlinProfiler see the same program execution."""
-    plain, _ = _run(name, "bytecode", profiled=False)
-    profiled, _ = _run(name, "bytecode", profiled=True)
+    plain, _ = _run(name, engine, profiled=False)
+    profiled, _ = _run(name, engine, profiled=True)
     _assert_same_result(plain, profiled)
 
 
-def test_expected_results_hold():
-    """The suite's own self-checks pass under the bytecode engine."""
+@pytest.mark.parametrize("engine", FAST_ENGINES)
+def test_expected_results_hold(engine):
+    """The suite's own self-checks pass under the fast engines."""
     for benchmark in all_benchmarks():
         if benchmark.expected_result is None:
             continue
-        result, _ = _run(benchmark.name, "bytecode", profiled=True)
+        result, _ = _run(benchmark.name, engine, profiled=True)
         assert result.value == benchmark.expected_result, benchmark.name

@@ -43,7 +43,7 @@ class TestFrozenOptions(unittest.TestCase):
         self.assertEqual(CompileOptions().filename, "<input>")
         profile = ProfileOptions()
         self.assertEqual(profile.entry, "main")
-        self.assertEqual(profile.engine, "bytecode")
+        self.assertEqual(profile.engine, "compiled")
         self.assertIsNone(profile.max_depth)
         plan = PlanOptions()
         self.assertEqual(plan.personality, "openmp")
@@ -85,6 +85,28 @@ class TestKremlinSession(unittest.TestCase):
         self.assertEqual(
             json.dumps(profile_to_json(report.profile)),
             json.dumps(profile_to_json(baseline.profile)),
+        )
+
+    def test_compile_cache_reuses_program_object(self):
+        session = KremlinSession()
+        first = session.compile(SOURCE)
+        second = session.compile(SOURCE)
+        self.assertIs(first, second)
+        other = session.compile(SOURCE + "\n// changed")
+        self.assertIsNot(first, other)
+
+    def test_compile_cache_counts_hits_and_misses(self):
+        from repro.obs.metrics import collecting_metrics
+
+        session = KremlinSession()
+        with collecting_metrics() as registry:
+            session.compile(SOURCE)
+            session.compile(SOURCE)
+        self.assertEqual(
+            registry.counter("session.compile_cache.misses").value, 1
+        )
+        self.assertEqual(
+            registry.counter("session.compile_cache.hits").value, 1
         )
 
     def test_analyze_with_options(self):

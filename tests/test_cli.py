@@ -70,6 +70,19 @@ class TestKremlinCli:
         top = report.plan[0].static_id
         assert main([source_file, f"--exclude={top}"]) == 0
 
+    def test_engine_flag_accepts_each_engine(self, source_file, capsys):
+        for engine in ("compiled", "bytecode", "tree"):
+            assert main([source_file, f"--engine={engine}"]) == 0
+            assert "Parallelism plan" in capsys.readouterr().out
+
+    def test_unknown_engine_exits_2_with_suggestion(self, source_file, capsys):
+        with pytest.raises(SystemExit) as caught:
+            main([source_file, "--engine=compield"])
+        assert caught.value.code == 2
+        err = capsys.readouterr().err
+        assert "unknown engine 'compield'" in err
+        assert "did you mean 'compiled'?" in err
+
     def test_missing_file_fails_cleanly(self, capsys):
         assert main(["/nonexistent/prog.c"]) == 1
         assert "error" in capsys.readouterr().err
