@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""CI parallel-backend smoke check.
+
+Runs SAFE_DOALL bench-suite programs through the parallel execution
+backend on a real process pool and holds the measured-vs-predicted
+comparison to the two falsifiable directions (see docs/PARALLEL.md,
+"Methodology"):
+
+1. **Execution**: at least one benchmark's dominant DOALL loop must be
+   accepted by the transform, dispatch worker chunks, and verify —
+   byte-identical final state, value, and output against the serial run.
+2. **Positive measured speedup**: every executed benchmark must report a
+   positive measured speedup, and on a multi-core runner at least one
+   benchmark must beat serial outright (measured > 1). On a single-CPU
+   runner the >1 bar is skipped — worker processes time-slice one core,
+   so wall-clock gain is physically impossible there — but the chunking
+   overhead is still bounded (measured >= MIN_SINGLE_CPU_SPEEDUP).
+3. **Prediction is an upper bound**: measured speedup never exceeds the
+   worker-capped prediction by more than DEFAULT_TOLERANCE. Warmup
+   (worker pool spin-up + per-worker codegen) runs before the timed
+   window, so timer jitter is the only slack the tolerance covers.
+
+Exit code 0 = all checks pass. Run from the repo root:
+
+    PYTHONPATH=src python scripts/check_parallel.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.bench_suite import get_benchmark  # noqa: E402
+from repro.exec_model import (  # noqa: E402
+    DEFAULT_TOLERANCE,
+    compare_measured_predicted,
+)
+from repro.hcpa import aggregate_profile  # noqa: E402
+from repro.kremlib import profile_program  # noqa: E402
+from repro.parallel import ParallelExecutor, ParallelOptions  # noqa: E402
+
+#: benchmarks that must execute, verify, and stay within tolerance
+BENCHMARKS = ("mandel", "ammp")
+
+#: benchmarks heavy enough that the speedup floor/bar is meaningful —
+#: ammp's kernels fork per call with small trips, so shipping dominates
+#: legitimately; mandel's one fat pixel loop is the measurable case
+SPEEDUP_BENCHMARKS = ("mandel",)
+
+WORKERS = 4
+
+#: single-CPU floor: chunk shipping + merge may cost time but must not
+#: blow up (a regression here means the backend started doing O(serial)
+#: redundant work per chunk)
+MIN_SINGLE_CPU_SPEEDUP = 0.25
+
+
+def check(name: str, multi_cpu: bool, gate_speedup: bool) -> tuple[bool, bool]:
+    """Returns (executed_and_verified, beat_serial)."""
+    bench = get_benchmark(name)
+    program = bench.compile()
+    profile, _ = profile_program(program)
+    aggregated = aggregate_profile(profile)
+
+    with ParallelExecutor(
+        ParallelOptions(workers=WORKERS, mode="fork")
+    ) as executor:
+        outcome = executor.execute(program)
+
+    comparison = compare_measured_predicted(aggregated, outcome, name)
+    print(comparison.render())
+
+    if outcome.fallback:
+        print(f"FAIL {name}: serial fallback: {outcome.fallback_reason}")
+        return False, False
+    if outcome.mismatch is not None:
+        print(f"FAIL {name}: parallel diverged from serial: {outcome.mismatch}")
+        return False, False
+    if not outcome.output_identical:
+        print(f"FAIL {name}: output not byte-identical to serial")
+        return False, False
+    if outcome.dispatched_chunks == 0:
+        print(f"FAIL {name}: no worker chunks dispatched")
+        return False, False
+
+    measured = outcome.measured_speedup
+    if measured <= 0.0:
+        print(f"FAIL {name}: non-positive measured speedup {measured:.3f}")
+        return False, False
+    if gate_speedup and not multi_cpu and measured < MIN_SINGLE_CPU_SPEEDUP:
+        print(
+            f"FAIL {name}: single-CPU speedup {measured:.3f} below the "
+            f"{MIN_SINGLE_CPU_SPEEDUP} overhead floor"
+        )
+        return False, False
+    if not comparison.within_tolerance():
+        print(
+            f"FAIL {name}: measured {measured:.2f}x exceeds predicted "
+            f"{comparison.predicted_speedup:.2f}x by more than "
+            f"{DEFAULT_TOLERANCE:.0%} — the model is supposed to be an "
+            "upper bound"
+        )
+        return False, False
+
+    print(
+        f"ok {name}: verified on {outcome.workers} lanes, "
+        f"{outcome.dispatched_chunks} chunks, measured {measured:.2f}x "
+        f"(predicted {comparison.predicted_speedup:.2f}x)"
+    )
+    return True, measured > 1.0
+
+
+def main() -> int:
+    cpus = os.cpu_count() or 1
+    multi_cpu = cpus > 1
+    print(f"parallel smoke: {cpus} CPU(s), {WORKERS} lanes requested")
+
+    failures = 0
+    any_beat_serial = False
+    for name in BENCHMARKS:
+        ok, beat = check(name, multi_cpu, name in SPEEDUP_BENCHMARKS)
+        failures += 0 if ok else 1
+        if name in SPEEDUP_BENCHMARKS:
+            any_beat_serial = any_beat_serial or beat
+
+    if multi_cpu and not any_beat_serial:
+        print(
+            "FAIL: no SAFE_DOALL benchmark beat serial on a "
+            f"{cpus}-CPU machine"
+        )
+        failures += 1
+
+    if failures:
+        print(f"parallel smoke: {failures} check(s) failed")
+        return 1
+    print("parallel smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

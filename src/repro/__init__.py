@@ -33,6 +33,8 @@ import warnings
 
 from repro.api import (
     CompileOptions,
+    ExecuteOptions,
+    ExecutionReport,
     KremlinReport,
     KremlinSession,
     PlanOptions,
@@ -149,6 +151,8 @@ __all__ = [
     "CompiledProgram",
     "CompressionStats",
     "DEFAULT_MACHINE",
+    "ExecuteOptions",
+    "ExecutionReport",
     "GprofPlanner",
     "Interpreter",
     "KremlinProfiler",

@@ -84,6 +84,21 @@ class PlanOptions:
     exclude: frozenset[int] = frozenset()
 
 
+@dataclass(frozen=True)
+class ExecuteOptions:
+    """Options for the parallel execution phase (``kremlin run``)."""
+
+    #: total execution lanes (master + pool workers); 1 = serial only
+    workers: int = 2
+    #: pool start method, or "inline" to run chunks in-process
+    mode: str = "fork"
+    #: pre-compile the program in each pool worker before the timed run
+    warmup: bool = True
+    #: combine float reductions in parallel (order-sensitive; off for
+    #: bit-exactness — see docs/PARALLEL.md)
+    allow_float_reductions: bool = False
+
+
 @dataclass
 class KremlinReport:
     """Everything one ``analyze`` call produces."""
@@ -120,6 +135,42 @@ class KremlinReport:
         return new_plan
 
 
+@dataclass
+class ExecutionReport:
+    """Everything one ``execute`` call produces: the analysis report
+    plus the parallel execution outcome and the measured-vs-predicted
+    comparison."""
+
+    report: KremlinReport
+    outcome: "ExecutionOutcome"
+    comparison: "SpeedupComparison"
+
+    @property
+    def plan(self) -> ParallelismPlan:
+        return self.report.plan
+
+    def render(self) -> str:
+        lines = [self.comparison.render()]
+        outcome = self.outcome
+        if outcome.fallback:
+            lines.append(f"serial fallback: {outcome.fallback_reason}")
+        if outcome.mismatch:
+            lines.append(f"STATE MISMATCH: {outcome.mismatch}")
+        for stats in outcome.site_stats:
+            lines.append(
+                f"site {stats.spec.region_name} [{stats.spec.verdict}] "
+                f"{stats.spec.location}: {stats.entries} entries, "
+                f"{stats.dispatched_chunks} worker chunks, "
+                f"{stats.worker_seconds * 1000.0:.1f}ms worker time"
+            )
+        for refused in outcome.refused:
+            lines.append(
+                f"refused {refused.region_name} {refused.location}: "
+                f"{refused.reason}"
+            )
+        return "\n".join(lines)
+
+
 class KremlinSession:
     """The stable facade over the whole pipeline.
 
@@ -134,12 +185,14 @@ class KremlinSession:
         compile_options: CompileOptions | None = None,
         profile_options: ProfileOptions | None = None,
         plan_options: PlanOptions | None = None,
+        execute_options: ExecuteOptions | None = None,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
     ):
         self.compile_options = compile_options or CompileOptions()
         self.profile_options = profile_options or ProfileOptions()
         self.plan_options = plan_options or PlanOptions()
+        self.execute_options = execute_options or ExecuteOptions()
         #: session-scoped tracer; None = use the globally installed one
         self.tracer = tracer
         #: session-scoped metric registry; None = use the global one
@@ -269,6 +322,45 @@ class KremlinSession:
                 run=run,
             )
 
+    def execute(self, source: str) -> ExecutionReport:
+        """Close the loop: analyze, then *run* the plan's safe loops on
+        the parallel backend and compare measured vs predicted speedup.
+
+        The serial run is ground truth: any parallel divergence or
+        failure falls back to it (``outcome.fallback``/``mismatch``).
+        """
+        from repro.exec_model.compare import compare_measured_predicted
+        from repro.parallel.executor import ParallelExecutor, ParallelOptions
+
+        report = self.analyze(source)
+        options = self.execute_options
+        with self._observed():
+            tracer = get_tracer()
+            with tracer.span(
+                "execute",
+                workers=options.workers,
+                mode=options.mode,
+            ):
+                parallel_options = ParallelOptions(
+                    workers=options.workers,
+                    engine=self.profile_options.engine,
+                    mode=options.mode,
+                    entry=self.profile_options.entry,
+                    max_instructions=self.profile_options.max_instructions,
+                    allow_float_reductions=options.allow_float_reductions,
+                    warmup=options.warmup,
+                )
+                with ParallelExecutor(parallel_options) as executor:
+                    outcome = executor.execute(report.program, report.plan)
+                comparison = compare_measured_predicted(
+                    report.aggregated,
+                    outcome,
+                    program_name=self.compile_options.filename,
+                )
+        return ExecutionReport(
+            report=report, outcome=outcome, comparison=comparison
+        )
+
     def _record_run_metrics(self, run: RunResult) -> None:
         from repro.obs.metrics import metrics_enabled
 
@@ -297,6 +389,8 @@ def analyze_with_options(
 
 __all__ = [
     "CompileOptions",
+    "ExecuteOptions",
+    "ExecutionReport",
     "KremlinReport",
     "KremlinSession",
     "PlanOptions",

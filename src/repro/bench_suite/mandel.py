@@ -1,0 +1,61 @@
+"""``mandel`` — escape-time fractal kernel (parallel-backend showcase).
+
+Not from the paper's evaluation: this kernel exists so the suite holds one
+benchmark whose dominant loop is *executably* DOALL end to end — the
+static verdict accepts it, the parallel backend's vet accepts it, and the
+work is heavy enough for a measured speedup (the ``parallel-smoke`` CI
+gate runs exactly this program; see scripts/check_parallel.py).
+
+Each pixel's escape count depends only on its own coordinates, so the
+outer pixel loop is embarrassingly parallel. The inner iteration loop
+runs a *fixed* trip count with the escape test as a guard instead of a
+``break`` — early exit would give the loop two exits and the backend's
+vet (correctly) refuses multi-exit loops. The final checksum loop is an
+integer ``+`` reduction, the backend's other executable shape.
+"""
+
+from repro.bench_suite.registry import Benchmark
+
+SOURCE = """
+// Escape-time fractal over a 64x64 grid, 64 iterations per pixel.
+int NPIXELS = 4096;
+int out[4096];
+int checksum;
+
+int main() {
+  for (int p = 0; p < NPIXELS; p++) {
+    int px = p % 64;
+    int py = p / 64;
+    float cr = (float) px / 64.0 * 3.0 - 2.25;
+    float ci = (float) py / 64.0 * 2.5 - 1.25;
+    float zr = 0.0;
+    float zi = 0.0;
+    int count = 0;
+    for (int k = 0; k < 64; k++) {
+      float r2 = zr * zr + zi * zi;
+      if (r2 < 4.0) {
+        float nzr = zr * zr - zi * zi + cr;
+        zi = 2.0 * zr * zi + ci;
+        zr = nzr;
+        count += 1;
+      }
+    }
+    out[p] = count;
+  }
+
+  for (int p = 0; p < NPIXELS; p++) {
+    checksum += out[p];
+  }
+  print("mandel: checksum", checksum);
+  return checksum;
+}
+"""
+
+BENCHMARK = Benchmark(
+    name="mandel",
+    suite="kernel",
+    source=SOURCE,
+    manual_regions=("main#loop1",),
+    description="escape-time fractal; DOALL pixel loop the backend executes",
+    expected_result=None,
+)

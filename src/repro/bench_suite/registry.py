@@ -17,7 +17,7 @@ class Benchmark:
     """One benchmark program plus its MANUAL parallelization plan."""
 
     name: str
-    suite: str  # 'npb' | 'specomp' | 'sdvbs'
+    suite: str  # 'npb' | 'specomp' | 'sdvbs' | 'kernel'
     source: str
     #: region names (``func`` or ``func#loopN``) the third-party MANUAL
     #: version parallelized
@@ -61,6 +61,7 @@ class BenchmarkResult:
 
 def _registry() -> dict[str, Benchmark]:
     from repro.bench_suite import (
+        mandel,
         npb_bt,
         npb_cg,
         npb_ep,
@@ -88,6 +89,7 @@ def _registry() -> dict[str, Benchmark]:
         spec_art,
         spec_equake,
         vision_tracking,
+        mandel,
     ]
     out: dict[str, Benchmark] = {}
     for module in modules:

@@ -133,7 +133,11 @@ def run_suite(
         else:
             from concurrent.futures import ProcessPoolExecutor, as_completed
 
-            with ProcessPoolExecutor(max_workers=jobs) as pool:
+            from repro.parallel.nesting import mark_pool_worker
+
+            with ProcessPoolExecutor(
+                max_workers=jobs, initializer=mark_pool_worker
+            ) as pool:
                 futures = {
                     pool.submit(_profile_worker, name): name for name in names
                 }

@@ -7,6 +7,7 @@
     $ kremlin tracking.c --regions     # discovery table instead of a plan
     $ kremlin tracking.c --metrics     # runtime counters on stderr
     $ kremlin trace tracking.c         # Chrome trace_event JSON on stdout
+    $ kremlin run tracking.c --parallel  # execute safe loops on a pool
 """
 
 from __future__ import annotations
@@ -83,6 +84,10 @@ def main(argv: list[str] | None = None) -> int:
     if argv and argv[0] == "check":
         # `kremlin check`: static dependence analysis + lint, no execution.
         return _check_main(argv[1:])
+    if argv and argv[0] == "run":
+        # `kremlin run`: execute a program, optionally running its safe
+        # loops on the parallel backend (see repro.parallel).
+        return _run_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="kremlin",
         description=(
@@ -208,8 +213,12 @@ def main(argv: list[str] | None = None) -> int:
     if options.jobs > 1 and len(options.sources) > 1:
         from concurrent.futures import ProcessPoolExecutor
 
+        from repro.parallel.nesting import mark_pool_worker
+
         jobs = min(options.jobs, len(options.sources))
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
+        with ProcessPoolExecutor(
+            max_workers=jobs, initializer=mark_pool_worker
+        ) as pool:
             rendered = list(
                 pool.map(
                     _render_source_job,
@@ -350,6 +359,145 @@ def _plan_from_profile(options) -> int:
     if options.flat:
         print()
         print(format_flat_profile(aggregated))
+    return 0
+
+
+def _run_main(argv: list[str]) -> int:
+    """``kremlin run``: execute a program, optionally in parallel.
+
+    Without ``--parallel`` this is a plain serial run: compile, execute,
+    print the program's output. With ``--parallel`` the analyzed plan's
+    SAFE_DOALL / SAFE_WITH_REDUCTION loops are chunked over a process
+    pool (see docs/PARALLEL.md); output stays byte-identical to serial —
+    any divergence or failure falls back to the serial result — and a
+    measured-vs-predicted speedup report is printed to stderr.
+    """
+    parser = argparse.ArgumentParser(
+        prog="kremlin run",
+        description=(
+            "Execute a MiniC program. With --parallel, run its statically "
+            "safe loops chunked over a process pool and report measured "
+            "vs predicted speedup."
+        ),
+    )
+    parser.add_argument("source", help="MiniC source file")
+    parser.add_argument(
+        "--parallel",
+        action="store_true",
+        help="execute SAFE_DOALL plan loops on the parallel backend",
+    )
+    parser.add_argument(
+        "--workers",
+        "--parallel-workers",
+        dest="workers",
+        type=int,
+        default=2,
+        help="total parallel lanes, master included (default: 2)",
+    )
+    parser.add_argument(
+        "--mode",
+        default="fork",
+        choices=["fork", "inline"],
+        help=(
+            "chunk transport: fork = process pool (default), inline = "
+            "in-process (deterministic, for debugging)"
+        ),
+    )
+    parser.add_argument("--entry", default="main", help="entry function")
+    parser.add_argument(
+        "--engine",
+        default="compiled",
+        help="execution engine: compiled (default), bytecode, or tree",
+    )
+    parser.add_argument(
+        "--personality",
+        default="openmp",
+        choices=available_personalities(),
+        help="planner personality used to pick loops (default: openmp)",
+    )
+    parser.add_argument(
+        "--allow-float-reductions",
+        action="store_true",
+        help=(
+            "parallelize float reductions despite reassociation "
+            "(result may differ in low bits; see docs/PARALLEL.md)"
+        ),
+    )
+    parser.add_argument(
+        "--no-report",
+        action="store_true",
+        help="suppress the measured-vs-predicted report on stderr",
+    )
+    options = parser.parse_args(argv)
+    _check_engine(parser, options.engine)
+    if options.workers < 1:
+        parser.error("--workers must be >= 1")
+
+    try:
+        source = _read_source(options.source)
+    except OSError as error:
+        print(f"kremlin: error: {error}", file=sys.stderr)
+        return 1
+
+    if not options.parallel:
+        from repro.interp import Interpreter
+
+        try:
+            program = kremlin_cc(source, options.source)
+            interp = Interpreter(program, engine=options.engine)
+            result = interp.run(options.entry)
+        except (MiniCError, InterpreterError) as error:
+            print(f"kremlin: error: {error}", file=sys.stderr)
+            return 1
+        for line in result.output:
+            print(line)
+        return 0
+
+    from repro.api import ExecuteOptions
+
+    session = KremlinSession(
+        compile_options=CompileOptions(filename=options.source),
+        profile_options=ProfileOptions(
+            entry=options.entry, engine=options.engine
+        ),
+        plan_options=PlanOptions(personality=options.personality),
+        execute_options=ExecuteOptions(
+            workers=options.workers,
+            mode=options.mode,
+            allow_float_reductions=options.allow_float_reductions,
+        ),
+    )
+    try:
+        report = session.execute(source)
+    except (MiniCError, InterpreterError, ValueError) as error:
+        print(f"kremlin: error: {error}", file=sys.stderr)
+        return 1
+
+    outcome = report.outcome
+    result = (
+        outcome.parallel_result if outcome.executed else outcome.serial_result
+    )
+    for line in result.output:
+        print(line)
+    if not options.no_report:
+        print(report.comparison.render(), file=sys.stderr)
+        if outcome.fallback:
+            print(
+                f"kremlin run: serial fallback: {outcome.fallback_reason}",
+                file=sys.stderr,
+            )
+        if outcome.mismatch is not None:
+            print(
+                "kremlin run: parallel result mismatched serial "
+                f"(serial stands): {outcome.mismatch}",
+                file=sys.stderr,
+            )
+        for refused in outcome.refused:
+            print(
+                f"kremlin run: refused {refused.region_name} "
+                f"({refused.location}): {refused.reason}",
+                file=sys.stderr,
+            )
     return 0
 
 

@@ -12,6 +12,12 @@ inside an already-parallel region). Like the paper, evaluation sweeps core
 counts and reports the best configuration.
 """
 
+from repro.exec_model.compare import (
+    DEFAULT_TOLERANCE,
+    SpeedupComparison,
+    compare_measured_predicted,
+    predicted_speedup,
+)
 from repro.exec_model.curve import (
     CurvePoint,
     IDEAL_MACHINE,
@@ -30,6 +36,10 @@ from repro.exec_model.simulate import (
 __all__ = [
     "CurvePoint",
     "DEFAULT_MACHINE",
+    "DEFAULT_TOLERANCE",
+    "SpeedupComparison",
+    "compare_measured_predicted",
+    "predicted_speedup",
     "IDEAL_MACHINE",
     "MachineModel",
     "SimulationResult",

@@ -13,7 +13,11 @@ through the full engine matrix:
 * profiled vs unprofiled — the profiler must not perturb execution;
 
 then hands every profile to the invariant oracle
-(:mod:`repro.fuzz.oracle`).
+(:mod:`repro.fuzz.oracle`), and finally runs the serial-vs-parallel lane:
+the program's statically safe loops are chunked through the parallel
+backend (:mod:`repro.parallel`, in-process transport) and the final state
+must be identical to the serial run — the lane that makes SAFE_DOALL
+verdicts falsifiable.
 
 Any mismatch raises :class:`DifferentialFailure` with a category the
 harness uses to name corpus reproducers. A program that fails identically
@@ -45,6 +49,9 @@ FAST_ENGINES: tuple[str, ...] = ("bytecode", "compiled")
 #: instruction budget per run — generated programs are tiny; anything
 #: hitting this is a runaway and gets skipped, not reported
 DEFAULT_MAX_INSTRUCTIONS = 3_000_000
+
+#: lanes for the serial-vs-parallel differential (master + 2 chunk lanes)
+PARALLEL_LANE_WORKERS = 3
 
 
 class DifferentialFailure(AssertionError):
@@ -124,6 +131,7 @@ def run_differential(
     max_depths: tuple[int | None, ...] = DEFAULT_MAX_DEPTHS,
     max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
     oracle: bool = True,
+    parallel: bool = True,
 ) -> DifferentialOutcome:
     """Run the full differential + oracle check matrix over one program.
 
@@ -211,8 +219,66 @@ def run_differential(
 
         checks += run_oracle(outcome.profiles, program=program)
 
+    if parallel:
+        checks += _run_parallel_lane(program, max_instructions)
+
     outcome.checks = checks
     return outcome
+
+
+def _run_parallel_lane(program, max_instructions: int) -> int:
+    """Serial-vs-parallel lane: transform the program's statically safe
+    loops, execute them chunked (in-process, deterministic), and demand a
+    final state identical to the serial run.
+
+    This makes the static verdicts *falsifiable*: a loop the analyzer
+    called SAFE_DOALL that diverges when actually chunked is a finding
+    (``parallel-mismatch``), as is a transform that breaks compilation
+    (``parallel-transform``) or a merge that detects conflicting writes
+    inside a verdict-accepted loop. Programs with no accepted sites are
+    still one check — the transform's vet ran and refused them cleanly.
+    The 4x budget covers the counting pass plus the re-executed chunks;
+    blowing it anyway is a skip, not a finding.
+    """
+    from repro.parallel.executor import ParallelExecutor, ParallelOptions
+
+    options = ParallelOptions(
+        workers=PARALLEL_LANE_WORKERS,
+        engine="compiled",
+        mode="inline",
+        max_instructions=max_instructions * 4,
+    )
+    try:
+        with ParallelExecutor(options) as executor:
+            outcome = executor.execute(program)
+    except InterpreterError as error:
+        raise ProgramInvalid(
+            f"parallel lane over budget: {error}"
+        ) from error
+    if outcome.mismatch is not None:
+        raise DifferentialFailure(
+            "parallel-mismatch",
+            f"parallel execution diverged from serial: {outcome.mismatch}",
+        )
+    if outcome.fallback:
+        reason = outcome.fallback_reason or ""
+        if "instruction budget" in reason:
+            return 1  # runaway under the 4x budget: skip, not a finding
+        if reason == "no executable sites":
+            return 1  # vet refused everything — a legitimate outcome
+        if reason.startswith("transform failed") or reason.startswith(
+            "transformed program rejected"
+        ):
+            raise DifferentialFailure(
+                "parallel-transform",
+                f"loop transform broke the program: {reason}",
+            )
+        raise DifferentialFailure(
+            "parallel-mismatch",
+            f"parallel execution aborted on a verdict-accepted loop: "
+            f"{reason}",
+        )
+    return 1 + outcome.dispatched_chunks
 
 
 def _first_profile_diff(a: str, b: str) -> str:

@@ -88,6 +88,34 @@ def _impl_randf(runtime):
     return runtime.rng.next_int() / 2147483648.0
 
 
+def _impl_kremlin_fork(runtime):
+    """Chunk-dispatch rendezvous emitted by the parallel-loop transform.
+
+    A :class:`~repro.parallel.executor.ParallelExecutor` installs a policy
+    object on the interpreter (``_parallel_policy``) whose ``fork`` method
+    partitions the counted trip and dispatches worker chunks. Without a
+    policy — a transformed program run like any other program, or a
+    rewritten site reached *inside* a worker chunk — fork degrades to
+    serial semantics: the masked master loop claims every iteration.
+    """
+    policy = getattr(runtime, "_parallel_policy", None)
+    if policy is not None:
+        policy.fork(runtime)
+        return None
+    cells = runtime.globals_scalar
+    cells["__kremlin_lo"] = 0
+    cells["__kremlin_hi"] = int(cells.get("__kremlin_trip", 0))
+    return None
+
+
+def _impl_kremlin_join(runtime):
+    """Merge rendezvous paired with ``__kremlin_fork`` (no-op when serial)."""
+    policy = getattr(runtime, "_parallel_policy", None)
+    if policy is not None:
+        policy.join(runtime)
+    return None
+
+
 _MATH_COST = 20
 _TRANSCENDENTAL_COST = 30
 
@@ -110,6 +138,12 @@ BUILTINS: dict[str, BuiltinSpec] = {
         BuiltinSpec("rand", (), "int", 10, _impl_rand),
         BuiltinSpec("randf", (), "float", 12, _impl_randf),
         BuiltinSpec("print", (), "void", 1, _impl_print, variadic=True),
+        # Parallel-loop rendezvous points (emitted only by the
+        # repro.parallel transform, never written by hand; see
+        # docs/PARALLEL.md). Serial cost 1: the transformed program's
+        # profile is not compared against the original's.
+        BuiltinSpec("__kremlin_fork", (), "void", 1, _impl_kremlin_fork),
+        BuiltinSpec("__kremlin_join", (), "void", 1, _impl_kremlin_join),
     ]
 }
 

@@ -118,6 +118,28 @@ class Tracer:
         if self._open:
             self._open[-1].args.update(args)
 
+    def record_span(self, name: str, start: float, end: float, **args) -> Span:
+        """Append an already-completed span with explicit timestamps.
+
+        For intervals measured outside the ``with`` discipline — e.g. a
+        pool worker's chunk, timed in the worker and reported to the
+        master after the fact. The span parents under the innermost open
+        span, so chunk spans nest inside ``parallel.run`` in exporters.
+        """
+        parent = self._open[-1] if self._open else None
+        span = Span(
+            name,
+            index=len(self.spans),
+            parent=parent.index if parent is not None else None,
+            depth=len(self._open),
+            start=start,
+        )
+        span.end = end
+        if args:
+            span.args.update(args)
+        self.spans.append(span)
+        return span
+
     def finished_spans(self) -> list[Span]:
         """Spans with an end time, in start order."""
         return [span for span in self.spans if span.end is not None]
@@ -167,6 +189,9 @@ class NullTracer:
 
     def annotate(self, **args) -> None:
         return None
+
+    def record_span(self, name: str, start: float, end: float, **args):
+        return _NULL_SPAN
 
     def finished_spans(self) -> list:
         return []

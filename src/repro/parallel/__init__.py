@@ -1,0 +1,59 @@
+"""Parallel execution backend: run SAFE_DOALL plans on a process pool.
+
+The pipeline so far *predicts* (profile → plan → exec_model); this
+package *executes*: it rewrites statically-safe loops for chunked
+execution (:mod:`~repro.parallel.transform`), dispatches iteration
+ranges across a ``multiprocessing`` pool (:mod:`~repro.parallel.worker`,
+:mod:`~repro.parallel.executor`), merges worker state with reduction
+combining (:mod:`~repro.parallel.reduction`), and falls back to serial
+for everything the vet refuses.  See docs/PARALLEL.md.
+"""
+
+from repro.parallel.executor import (
+    ExecutionOutcome,
+    ParallelAbort,
+    ParallelExecutor,
+    ParallelOptions,
+    SiteStats,
+)
+from repro.parallel.nesting import (
+    effective_workers,
+    in_pool_worker,
+    mark_pool_worker,
+)
+from repro.parallel.partition import chunk_size, partition_iterations
+from repro.parallel.reduction import (
+    REDUCTION_IDENTITY,
+    combine,
+    combine_partials,
+    identity_for,
+)
+from repro.parallel.transform import (
+    RefusedSite,
+    ReductionSpec,
+    SiteSpec,
+    TransformResult,
+    plan_transform,
+)
+
+__all__ = [
+    "ExecutionOutcome",
+    "ParallelAbort",
+    "ParallelExecutor",
+    "ParallelOptions",
+    "SiteStats",
+    "effective_workers",
+    "in_pool_worker",
+    "mark_pool_worker",
+    "chunk_size",
+    "partition_iterations",
+    "REDUCTION_IDENTITY",
+    "combine",
+    "combine_partials",
+    "identity_for",
+    "RefusedSite",
+    "ReductionSpec",
+    "SiteSpec",
+    "TransformResult",
+    "plan_transform",
+]

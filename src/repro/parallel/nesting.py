@@ -1,0 +1,46 @@
+"""Nested-pool guard.
+
+Two subsystems spawn process pools: ``bench_suite`` sweeps (``--jobs``)
+and the parallel execution backend.  A benchmark profiled inside a sweep
+worker must not fan out a second pool — process pools composed naively
+oversubscribe the machine quadratically and, worse, ``fork`` from a pool
+worker thread can deadlock.  Every pool this codebase creates therefore
+installs :func:`mark_pool_worker` as its initializer, and anything about
+to create a pool asks :func:`effective_workers` first: inside a pool
+worker the answer is always 1 (run inline, no nested pool).
+
+The marker is an environment variable so it survives both ``fork`` and
+``spawn`` start methods and is inherited by grandchildren.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: set (to a positive depth) in every process-pool worker we create
+POOL_DEPTH_VAR = "KREMLIN_POOL_DEPTH"
+
+
+def mark_pool_worker() -> None:
+    """Pool initializer: record that this process is a pool worker."""
+    os.environ[POOL_DEPTH_VAR] = str(pool_depth() + 1)
+
+
+def pool_depth() -> int:
+    """How many pool layers deep this process is (0 = top level)."""
+    raw = os.environ.get(POOL_DEPTH_VAR, "0")
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        return 0
+
+
+def in_pool_worker() -> bool:
+    return pool_depth() > 0
+
+
+def effective_workers(requested: int) -> int:
+    """Clamp a requested worker count: 1 inside a pool worker."""
+    if in_pool_worker():
+        return 1
+    return max(1, int(requested))

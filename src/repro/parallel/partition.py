@@ -1,0 +1,42 @@
+"""Iteration partitioning for chunked DOALL execution.
+
+Iterations of a counted loop are numbered ``1..total`` in source order.
+A chunk is a half-open interval ``(lo, hi]`` over those ordinals: the
+guarded loop body runs iteration ``i`` when ``i > lo and i <= hi``.  The
+exclusive lower bound makes the serial degenerate case free — ``(0,
+total]`` claims everything — and an empty chunk is simply ``lo == hi``.
+
+Chunking is *blocked* (each worker gets one contiguous range), matching
+OpenMP's ``schedule(static)``: contiguous ranges keep each worker's array
+writes dense, which keeps the merge diff small.
+"""
+
+from __future__ import annotations
+
+
+def partition_iterations(total: int, chunks: int) -> list[tuple[int, int]]:
+    """Split ``total`` iterations into ``chunks`` contiguous ``(lo, hi]``
+    ranges covering ``1..total``.
+
+    The first ``total % chunks`` ranges get one extra iteration, so sizes
+    differ by at most one.  ``total`` may be zero (every chunk is empty)
+    and smaller than ``chunks`` (trailing chunks are empty).
+    """
+    if chunks < 1:
+        raise ValueError(f"chunks must be >= 1, got {chunks}")
+    if total < 0:
+        raise ValueError(f"total must be >= 0, got {total}")
+    base, extra = divmod(total, chunks)
+    ranges: list[tuple[int, int]] = []
+    lo = 0
+    for index in range(chunks):
+        size = base + (1 if index < extra else 0)
+        ranges.append((lo, lo + size))
+        lo += size
+    return ranges
+
+
+def chunk_size(chunk: tuple[int, int]) -> int:
+    """Number of iterations a ``(lo, hi]`` chunk covers."""
+    lo, hi = chunk
+    return hi - lo

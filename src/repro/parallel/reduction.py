@@ -1,0 +1,82 @@
+"""Reduction combining for SAFE_WITH_REDUCTION loops.
+
+Workers receive the accumulator cell reset to the operator's *identity*,
+run their chunk, and ship back a partial; the master folds the partials
+into its own (true-valued) cell in chunk order.  This is exact for integer
+accumulators under every supported operator.  Floating-point ``+``/``*``
+are **not associative**, so chunked combining can differ from serial in
+the last ulp; the execution transform therefore refuses float reductions
+unless explicitly allowed (see docs/PARALLEL.md, "Float reductions").
+
+``min``/``max`` have no finite identity; they are seeded with the
+master's current value instead, which is safe because both are
+idempotent (``min(x, x) == x``).  They are included here for completeness
+(and unit-tested), but the static verdict never marks a ``min()``/
+``max()`` call loop safe — the call is an uncharacterized witness — so
+the executor only ever combines the arithmetic operators.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+#: operators whose partials combine additively (``s -= x`` folds the same
+#: way as ``s += x``: the worker partial already carries the sign)
+ADDITIVE_OPS = frozenset({"+", "-"})
+
+#: operator -> identity element, or None when the operator has no finite
+#: identity and must be seeded with the current accumulator value
+REDUCTION_IDENTITY: dict[str, int | None] = {
+    "+": 0,
+    "-": 0,
+    "*": 1,
+    "&": -1,
+    "|": 0,
+    "^": 0,
+    "min": None,
+    "max": None,
+}
+
+_COMBINE: dict[str, Callable] = {
+    "+": lambda acc, part: acc + part,
+    "-": lambda acc, part: acc + part,
+    "*": lambda acc, part: acc * part,
+    "&": lambda acc, part: acc & part,
+    "|": lambda acc, part: acc | part,
+    "^": lambda acc, part: acc ^ part,
+    "min": lambda acc, part: acc if acc < part else part,
+    "max": lambda acc, part: acc if acc > part else part,
+}
+
+#: operators that only make sense on integer accumulators
+INT_ONLY_OPS = frozenset({"&", "|", "^"})
+
+
+def is_reduction_op(op: str) -> bool:
+    return op in _COMBINE
+
+
+def identity_for(op: str, current):
+    """The value a worker's accumulator starts from.
+
+    ``current`` is the master's accumulator at fork time; its type picks
+    int vs float identity, and it *is* the seed for min/max.
+    """
+    identity = REDUCTION_IDENTITY[op]
+    if identity is None:
+        return current
+    return type(current)(identity)
+
+
+def combine(op: str, acc, partial):
+    """Fold one worker partial into the running accumulator."""
+    return _COMBINE[op](acc, partial)
+
+
+def combine_partials(op: str, initial, partials):
+    """Fold worker partials in chunk order starting from ``initial``
+    (the master's accumulator, which already includes chunk 0)."""
+    acc = initial
+    for partial in partials:
+        acc = combine(op, acc, partial)
+    return acc

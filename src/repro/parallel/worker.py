@@ -1,0 +1,115 @@
+"""Chunk execution in a pool worker (or inline, for tests and fuzzing).
+
+The payload crossing the process boundary is deliberately plain data
+(dicts, lists, numbers): the transformed *source text* plus the global
+state to install.  Each worker process compiles the source once — keyed
+by content hash — and the compiled engine's generated code units live on
+that cached program, so successive chunks of the same program skip
+codegen entirely and pay only a fresh interpreter + state install.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import dataclass
+
+from repro.instrument.compile import CompiledProgram, kremlin_cc
+from repro.interp.interpreter import Interpreter
+
+
+@dataclass(frozen=True)
+class ChunkTask:
+    """Everything a worker needs to run one ``(lo, hi]`` chunk."""
+
+    source: str
+    filename: str
+    site: int
+    lo: int
+    hi: int
+    engine: str
+    scalars: dict
+    arrays: dict
+    max_instructions: int | None = None
+
+
+@dataclass(frozen=True)
+class ChunkOutcome:
+    """A worker's result: final global state plus execution stats."""
+
+    site: int
+    lo: int
+    hi: int
+    scalars: dict
+    arrays: dict
+    seconds: float
+    instructions: int
+    pid: int
+
+
+#: per-process compiled-program cache (content hash -> program); workers
+#: are reused across chunks, so every chunk after the first is codegen-free
+_PROGRAM_CACHE: dict[str, CompiledProgram] = {}
+
+
+def _compile_cached(source: str, filename: str) -> CompiledProgram:
+    key = hashlib.sha256(source.encode()).hexdigest()
+    program = _PROGRAM_CACHE.get(key)
+    if program is None:
+        # the transformed program was already analyzed pre-transform;
+        # workers only execute
+        program = kremlin_cc(source, filename, analyze=False)
+        _PROGRAM_CACHE[key] = program
+    return program
+
+
+def warm_worker(source: str, filename: str, engine: str = "compiled") -> int:
+    """Pre-compile ``source`` in this worker (pool warmup); returns pid.
+
+    ``prepare()`` matters as much as the parse: the engine's code units
+    cache on the program object, so warming them here keeps codegen out
+    of the first timed chunk.
+    """
+    program = _compile_cached(source, filename)
+    Interpreter(program, engine=engine).prepare()
+    return os.getpid()
+
+
+def run_chunk(task: ChunkTask) -> ChunkOutcome:
+    """Execute one chunk of one site and return the resulting state.
+
+    Installs the shipped globals (reduction cells arrive pre-reset to
+    their identity), sets the chunk bounds, and calls the site's outlined
+    ``__kremlin_chunkN`` entry point.  Array contents are installed with
+    slice assignment so the storage object the engine's generated code
+    binds to keeps its identity.
+    """
+    program = _compile_cached(task.source, task.filename)
+    interp = Interpreter(
+        program, engine=task.engine, max_instructions=task.max_instructions
+    )
+    interp.prepare()
+    interp.globals_scalar.update(task.scalars)
+    interp.globals_scalar["__kremlin_site"] = task.site
+    interp.globals_scalar["__kremlin_lo"] = task.lo
+    interp.globals_scalar["__kremlin_hi"] = task.hi
+    for name, data in task.arrays.items():
+        storage = interp.globals_array[name]
+        storage.data[:] = data
+    start = time.perf_counter()
+    result = interp.run(f"__kremlin_chunk{task.site}")
+    elapsed = time.perf_counter() - start
+    return ChunkOutcome(
+        site=task.site,
+        lo=task.lo,
+        hi=task.hi,
+        scalars=dict(interp.globals_scalar),
+        arrays={
+            name: list(storage.data)
+            for name, storage in interp.globals_array.items()
+        },
+        seconds=elapsed,
+        instructions=result.instructions_retired,
+        pid=os.getpid(),
+    )

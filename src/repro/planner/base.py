@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
-from repro.analysis.verdict import tag_refutes_doall
+from repro.analysis.verdict import tag_is_safe, tag_refutes_doall
 from repro.hcpa.aggregate import AggregatedProfile, RegionProfile
 from repro.instrument.regions import RegionKind
 from repro.planner.plan import ParallelismPlan, PlanItem
@@ -103,6 +103,23 @@ class Planner:
     ) -> PlanItem:
         classification = self.classify(profile)
         verdict = profile.region.verdict
+        refuted = classification == "DOALL" and tag_refutes_doall(verdict)
+        # The execution backend can act on a loop the analyzer proved
+        # safe; min(SP, avg iterations) bounds the useful chunk count.
+        executable = (
+            profile.region.is_loop and tag_is_safe(verdict) and not refuted
+        )
+        chunk_hint = 0
+        if executable:
+            chunk_hint = max(
+                1,
+                int(
+                    min(
+                        profile.self_parallelism,
+                        max(1.0, profile.average_iterations),
+                    )
+                ),
+            )
         return PlanItem(
             profile=profile,
             est_program_speedup=estimate_program_speedup(
@@ -113,9 +130,9 @@ class Planner:
             # Eligibility and ranking stay purely dynamic (the paper's
             # model); the static analyzer annotates, and demotes a DOALL
             # claim it can refute with a dependence witness.
-            refuted=(
-                classification == "DOALL" and tag_refutes_doall(verdict)
-            ),
+            refuted=refuted,
+            executable=executable,
+            chunk_hint=chunk_hint,
         )
 
     # ------------------------------------------------------------------

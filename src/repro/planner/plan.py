@@ -26,6 +26,13 @@ class PlanItem:
     #: (verdict ``doacross``/``unsafe``): the loop measured as DOALL but a
     #: provable cross-iteration dependence means it must be pipelined.
     refuted: bool = False
+    #: True when the parallel execution backend may run this region:
+    #: a loop with a safe (doall/reduction) verdict that was not refuted.
+    #: The backend's own vet can still refuse it at transform time.
+    executable: bool = False
+    #: chunking hint for the execution backend: the useful number of
+    #: chunks, min(self-parallelism, average iterations), 0 = unknown
+    chunk_hint: int = 0
 
     @property
     def effective_classification(self) -> str:

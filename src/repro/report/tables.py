@@ -49,24 +49,31 @@ class Table:
 def format_plan(plan: ParallelismPlan, limit: int | None = None) -> str:
     """Render a plan in the paper's Figure 3 layout, plus the static
     dependence analyzer's verdict column. A ``*`` on the Type marks a
-    dynamic DOALL claim the analyzer refuted (demoted to DOACROSS)."""
+    dynamic DOALL claim the analyzer refuted (demoted to DOACROSS); a
+    ``!`` on the Static column marks a region the parallel execution
+    backend can run (``kremlin run --parallel``)."""
     table = Table(
         headers=["#", "File (lines)", "Self-P", "Cov (%)", "Type", "Static", "Est"]
     )
     items = plan.items if limit is None else plan.items[:limit]
     any_refuted = False
+    any_executable = False
     for rank, item in enumerate(items, start=1):
         type_cell = item.classification
         if item.refuted:
             type_cell += "*"
             any_refuted = True
+        static_cell = item.static_verdict
+        if item.executable:
+            static_cell += "!"
+            any_executable = True
         table.add_row(
             rank,
             item.location,
             f"{item.self_parallelism:.1f}",
             f"{item.coverage * 100:.1f}",
             type_cell,
-            item.static_verdict,
+            static_cell,
             f"{item.est_program_speedup:.2f}x",
         )
     header = (
@@ -78,6 +85,11 @@ def format_plan(plan: ParallelismPlan, limit: int | None = None) -> str:
         text += (
             "\n* static analysis found a cross-iteration dependence: "
             "demoted to DOACROSS"
+        )
+    if any_executable:
+        text += (
+            "\n! executable by the parallel backend "
+            "(kremlin run --parallel)"
         )
     return text
 

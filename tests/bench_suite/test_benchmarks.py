@@ -56,8 +56,8 @@ class TestEveryBenchmark:
 
 
 class TestRegistry:
-    def test_twelve_benchmarks(self):
-        assert len(ALL_NAMES) == 12
+    def test_thirteen_benchmarks(self):
+        assert len(ALL_NAMES) == 13
 
     def test_eleven_evaluation_benchmarks(self):
         names = {b.name for b in evaluation_benchmarks()}

@@ -1,0 +1,24 @@
+// Hand-seeded for the serial-vs-parallel differential lane: one program
+// holding both an int-global reduction loop the backend chunks
+// (reduction(total)) and a loop-carried prefix sum the static verdict
+// refuses. The lane must chunk the first, keep the second serial, and
+// land on a final state identical to the serial run.
+int squares[48];
+int prefix[48];
+int total;
+
+int main() {
+  int i;
+  for (i = 0; i < 48; i = i + 1) {
+    squares[i] = i * i;
+  }
+  for (i = 0; i < 48; i = i + 1) {
+    total = total + squares[i];
+  }
+  for (i = 1; i < 48; i = i + 1) {
+    prefix[i] = prefix[i - 1] + squares[i];
+  }
+  print(total);
+  print(prefix[47]);
+  return total;
+}

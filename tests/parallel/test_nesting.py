@@ -1,0 +1,94 @@
+"""Nested-pool guard: a pool worker never fans out a second pool."""
+
+import os
+
+import pytest
+
+from repro.parallel.executor import ParallelExecutor, ParallelOptions
+from repro.parallel.nesting import (
+    POOL_DEPTH_VAR,
+    effective_workers,
+    in_pool_worker,
+    mark_pool_worker,
+    pool_depth,
+)
+
+
+@pytest.fixture
+def clean_env(monkeypatch):
+    # monkeypatch can't undo writes made by mark_pool_worker() itself
+    # (it mutates os.environ directly), so restore the var by hand or
+    # the depth leaks into every later test in the process
+    saved = os.environ.get(POOL_DEPTH_VAR)
+    monkeypatch.delenv(POOL_DEPTH_VAR, raising=False)
+    yield monkeypatch
+    if saved is None:
+        os.environ.pop(POOL_DEPTH_VAR, None)
+    else:
+        os.environ[POOL_DEPTH_VAR] = saved
+
+
+class TestDepthTracking:
+    def test_top_level_is_depth_zero(self, clean_env):
+        assert pool_depth() == 0
+        assert not in_pool_worker()
+
+    def test_marker_increments_depth(self, clean_env):
+        mark_pool_worker()
+        assert pool_depth() == 1
+        assert in_pool_worker()
+        mark_pool_worker()  # grandchild pool worker
+        assert pool_depth() == 2
+
+    def test_garbage_env_value_reads_as_zero(self, clean_env):
+        clean_env.setenv(POOL_DEPTH_VAR, "not-a-number")
+        assert pool_depth() == 0
+
+
+class TestEffectiveWorkers:
+    def test_passthrough_at_top_level(self, clean_env):
+        assert effective_workers(4) == 4
+
+    def test_clamped_to_one_inside_a_pool_worker(self, clean_env):
+        clean_env.setenv(POOL_DEPTH_VAR, "1")
+        assert effective_workers(8) == 1
+
+    def test_floor_of_one(self, clean_env):
+        assert effective_workers(0) == 1
+        assert effective_workers(-3) == 1
+
+
+class TestExecutorGuard:
+    """Regression: an executor built inside a pool worker (bench sweeps
+    under --jobs) must degrade to a single inline lane, never fork."""
+
+    SOURCE = """
+    int out[16];
+    int main() {
+      int i;
+      for (i = 0; i < 16; i = i + 1) { out[i] = i * 2; }
+      return out[7];
+    }
+    """
+
+    def test_fork_request_degrades_to_inline_in_pool_worker(self, clean_env):
+        clean_env.setenv(POOL_DEPTH_VAR, "1")
+        executor = ParallelExecutor(ParallelOptions(workers=4, mode="fork"))
+        assert executor.workers == 1
+        assert executor.mode == "inline"
+
+    def test_degraded_executor_still_runs_correctly(self, clean_env):
+        clean_env.setenv(POOL_DEPTH_VAR, "1")
+        with ParallelExecutor(
+            ParallelOptions(workers=4, mode="fork")
+        ) as executor:
+            outcome = executor.execute_source(self.SOURCE, "guard.c")
+        # one lane: the master claims every iteration, no chunk dispatch
+        assert outcome.workers == 1
+        assert outcome.dispatched_chunks == 0
+        assert outcome.serial_result.value == 14
+        assert outcome.mismatch is None
+
+    def test_top_level_executor_keeps_its_workers(self, clean_env):
+        executor = ParallelExecutor(ParallelOptions(workers=4, mode="inline"))
+        assert executor.workers == 4

@@ -1,0 +1,60 @@
+"""Iteration partitioning: contiguous (lo, hi] chunks over 1..total."""
+
+import pytest
+
+from repro.parallel.partition import chunk_size, partition_iterations
+
+
+class TestPartitionIterations:
+    def test_even_split(self):
+        assert partition_iterations(8, 4) == [
+            (0, 2),
+            (2, 4),
+            (4, 6),
+            (6, 8),
+        ]
+
+    def test_uneven_split_front_loads_the_remainder(self):
+        ranges = partition_iterations(10, 3)
+        assert ranges == [(0, 4), (4, 7), (7, 10)]
+        sizes = [chunk_size(r) for r in ranges]
+        assert max(sizes) - min(sizes) == 1
+
+    def test_single_chunk_claims_everything(self):
+        # (0, total] is exactly the serial default the fork builtin uses
+        assert partition_iterations(7, 1) == [(0, 7)]
+
+    def test_empty_loop_yields_empty_chunks(self):
+        ranges = partition_iterations(0, 3)
+        assert ranges == [(0, 0), (0, 0), (0, 0)]
+        assert all(chunk_size(r) == 0 for r in ranges)
+
+    def test_single_iteration(self):
+        ranges = partition_iterations(1, 4)
+        assert ranges[0] == (0, 1)
+        assert all(chunk_size(r) == 0 for r in ranges[1:])
+
+    def test_fewer_iterations_than_chunks(self):
+        ranges = partition_iterations(2, 5)
+        assert [chunk_size(r) for r in ranges] == [1, 1, 0, 0, 0]
+
+    @pytest.mark.parametrize("total,chunks", [(0, 1), (1, 1), (13, 4), (100, 7)])
+    def test_chunks_are_contiguous_and_cover_all_iterations(
+        self, total, chunks
+    ):
+        ranges = partition_iterations(total, chunks)
+        assert len(ranges) == chunks
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == total
+        for (_, prev_hi), (lo, _) in zip(ranges, ranges[1:]):
+            assert prev_hi == lo
+        covered = [i for lo, hi in ranges for i in range(lo + 1, hi + 1)]
+        assert covered == list(range(1, total + 1))
+
+    def test_rejects_zero_chunks(self):
+        with pytest.raises(ValueError):
+            partition_iterations(4, 0)
+
+    def test_rejects_negative_total(self):
+        with pytest.raises(ValueError):
+            partition_iterations(-1, 2)

@@ -1,0 +1,121 @@
+"""Reduction identities and partial combining."""
+
+import pytest
+
+from repro.parallel.reduction import (
+    ADDITIVE_OPS,
+    INT_ONLY_OPS,
+    REDUCTION_IDENTITY,
+    combine,
+    combine_partials,
+    identity_for,
+    is_reduction_op,
+)
+
+
+class TestIdentities:
+    @pytest.mark.parametrize(
+        "op,expected", [("+", 0), ("-", 0), ("*", 1), ("&", -1), ("|", 0), ("^", 0)]
+    )
+    def test_arithmetic_identities(self, op, expected):
+        assert identity_for(op, 42) == expected
+        # identity absorbs: combining it back changes nothing
+        assert combine(op, 42, identity_for(op, 42)) == 42
+
+    def test_identity_takes_the_accumulator_type(self):
+        assert isinstance(identity_for("+", 1.5), float)
+        assert isinstance(identity_for("+", 3), int)
+        assert identity_for("*", 2.0) == 1.0
+
+    @pytest.mark.parametrize("op", ["min", "max"])
+    def test_min_max_seed_with_current_value(self, op):
+        # no finite identity: workers start from the master's value, which
+        # is safe because min/max are idempotent
+        assert REDUCTION_IDENTITY[op] is None
+        assert identity_for(op, 17) == 17
+        assert combine(op, 17, 17) == 17
+
+    def test_is_reduction_op(self):
+        for op in ("+", "-", "*", "&", "|", "^", "min", "max"):
+            assert is_reduction_op(op)
+        assert not is_reduction_op("/")
+        assert not is_reduction_op("%")
+
+
+class TestCombinePartials:
+    def test_sum_matches_serial(self):
+        values = [3, 1, 4, 1, 5, 9, 2, 6]
+        master, worker = values[:4], values[4:]
+        initial = 100 + sum(master)
+        partial = identity_for("+", initial) + sum(worker)
+        assert combine_partials("+", initial, [partial]) == 100 + sum(values)
+
+    def test_subtraction_folds_additively(self):
+        # serial: 100 - 1 - 2 - 3 - 4; the worker partial carries the sign
+        assert "-" in ADDITIVE_OPS
+        initial = 100 - 1 - 2  # master chunk
+        partial = 0 - 3 - 4  # worker chunk, from identity 0
+        assert combine_partials("-", initial, [partial]) == 100 - 1 - 2 - 3 - 4
+
+    def test_product_matches_serial(self):
+        initial = 2 * 3  # master chunk from accumulator 2
+        partial = 1 * 4 * 5  # worker chunk from identity 1
+        assert combine_partials("*", initial, [partial]) == 2 * 3 * 4 * 5
+
+    @pytest.mark.parametrize(
+        "op,initial,partials,expected",
+        [
+            ("&", 0b1110, [0b0111], 0b0110),
+            ("|", 0b0001, [0b1000], 0b1001),
+            ("^", 0b1010, [0b0110], 0b1100),
+        ],
+    )
+    def test_bitwise_ops(self, op, initial, partials, expected):
+        assert op in INT_ONLY_OPS
+        assert combine_partials(op, initial, partials) == expected
+
+    def test_min_max_over_chunks(self):
+        assert combine_partials("min", 5, [9, 2, 7]) == 2
+        assert combine_partials("max", 5, [9, 2, 7]) == 9
+
+    def test_partials_fold_in_chunk_order(self):
+        seen = []
+
+        class Probe:
+            def __init__(self, tag):
+                self.tag = tag
+
+            def __add__(self, other):
+                seen.append(other.tag)
+                return self
+
+        combine_partials("+", Probe("acc"), [Probe("c1"), Probe("c2")])
+        assert seen == ["c1", "c2"]
+
+    def test_float_sum_is_order_sensitive(self):
+        """Why the transform refuses float reductions by default.
+
+        Chunked combining reassociates: ``(a + b) + (c + d)`` instead of
+        ``((a + b) + c) + d``. For floats those can differ in the last
+        ulp — this test pins a concrete case so the refusal stays
+        motivated. ``--allow-float-reductions`` opts into the difference.
+        """
+        values = [1e16, 1.0, 1.0, 1.0]
+        serial = 0.0
+        for value in values:
+            serial = serial + value  # each 1.0 is absorbed: stays 1e16
+        chunked = combine_partials(
+            "+",
+            0.0 + values[0] + values[1],  # master chunk: 1e16
+            [0.0 + values[2] + values[3]],  # worker chunk from identity: 2.0
+        )
+        assert serial != chunked  # 1e16 vs 1e16 + 2: one ulp apart
+        # integers with the same shape are exact
+        int_values = [10**16, 1, 1, 1]
+        int_serial = sum(int_values)
+        int_chunked = combine_partials(
+            "+",
+            0 + int_values[0] + int_values[1],
+            [0 + int_values[2] + int_values[3]],
+        )
+        assert int_serial == int_chunked

@@ -1,0 +1,212 @@
+"""The loop-outlining transform: acceptance, vetting, and refusals."""
+
+import pytest
+
+from repro.instrument import kremlin_cc
+from repro.parallel.transform import plan_transform
+
+DOALL_AND_REDUCTION = """
+int out[64];
+int total;
+
+int main() {
+  int i;
+  for (i = 0; i < 64; i = i + 1) {
+    out[i] = i * 3;
+  }
+  for (i = 0; i < 64; i = i + 1) {
+    total = total + out[i];
+  }
+  return total;
+}
+"""
+
+
+#: big enough that the openmp personality's work filters keep the loops
+#: (min_instance_work), so the plan actually contains them
+PLAN_SCALE_SOURCE = """
+int out[2048];
+int total;
+
+int main() {
+  int i;
+  for (i = 0; i < 2048; i = i + 1) {
+    out[i] = i * 3;
+  }
+  for (i = 0; i < 2048; i = i + 1) {
+    total = total + out[i];
+  }
+  return total;
+}
+"""
+
+
+def transform(source, filename="test.c", **kwargs):
+    return plan_transform(kremlin_cc(source, filename), **kwargs)
+
+
+class TestAcceptance:
+    def test_accepts_doall_and_reduction_sites(self):
+        result = transform(DOALL_AND_REDUCTION)
+        assert result.has_sites
+        assert len(result.sites) == 2
+        assert not result.refused
+        doall, reduction = result.sites
+        assert doall.verdict == "doall" and not doall.reductions
+        assert reduction.verdict == "reduction(total)"
+        assert [(r.name, r.op) for r in reduction.reductions] == [
+            ("total", "+")
+        ]
+
+    def test_rewritten_source_has_the_runtime_protocol(self):
+        result = transform(DOALL_AND_REDUCTION)
+        assert "__kremlin_fork();" in result.source
+        assert "__kremlin_join();" in result.source
+        for site in result.sites:
+            assert site.chunk_function == f"__kremlin_chunk{site.index}"
+            assert f"void {site.chunk_function}()" in result.source
+        # control globals the fork/join builtins drive
+        for name in ("__kremlin_lo", "__kremlin_hi", "__kremlin_trip", "__kremlin_site"):
+            assert f"int {name} = 0;" in result.source
+
+    def test_rewritten_source_still_compiles_and_runs_serially(self):
+        result = transform(DOALL_AND_REDUCTION)
+        from repro.interp import Interpreter
+
+        rewritten = kremlin_cc(result.source, "test.c", analyze=False)
+        # without a policy, fork's serial default (lo=0, hi=trip) makes the
+        # transformed program equivalent to the original
+        run = Interpreter(rewritten, engine="compiled").run("main")
+        assert run.value == sum(i * 3 for i in range(64))
+
+    def test_max_sites_caps_acceptance(self):
+        result = transform(DOALL_AND_REDUCTION, max_sites=1)
+        assert len(result.sites) == 1
+
+    def test_sites_carry_chunk_hints_from_the_plan(self):
+        # without a plan the hint is 0 (unknown)
+        assert all(
+            site.chunk_hint == 0
+            for site in transform(DOALL_AND_REDUCTION).sites
+        )
+        from repro import KremlinSession
+
+        report = KremlinSession().analyze(PLAN_SCALE_SOURCE)
+        result = plan_transform(report.program, report.plan)
+        planned_ids = {item.region.id for item in report.plan}
+        hinted = [s for s in result.sites if s.region_id in planned_ids]
+        assert hinted
+        assert all(site.chunk_hint >= 1 for site in hinted)
+
+
+class TestRefusals:
+    def test_non_canonical_loop_refused(self):
+        result = transform(
+            """
+            int a[8];
+            int main() {
+              int i;
+              i = 0;
+              while (i < 8) { a[i] = i; i = i + 1; }
+              return a[3];
+            }
+            """
+        )
+        assert not result.sites
+        assert [r.reason for r in result.refused] == [
+            "not a canonical counted for-loop"
+        ]
+
+    def test_effect_free_loop_refused(self):
+        # no global writes: nothing to parallelize, and accepting it would
+        # let the site be called from inside another site's masked loop
+        # (the policy-reentry hole documented in docs/PARALLEL.md)
+        result = transform(
+            """
+            int main() {
+              int i;
+              int s;
+              s = 0;
+              for (i = 0; i < 8; i = i + 1) { int t; t = i * 2; }
+              return s;
+            }
+            """
+        )
+        assert not result.sites
+        assert [r.reason for r in result.refused] == [
+            "loop has no global side effects"
+        ]
+
+    def test_float_reduction_refused_by_default(self):
+        source = """
+        double a[8];
+        double s;
+        int main() {
+          int i;
+          for (i = 0; i < 8; i = i + 1) { a[i] = i * 0.5; }
+          for (i = 0; i < 8; i = i + 1) { s = s + a[i]; }
+          return 0;
+        }
+        """
+        result = transform(source)
+        assert len(result.sites) == 1  # the doall write loop
+        assert len(result.refused) == 1
+        assert "bit-exactness" in result.refused[0].reason
+
+    def test_float_reduction_accepted_when_allowed(self):
+        source = """
+        double a[8];
+        double s;
+        int main() {
+          int i;
+          for (i = 0; i < 8; i = i + 1) { a[i] = i * 0.5; }
+          for (i = 0; i < 8; i = i + 1) { s = s + a[i]; }
+          return 0;
+        }
+        """
+        result = transform(source, allow_float_reductions=True)
+        assert len(result.sites) == 2
+        assert not result.refused
+        assert result.sites[1].reductions[0].is_float
+
+    def test_unsafe_verdict_is_not_even_a_candidate(self):
+        # geometric step: the analyzer already calls it unsafe, so the
+        # transform neither accepts nor lists it as refused
+        result = transform(
+            """
+            int a[64];
+            int main() {
+              int i;
+              for (i = 1; i < 64; i = i * 2) { a[i] = i; }
+              return a[4];
+            }
+            """
+        )
+        assert not result.sites
+        assert not result.refused
+        assert result.source is None
+
+    def test_source_already_using_the_prefix_refused_wholesale(self):
+        result = transform(
+            """
+            int __kremlin_x;
+            int main() { return 0; }
+            """
+        )
+        assert not result.sites
+        assert result.refused
+        assert "__kremlin prefix" in result.refused[0].reason
+
+
+class TestPlanIntegration:
+    def test_plan_items_drive_candidate_order(self):
+        from repro import KremlinSession
+
+        session = KremlinSession()
+        report = session.analyze(PLAN_SCALE_SOURCE)
+        executable = [item for item in report.plan if item.executable]
+        assert executable, "plan should mark the safe loops executable"
+        result = plan_transform(report.program, report.plan)
+        assert {site.region_id for site in result.sites} >= {
+            item.region.id for item in executable
+        }

@@ -39,7 +39,7 @@ class TestPlanFormatting:
         ranks = [
             int(line.split()[0])
             for line in body_lines
-            if line.strip() and not line.startswith("*")
+            if line.strip() and not line.startswith(("*", "!"))
         ]
         assert ranks == list(range(1, len(ranks) + 1))
 
@@ -77,4 +77,19 @@ class TestStaticColumn:
             line for line in text.splitlines() if "DOALL*" in line
         )
         assert "unsafe" in refuted_row
-        assert text.splitlines()[-1].startswith("* static analysis")
+        footnotes = [
+            line for line in text.splitlines() if line.startswith("*")
+        ]
+        assert footnotes and footnotes[0].startswith("* static analysis")
+
+    def test_plan_marks_executable_rows(self, canonical_loops_report):
+        text = format_plan(canonical_loops_report.plan)
+        marked = [
+            item for item in canonical_loops_report.plan if item.executable
+        ]
+        if marked:
+            assert any(
+                line.startswith("! executable")
+                for line in text.splitlines()
+            )
+            assert "doall!" in text or "reduction" in text
