@@ -1,0 +1,185 @@
+#!/usr/bin/env python3
+"""CI service smoke check (the ``service-smoke`` job).
+
+Spawns a real ``kremlin serve`` subprocess on an ephemeral port, drives
+it with 32 concurrent clients through the mixed workload (compile,
+profile-submit, plan, query-summary), and holds three falsifiable
+claims from docs/SERVICE.md:
+
+1. **Byte-identity under concurrency**: after 32 racing writers, every
+   program's merged store profile is byte-for-byte equal to an offline
+   serial ``canonical_merge_text`` of exactly the documents submitted.
+2. **No structured errors**: the workload is entirely well-formed, so
+   every request must succeed.
+3. **Latency bound**: client-observed p99 stays under P99_BOUND_MS.
+   The bound is deliberately loose (CI runners time-slice) — it exists
+   to catch a serialization collapse (e.g. the event loop accidentally
+   running pipeline work), not to benchmark.
+
+Prints a ``service load:`` line with requests/sec; the bench sweep's
+``--service`` flag reports the same number. Exit code 0 = all pass.
+
+    PYTHONPATH=src python scripts/check_service.py
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.service.loadgen import (  # noqa: E402
+    demo_workload,
+    run_load,
+    submitted_by_program,
+)
+from repro.service.store import (  # noqa: E402
+    ProfileStore,
+    canonical_merge_text,
+)
+
+CLIENTS = 32
+SUBMITS_PER_CLIENT = 4
+P99_BOUND_MS = 5000.0
+STARTUP_TIMEOUT = 30.0
+
+
+def spawn_server(store_dir: str, port_file: str) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            store_dir,
+            "--port-file",
+            port_file,
+            "--workers",
+            "4",
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+
+
+def wait_for_port_file(path: str, proc: subprocess.Popen) -> tuple[str, int]:
+    deadline = time.monotonic() + STARTUP_TIMEOUT
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise RuntimeError(
+                f"server exited early ({proc.returncode}): "
+                f"{proc.stderr.read()}"
+            )
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                host, port = handle.read().split()
+            return host, int(port)
+        except (OSError, ValueError):
+            time.sleep(0.05)
+    raise RuntimeError("server did not write its port file in time")
+
+
+def main() -> int:
+    workdir = tempfile.mkdtemp(prefix="kremlin-service-smoke-")
+    store_dir = os.path.join(workdir, "store")
+    port_file = os.path.join(workdir, "port.txt")
+
+    print("service smoke: building demo workload (local profiling)")
+    sources, docs = demo_workload()
+    print(
+        f"service smoke: {len(sources)} programs, "
+        f"{len(docs)} profile documents"
+    )
+
+    server = spawn_server(store_dir, port_file)
+    failures = 0
+    try:
+        host, port = wait_for_port_file(port_file, server)
+        print(f"service smoke: server up at {host}:{port}")
+        report = run_load(
+            host,
+            port,
+            docs,
+            sources=sources,
+            clients=CLIENTS,
+            submits_per_client=SUBMITS_PER_CLIENT,
+        )
+        print(report.render())
+
+        if report.errors:
+            print(
+                f"FAIL: {report.errors} structured errors from a "
+                "well-formed workload"
+            )
+            failures += 1
+
+        expected_submits = CLIENTS * SUBMITS_PER_CLIENT
+        if report.by_method.get("profile-submit") != expected_submits:
+            print(
+                f"FAIL: expected {expected_submits} submits, saw "
+                f"{report.by_method.get('profile-submit')}"
+            )
+            failures += 1
+
+        p99_ms = report.percentile(99) * 1000.0
+        if p99_ms > P99_BOUND_MS:
+            print(
+                f"FAIL: p99 latency {p99_ms:.1f}ms exceeds the "
+                f"{P99_BOUND_MS:.0f}ms bound"
+            )
+            failures += 1
+    finally:
+        server.terminate()
+        server.wait(timeout=30)
+
+    # Byte-identity: read the store cold (server is down — nothing can
+    # race the check) and compare against the offline canonical merge of
+    # exactly what the load run submitted.
+    store = ProfileStore(store_dir)
+    grouped = submitted_by_program(report)
+    keys = store.program_keys()
+    if sorted(grouped) != keys:
+        print(
+            f"FAIL: store keys {keys} do not match submitted programs "
+            f"{sorted(grouped)}"
+        )
+        failures += 1
+    for key, submitted in grouped.items():
+        stored = store.merged_text(key)
+        offline = canonical_merge_text(submitted)
+        if stored != offline:
+            print(
+                f"FAIL: {key[:12]}: merged store profile is not "
+                f"byte-identical to the offline serial merge "
+                f"({len(stored)} vs {len(offline)} bytes)"
+            )
+            failures += 1
+        else:
+            print(
+                f"ok {key[:12]}: {store.runs(key)} runs, merged profile "
+                f"byte-identical to offline merge ({len(stored)} bytes)"
+            )
+
+    if failures:
+        print(f"service smoke: {failures} check(s) failed")
+        return 1
+    print(
+        f"service smoke: all checks passed "
+        f"({report.requests_per_second:.0f} req/s, "
+        f"p99 {report.percentile(99) * 1000.0:.1f}ms)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -37,9 +37,25 @@ from repro.api import (
     ExecutionReport,
     KremlinReport,
     KremlinSession,
+    ParallelOptions,
     PlanOptions,
     ProfileOptions,
     analyze_with_options,
+)
+from repro.api_types import (
+    API_SCHEMA_VERSION,
+    ApiPayloadError,
+    CheckRequest,
+    CheckResult,
+    CompileRequest,
+    CompileResult,
+    PlanRequest,
+    PlanResponse,
+    ProfileAck,
+    ProfileSubmit,
+    SchemaVersionError,
+    SummaryRequest,
+    SummaryResponse,
 )
 from repro.exec_model import (
     DEFAULT_MACHINE,
@@ -145,9 +161,15 @@ def analyze(
 
 
 __all__ = [
+    "API_SCHEMA_VERSION",
     "AggregatedProfile",
+    "ApiPayloadError",
+    "CheckRequest",
+    "CheckResult",
     "CilkPlanner",
     "CompileOptions",
+    "CompileRequest",
+    "CompileResult",
     "CompiledProgram",
     "CompressionStats",
     "DEFAULT_MACHINE",
@@ -160,10 +182,18 @@ __all__ = [
     "KremlinSession",
     "MachineModel",
     "OpenMPPlanner",
+    "ParallelOptions",
     "ParallelismPlan",
     "ParallelismProfile",
     "PlanItem",
     "PlanOptions",
+    "PlanRequest",
+    "PlanResponse",
+    "ProfileAck",
+    "ProfileSubmit",
+    "SchemaVersionError",
+    "SummaryRequest",
+    "SummaryResponse",
     "Planner",
     "PlannerPersonality",
     "ProfileOptions",

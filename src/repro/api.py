@@ -33,10 +33,18 @@ active).
 
 from __future__ import annotations
 
-import hashlib
+import dataclasses
+import warnings
 from contextlib import ExitStack, contextmanager
 from dataclasses import dataclass, field
 
+from repro.api_types import (
+    CheckRequest,
+    CompileRequest,
+    check_result_for,
+    compile_result_for,
+    source_digest,
+)
 from repro.hcpa.aggregate import AggregatedProfile, aggregate_profile
 from repro.hcpa.compression import CompressionStats, compression_stats
 from repro.hcpa.summaries import ParallelismProfile
@@ -46,8 +54,14 @@ from repro.interp.interpreter import RunResult
 from repro.kremlib.profiler import profile_program
 from repro.obs.metrics import MetricsRegistry, collecting_metrics, get_metrics
 from repro.obs.trace import Tracer, get_tracer, tracing
+from repro.parallel.executor import ParallelOptions
 from repro.planner.plan import ParallelismPlan
 from repro.planner.registry import create_planner
+from repro.service.cache import LRUCache
+
+#: compiled programs kept per session before LRU eviction; service
+#: workers reuse sessions indefinitely, so the cache must be bounded
+DEFAULT_COMPILE_CACHE_CAPACITY = 64
 
 
 @dataclass(frozen=True)
@@ -84,19 +98,32 @@ class PlanOptions:
     exclude: frozenset[int] = frozenset()
 
 
-@dataclass(frozen=True)
-class ExecuteOptions:
-    """Options for the parallel execution phase (``kremlin run``)."""
+_EXECUTE_OPTIONS_WARNED = False
 
-    #: total execution lanes (master + pool workers); 1 = serial only
-    workers: int = 2
-    #: pool start method, or "inline" to run chunks in-process
-    mode: str = "fork"
-    #: pre-compile the program in each pool worker before the timed run
-    warmup: bool = True
-    #: combine float reductions in parallel (order-sensitive; off for
-    #: bit-exactness — see docs/PARALLEL.md)
-    allow_float_reductions: bool = False
+
+@dataclass(frozen=True)
+class ExecuteOptions(ParallelOptions):
+    """Deprecated alias for :class:`repro.parallel.ParallelOptions`.
+
+    Historically the session kept its own four-field options bundle for
+    the execute phase and hand-copied it into ``ParallelOptions`` on
+    every call; the two have been collapsed into the one frozen type.
+    Constructing this subclass still works (it *is* a ``ParallelOptions``)
+    but warns once per process, mirroring the ``repro.analyze`` shim.
+    """
+
+    def __post_init__(self):
+        global _EXECUTE_OPTIONS_WARNED
+        if not _EXECUTE_OPTIONS_WARNED:
+            _EXECUTE_OPTIONS_WARNED = True
+            warnings.warn(
+                "ExecuteOptions is deprecated; pass "
+                "repro.parallel.ParallelOptions (same fields, plus "
+                "engine/entry/max_instructions/min_trip) as "
+                "KremlinSession(execute_options=...)",
+                DeprecationWarning,
+                stacklevel=3,
+            )
 
 
 @dataclass
@@ -185,23 +212,27 @@ class KremlinSession:
         compile_options: CompileOptions | None = None,
         profile_options: ProfileOptions | None = None,
         plan_options: PlanOptions | None = None,
-        execute_options: ExecuteOptions | None = None,
+        execute_options: ParallelOptions | None = None,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
+        compile_cache_capacity: int = DEFAULT_COMPILE_CACHE_CAPACITY,
     ):
         self.compile_options = compile_options or CompileOptions()
         self.profile_options = profile_options or ProfileOptions()
         self.plan_options = plan_options or PlanOptions()
-        self.execute_options = execute_options or ExecuteOptions()
+        self.execute_options = execute_options or ParallelOptions()
         #: session-scoped tracer; None = use the globally installed one
         self.tracer = tracer
         #: session-scoped metric registry; None = use the global one
         self.metrics = metrics
-        #: compile cache: source hash -> CompiledProgram. Generated engine
-        #: code objects hang off the program (codegen_unit caches them per
-        #: program), so a cache hit skips recompilation AND codegen — the
-        #: first step toward the ROADMAP service-mode cache.
-        self._compile_cache: dict[str, CompiledProgram] = {}
+        #: bounded compile cache: (source digest, filename, analyze) ->
+        #: CompiledProgram. Generated engine code objects hang off the
+        #: program (codegen_unit caches them per program), so a hit skips
+        #: recompilation AND codegen. Both the instrumented source and
+        #: the executor's transformed-source recompile route through it.
+        self._compile_cache = LRUCache(
+            compile_cache_capacity, metric_prefix="session.compile_cache"
+        )
 
     # ------------------------------------------------------------------
     # Observability scoping
@@ -227,27 +258,38 @@ class KremlinSession:
         Results are cached by source hash: repeat compile/profile calls on
         the same session reuse the CompiledProgram — and with it every
         code object the execution engines generated for it."""
-        options = self.compile_options
-        key = hashlib.sha256(source.encode("utf-8")).hexdigest()
+        return self.compile_named(source, self.compile_options.filename)
+
+    def compile_named(
+        self, source: str, filename: str, analyze: bool = True
+    ) -> CompiledProgram:
+        """:meth:`compile` with an explicit filename (service endpoints
+        carry the filename per-request rather than per-session). The
+        cache key includes the filename and the analyze flag, so the
+        executor's ``analyze=False`` recompiles never shadow a fully
+        analyzed program."""
+        key = (source_digest(source), filename, analyze)
         with self._observed():
             cached = self._compile_cache.get(key)
-            self._count_compile_cache(hit=cached is not None)
             if cached is not None:
                 return cached
             program = kremlin_cc(
-                source, options.filename, cost_model=options.cost_model
+                source,
+                filename,
+                cost_model=self.compile_options.cost_model,
+                analyze=analyze,
             )
-            self._compile_cache[key] = program
+            self._compile_cache.put(key, program)
             return program
 
-    def _count_compile_cache(self, hit: bool) -> None:
-        from repro.obs.metrics import metrics_enabled
-
-        if not metrics_enabled():
-            return
-        name = "session.compile_cache.hits" if hit else \
-            "session.compile_cache.misses"
-        get_metrics().counter(name).inc()
+    def _compile_transformed(
+        self, source: str, filename: str
+    ) -> CompiledProgram:
+        """Compiler hook handed to :class:`ParallelExecutor`: transformed
+        sources go through the session cache too, so re-executing a plan
+        (or executing the same plan from many service requests) compiles
+        each rewritten source once."""
+        return self.compile_named(source, filename, analyze=False)
 
     def check(self, source: str):
         """Static analysis only: compile (no execution) and return the
@@ -256,6 +298,34 @@ class KremlinSession:
         program = self.compile(source)
         assert program.analysis is not None
         return program.analysis
+
+    def serve(self, request):
+        """Answer one typed API request (:mod:`repro.api_types`).
+
+        The session speaks the same versioned payloads as the wire
+        protocol, so the server's worker threads, the CLI, and in-process
+        embedders all go through this one dispatch. Currently handles the
+        session-local methods — :class:`CompileRequest` and
+        :class:`CheckRequest`; store-backed methods (submit/plan/summary)
+        live on the server, which owns the store."""
+        if isinstance(request, CompileRequest):
+            digest = source_digest(request.source)
+            cached = (digest, request.filename, True) in self._compile_cache
+            program = self.compile_named(request.source, request.filename)
+            return compile_result_for(program, digest, cached=cached)
+        if isinstance(request, CheckRequest):
+            digest = source_digest(request.source)
+            cached = (digest, request.filename, True) in self._compile_cache
+            program = self.compile_named(request.source, request.filename)
+            assert program.analysis is not None
+            return check_result_for(
+                program, digest, request.source, cached=cached
+            )
+        raise TypeError(
+            f"KremlinSession.serve cannot handle "
+            f"{type(request).__name__}; expected CompileRequest or "
+            f"CheckRequest"
+        )
 
     def profile(
         self, program: CompiledProgram
@@ -330,10 +400,17 @@ class KremlinSession:
         failure falls back to it (``outcome.fallback``/``mismatch``).
         """
         from repro.exec_model.compare import compare_measured_predicted
-        from repro.parallel.executor import ParallelExecutor, ParallelOptions
+        from repro.parallel.executor import ParallelExecutor
 
         report = self.analyze(source)
-        options = self.execute_options
+        # The profile phase owns engine/entry/instruction budget; overlay
+        # them so the measured run executes exactly what was profiled.
+        options = dataclasses.replace(
+            self.execute_options,
+            engine=self.profile_options.engine,
+            entry=self.profile_options.entry,
+            max_instructions=self.profile_options.max_instructions,
+        )
         with self._observed():
             tracer = get_tracer()
             with tracer.span(
@@ -341,16 +418,9 @@ class KremlinSession:
                 workers=options.workers,
                 mode=options.mode,
             ):
-                parallel_options = ParallelOptions(
-                    workers=options.workers,
-                    engine=self.profile_options.engine,
-                    mode=options.mode,
-                    entry=self.profile_options.entry,
-                    max_instructions=self.profile_options.max_instructions,
-                    allow_float_reductions=options.allow_float_reductions,
-                    warmup=options.warmup,
-                )
-                with ParallelExecutor(parallel_options) as executor:
+                with ParallelExecutor(
+                    options, compiler=self._compile_transformed
+                ) as executor:
                     outcome = executor.execute(report.program, report.plan)
                 comparison = compare_measured_predicted(
                     report.aggregated,
@@ -389,10 +459,12 @@ def analyze_with_options(
 
 __all__ = [
     "CompileOptions",
+    "DEFAULT_COMPILE_CACHE_CAPACITY",
     "ExecuteOptions",
     "ExecutionReport",
     "KremlinReport",
     "KremlinSession",
+    "ParallelOptions",
     "PlanOptions",
     "ProfileOptions",
     "analyze_with_options",

@@ -1,0 +1,452 @@
+"""Versioned request/response dataclasses: the API's wire vocabulary.
+
+Every boundary that used to pass ad-hoc dicts — the CLI building planner
+inputs, the service server decoding JSON bodies, callers poking at loose
+result dicts — now exchanges the frozen dataclasses in this module. Each
+top-level payload carries a ``schema_version`` field (mirroring the
+versioned profile header in :mod:`repro.hcpa.serialize`) and round-trips
+through ``to_json()`` / ``from_json()``; decoding a payload written by an
+incompatible build raises :class:`SchemaVersionError` instead of producing
+a half-understood object.
+
+The five service methods and their request/response pairs live in
+:data:`METHODS`; :class:`KremlinSession.serve <repro.api.KremlinSession>`
+and :class:`repro.service.server.KremlinServer` both dispatch on it, so a
+new endpoint is one entry plus one handler.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from dataclasses import dataclass, field
+
+#: schema version written by this build into every payload
+API_SCHEMA_VERSION = 1
+#: schema versions this build can decode
+SUPPORTED_API_VERSIONS = (1,)
+
+
+class ApiPayloadError(Exception):
+    """A payload dict is malformed (missing/mistyped fields)."""
+
+
+class SchemaVersionError(ApiPayloadError):
+    """A payload's ``schema_version`` is not supported by this build."""
+
+    def __init__(self, payload_type: str, found):
+        supported = ", ".join(str(v) for v in SUPPORTED_API_VERSIONS)
+        super().__init__(
+            f"unsupported {payload_type} schema version {found!r} "
+            f"(this build speaks version{'s' if len(SUPPORTED_API_VERSIONS) > 1 else ''} "
+            f"{supported})"
+        )
+        self.found = found
+
+
+def source_digest(source: str) -> str:
+    """The cache/program key for a source text: its sha256 hex digest."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def _encode(value):
+    if isinstance(value, ApiPayload):
+        return value.to_json()
+    if isinstance(value, tuple):
+        return [_encode(item) for item in value]
+    return value
+
+
+def _tupleize(value):
+    """Lists arriving from JSON become the tuples the frozen fields hold."""
+    if isinstance(value, list):
+        return tuple(_tupleize(item) for item in value)
+    return value
+
+
+@dataclass(frozen=True)
+class ApiPayload:
+    """Base record: generic field-driven ``to_json``/``from_json``.
+
+    Subclasses that hold nested payload collections declare them in a
+    ``_NESTED`` class attribute (field name → element payload class).
+    Top-level payloads additionally declare a ``schema_version`` field;
+    nested records (plan entries, program summaries) stay unversioned —
+    the envelope's version covers them.
+    """
+
+    def to_json(self) -> dict:
+        data = {}
+        for spec in dataclasses.fields(self):
+            if not spec.init:
+                continue
+            data[spec.name] = _encode(getattr(self, spec.name))
+        return data
+
+    @classmethod
+    def from_json(cls, data: dict) -> "ApiPayload":
+        if not isinstance(data, dict):
+            raise ApiPayloadError(
+                f"{cls.__name__} payload must be a JSON object, "
+                f"got {type(data).__name__}"
+            )
+        specs = [spec for spec in dataclasses.fields(cls) if spec.init]
+        names = {spec.name for spec in specs}
+        if "schema_version" in names:
+            version = data.get("schema_version")
+            if version not in SUPPORTED_API_VERSIONS:
+                raise SchemaVersionError(cls.__name__, version)
+        nested = getattr(cls, "_NESTED", {})
+        kwargs = {}
+        for spec in specs:
+            if spec.name not in data:
+                if (
+                    spec.default is dataclasses.MISSING
+                    and spec.default_factory is dataclasses.MISSING
+                ):
+                    raise ApiPayloadError(
+                        f"{cls.__name__} payload is missing "
+                        f"required field {spec.name!r}"
+                    )
+                continue
+            value = data[spec.name]
+            element = nested.get(spec.name)
+            if element is not None:
+                if not isinstance(value, list):
+                    raise ApiPayloadError(
+                        f"{cls.__name__}.{spec.name} must be a list"
+                    )
+                value = tuple(element.from_json(item) for item in value)
+            else:
+                value = _tupleize(value)
+            kwargs[spec.name] = value
+        try:
+            return cls(**kwargs)
+        except TypeError as exc:
+            raise ApiPayloadError(f"bad {cls.__name__} payload: {exc}")
+
+
+# ----------------------------------------------------------------------
+# compile / check
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CompileRequest(ApiPayload):
+    """Compile + instrument (and statically analyze) one source text."""
+
+    source: str
+    filename: str = "<input>"
+    schema_version: int = API_SCHEMA_VERSION
+
+
+@dataclass(frozen=True)
+class LoopVerdict(ApiPayload):
+    """One loop's static DOALL-safety verdict (nested record)."""
+
+    name: str
+    location: str
+    verdict: str
+
+
+@dataclass(frozen=True)
+class CompileResult(ApiPayload):
+    """What a compile produced: structure counts + static verdicts."""
+
+    program_key: str
+    filename: str
+    functions: int
+    loops: int
+    regions: int
+    verdicts: tuple = ()
+    #: served from a compile cache (source hash hit) rather than compiled
+    cached: bool = False
+    schema_version: int = API_SCHEMA_VERSION
+
+    _NESTED = {"verdicts": LoopVerdict}
+
+
+@dataclass(frozen=True)
+class CheckRequest(ApiPayload):
+    """Static analysis + lint only — no execution."""
+
+    source: str
+    filename: str = "<input>"
+    schema_version: int = API_SCHEMA_VERSION
+
+
+@dataclass(frozen=True)
+class CheckResult(ApiPayload):
+    """Per-loop verdicts plus rendered lint diagnostics."""
+
+    program_key: str
+    filename: str
+    verdicts: tuple = ()
+    #: diagnostics rendered compiler-style, one string per finding
+    diagnostics: tuple = ()
+    errors: int = 0
+    cached: bool = False
+    schema_version: int = API_SCHEMA_VERSION
+
+    _NESTED = {"verdicts": LoopVerdict}
+
+
+# ----------------------------------------------------------------------
+# profile-submit
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ProfileSubmit(ApiPayload):
+    """Submit one run's parallelism profile to the store.
+
+    ``profile`` is the serialized profile document itself
+    (:func:`repro.hcpa.serialize.profile_to_json`), which carries its own
+    magic + schema-version header; the store validates it and rejects
+    incompatible versions with a structured error.
+    """
+
+    profile: dict
+    schema_version: int = API_SCHEMA_VERSION
+
+
+@dataclass(frozen=True)
+class ProfileAck(ApiPayload):
+    """Receipt for one accepted profile submission."""
+
+    program_key: str
+    program_name: str
+    shard: int
+    #: 1-based position of this record in its program's append log (advisory
+    #: under concurrent writers: monotone, not gapless)
+    sequence: int
+    runs: int
+    schema_version: int = API_SCHEMA_VERSION
+
+
+# ----------------------------------------------------------------------
+# plan
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PlanRequest(ApiPayload):
+    """Plan from a program's merged store profile."""
+
+    program_key: str
+    personality: str = "openmp"
+    exclude: tuple = ()
+    limit: int | None = None
+    schema_version: int = API_SCHEMA_VERSION
+
+
+@dataclass(frozen=True)
+class PlanEntry(ApiPayload):
+    """One ranked plan row (nested record)."""
+
+    region_id: int
+    name: str
+    location: str
+    coverage: float
+    self_parallelism: float
+    est_speedup: float
+    classification: str
+    static_verdict: str
+    executable: bool = False
+
+
+@dataclass(frozen=True)
+class PlanResponse(ApiPayload):
+    """A fresh plan over everything the store has seen for a program."""
+
+    program_key: str
+    program_name: str
+    personality: str
+    #: how many submitted runs the merged profile aggregates
+    runs: int
+    items: tuple = ()
+    schema_version: int = API_SCHEMA_VERSION
+
+    _NESTED = {"items": PlanEntry}
+
+
+# ----------------------------------------------------------------------
+# query-summary
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SummaryRequest(ApiPayload):
+    """Summarize one program (``program_key`` set) or the whole store."""
+
+    program_key: str | None = None
+    schema_version: int = API_SCHEMA_VERSION
+
+
+@dataclass(frozen=True)
+class ProgramSummary(ApiPayload):
+    """Store-level rollup for one program (nested record)."""
+
+    program_key: str
+    program_name: str
+    shard: int
+    runs: int
+    total_work: int
+    instructions_retired: int
+
+
+@dataclass(frozen=True)
+class SummaryResponse(ApiPayload):
+    """Store contents: per-program rollups + shard layout."""
+
+    shards: int
+    programs: tuple = ()
+    schema_version: int = API_SCHEMA_VERSION
+
+    _NESTED = {"programs": ProgramSummary}
+
+
+# ----------------------------------------------------------------------
+# errors
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ErrorReply(ApiPayload):
+    """Structured error body carried by a failed response envelope."""
+
+    code: str
+    message: str
+    schema_version: int = API_SCHEMA_VERSION
+
+
+#: service method name → (request class, response class)
+METHODS = {
+    "compile": (CompileRequest, CompileResult),
+    "check": (CheckRequest, CheckResult),
+    "profile-submit": (ProfileSubmit, ProfileAck),
+    "plan": (PlanRequest, PlanResponse),
+    "query-summary": (SummaryRequest, SummaryResponse),
+}
+
+
+def request_type(method: str):
+    """The request payload class for a method, or None if unknown."""
+    pair = METHODS.get(method)
+    return pair[0] if pair else None
+
+
+def response_type(method: str):
+    """The response payload class for a method, or None if unknown."""
+    pair = METHODS.get(method)
+    return pair[1] if pair else None
+
+
+# ----------------------------------------------------------------------
+# builders (program objects → typed payloads)
+# ----------------------------------------------------------------------
+
+
+def loop_verdicts(program) -> tuple:
+    """Per-loop :class:`LoopVerdict` rows off a compiled program."""
+    return tuple(
+        LoopVerdict(
+            name=region.name,
+            location=region.location,
+            verdict=region.verdict,
+        )
+        for region in program.regions.loops()
+    )
+
+
+def compile_result_for(
+    program, program_key: str, cached: bool = False
+) -> CompileResult:
+    """Build a :class:`CompileResult` from a compiled program."""
+    return CompileResult(
+        program_key=program_key,
+        filename=program.filename,
+        functions=len(program.module.functions),
+        loops=len(program.regions.loops()),
+        regions=len(program.regions),
+        verdicts=loop_verdicts(program),
+        cached=cached,
+    )
+
+
+def check_result_for(
+    program, program_key: str, source: str, cached: bool = False
+) -> CheckResult:
+    """Build a :class:`CheckResult` (verdicts + rendered diagnostics)."""
+    from repro.analysis import Severity
+    from repro.frontend.source import SourceFile
+
+    analysis = program.analysis
+    assert analysis is not None
+    source_file = SourceFile(program.filename, source)
+    diagnostics = tuple(
+        diagnostic.render(source_file)
+        for diagnostic in analysis.diagnostics
+    )
+    errors = sum(
+        1
+        for diagnostic in analysis.diagnostics
+        if diagnostic.severity is Severity.ERROR
+    )
+    return CheckResult(
+        program_key=program_key,
+        filename=program.filename,
+        verdicts=loop_verdicts(program),
+        diagnostics=diagnostics,
+        errors=errors,
+        cached=cached,
+    )
+
+
+def plan_entries(plan) -> tuple:
+    """Typed :class:`PlanEntry` rows for a :class:`ParallelismPlan`."""
+    return tuple(
+        PlanEntry(
+            region_id=item.region.id,
+            name=item.region.name,
+            location=item.location,
+            coverage=item.coverage,
+            self_parallelism=item.self_parallelism,
+            est_speedup=item.est_program_speedup,
+            classification=item.effective_classification,
+            static_verdict=item.static_verdict,
+            executable=item.executable,
+        )
+        for item in plan.items
+    )
+
+
+__all__ = [
+    "API_SCHEMA_VERSION",
+    "ApiPayload",
+    "ApiPayloadError",
+    "CheckRequest",
+    "CheckResult",
+    "CompileRequest",
+    "CompileResult",
+    "ErrorReply",
+    "LoopVerdict",
+    "METHODS",
+    "PlanEntry",
+    "PlanRequest",
+    "PlanResponse",
+    "ProfileAck",
+    "ProfileSubmit",
+    "ProgramSummary",
+    "SchemaVersionError",
+    "SummaryRequest",
+    "SummaryResponse",
+    "SUPPORTED_API_VERSIONS",
+    "check_result_for",
+    "compile_result_for",
+    "loop_verdicts",
+    "plan_entries",
+    "request_type",
+    "response_type",
+    "source_digest",
+]

@@ -6,7 +6,10 @@ Profiles the evaluation suite and prints the paper's headline tables
 ``pytest benchmarks/ --benchmark-only``. With ``--jobs N`` the per-program
 profiling fans out across a process pool; the table is rendered from the
 ordered results in the parent, so the output is byte-identical to a serial
-run.
+run. With ``--service N`` the sweep also runs the service load lane: an
+in-process ``KremlinServer`` driven by N concurrent clients through the
+demo workload, reporting requests/sec and latency percentiles (see
+``docs/SERVICE.md``).
 """
 
 from __future__ import annotations
@@ -40,9 +43,19 @@ def main(argv: list[str] | None = None) -> int:
         default=1,
         help="profile benchmarks in N parallel worker processes",
     )
+    parser.add_argument(
+        "--service",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also run the service load lane with N concurrent clients "
+        "(0 = skip; reports requests/sec against an in-process server)",
+    )
     options = parser.parse_args(argv)
     if options.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if options.service < 0:
+        parser.error("--service must be >= 0")
 
     names = options.benchmarks or [b.name for b in evaluation_benchmarks()]
     planner = OpenMPPlanner()
@@ -107,7 +120,32 @@ def main(argv: list[str] | None = None) -> int:
             "",
         )
     print(table.render())
+
+    if options.service:
+        print(_service_lane(options.service))
     return 0
+
+
+def _service_lane(clients: int) -> str:
+    """Run the service load lane; returns the one-line load report."""
+    import shutil
+    import tempfile
+
+    from repro.service.loadgen import demo_workload, run_load
+    from repro.service.server import KremlinServer, ServerThread
+
+    print(
+        f"service lane: {clients} clients against an in-process server",
+        file=sys.stderr,
+    )
+    sources, docs = demo_workload()
+    store_dir = tempfile.mkdtemp(prefix="kremlin-bench-service-")
+    try:
+        with ServerThread(KremlinServer(store_dir)) as (host, port):
+            report = run_load(host, port, docs, sources, clients=clients)
+    finally:
+        shutil.rmtree(store_dir, ignore_errors=True)
+    return report.render()
 
 
 if __name__ == "__main__":

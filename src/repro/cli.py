@@ -8,6 +8,8 @@
     $ kremlin tracking.c --metrics     # runtime counters on stderr
     $ kremlin trace tracking.c         # Chrome trace_event JSON on stdout
     $ kremlin run tracking.c --parallel  # execute safe loops on a pool
+    $ kremlin serve /var/kremlin/store   # profile-store service
+    $ kremlin submit tracking.c --port-file /tmp/kremlin.port --plan
 """
 
 from __future__ import annotations
@@ -88,6 +90,12 @@ def main(argv: list[str] | None = None) -> int:
         # `kremlin run`: execute a program, optionally running its safe
         # loops on the parallel backend (see repro.parallel).
         return _run_main(argv[1:])
+    if argv and argv[0] == "serve":
+        # `kremlin serve`: the profile-store service (see repro.service).
+        return _serve_main(argv[1:])
+    if argv and argv[0] == "submit":
+        # `kremlin submit`: profile locally, submit to a running server.
+        return _submit_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="kremlin",
         description=(
@@ -453,7 +461,7 @@ def _run_main(argv: list[str]) -> int:
             print(line)
         return 0
 
-    from repro.api import ExecuteOptions
+    from repro.api import ParallelOptions
 
     session = KremlinSession(
         compile_options=CompileOptions(filename=options.source),
@@ -461,7 +469,7 @@ def _run_main(argv: list[str]) -> int:
             entry=options.entry, engine=options.engine
         ),
         plan_options=PlanOptions(personality=options.personality),
-        execute_options=ExecuteOptions(
+        execute_options=ParallelOptions(
             workers=options.workers,
             mode=options.mode,
             allow_float_reductions=options.allow_float_reductions,
@@ -499,6 +507,251 @@ def _run_main(argv: list[str]) -> int:
                 file=sys.stderr,
             )
     return 0
+
+
+def _serve_main(argv: list[str]) -> int:
+    """``kremlin serve``: run the profile-store service.
+
+    Accepts concurrent ``compile``, ``check``, ``profile-submit``,
+    ``plan``, and ``query-summary`` requests as versioned JSON envelopes
+    over TCP, backed by a sharded on-disk profile store (see
+    docs/SERVICE.md). Runs until interrupted.
+    """
+    parser = argparse.ArgumentParser(
+        prog="kremlin serve",
+        description=(
+            "Serve the Kremlin pipeline over TCP: typed compile/check/"
+            "profile-submit/plan/query-summary requests against a sharded "
+            "on-disk profile store."
+        ),
+    )
+    parser.add_argument("store", help="profile store directory (created)")
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=0, help="bind port (0 = ephemeral)"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4, help="session worker threads"
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="store shard count (first open pins it; default 8)",
+    )
+    parser.add_argument(
+        "--port-file",
+        metavar="PATH",
+        default=None,
+        help='write "host port" here once bound (for scripts)',
+    )
+    parser.add_argument(
+        "--metrics",
+        nargs="?",
+        const="pretty",
+        choices=["json", "pretty"],
+        default=None,
+        help="print server counters to stderr on shutdown",
+    )
+    options = parser.parse_args(argv)
+    if options.workers < 1:
+        parser.error("--workers must be >= 1")
+
+    import asyncio
+
+    from repro.service.server import KremlinServer
+    from repro.service.store import ProfileStore, ProfileStoreError
+
+    try:
+        store = (
+            ProfileStore(options.store, shards=options.shards)
+            if options.shards is not None
+            else ProfileStore(options.store)
+        )
+    except (ProfileStoreError, OSError, ValueError) as error:
+        print(f"kremlin serve: error: {error}", file=sys.stderr)
+        return 1
+    server = KremlinServer(
+        store, host=options.host, port=options.port, workers=options.workers
+    )
+
+    async def _serve() -> None:
+        host, port = await server.start()
+        print(
+            f"kremlin serve: listening on {host}:{port}, "
+            f"store at {options.store} ({store.shards} shards)",
+            file=sys.stderr,
+        )
+        if options.port_file:
+            with open(options.port_file, "w", encoding="utf-8") as handle:
+                handle.write(f"{host} {port}\n")
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("kremlin serve: interrupted, shutting down", file=sys.stderr)
+    if options.metrics:
+        print("-- metrics: kremlin serve --", file=sys.stderr)
+        if options.metrics == "json":
+            print(
+                json.dumps(server.metrics.to_dict(), sort_keys=True),
+                file=sys.stderr,
+            )
+        else:
+            print(render_metrics(server.metrics), file=sys.stderr)
+    return 0
+
+
+def _submit_main(argv: list[str]) -> int:
+    """``kremlin submit``: profile programs locally, submit the profiles
+    to a running ``kremlin serve``, and (optionally) ask it to plan over
+    everything it has seen for each program."""
+    parser = argparse.ArgumentParser(
+        prog="kremlin submit",
+        description=(
+            "Profile MiniC program(s) locally and submit the parallelism "
+            "profiles to a running kremlin serve instance."
+        ),
+    )
+    parser.add_argument(
+        "sources", nargs="*", help="MiniC source file(s) to profile + submit"
+    )
+    parser.add_argument(
+        "--profile",
+        action="append",
+        default=None,
+        metavar="PATH",
+        help="submit an already-saved profile JSON file (repeatable)",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="server address")
+    parser.add_argument("--port", type=int, default=None, help="server port")
+    parser.add_argument(
+        "--port-file",
+        metavar="PATH",
+        default=None,
+        help='read "host port" from a kremlin serve --port-file',
+    )
+    parser.add_argument(
+        "--plan",
+        action="store_true",
+        help="after submitting, print the server's merged plan per program",
+    )
+    parser.add_argument(
+        "--personality",
+        default="openmp",
+        choices=available_personalities(),
+        help="planner personality for --plan (default: openmp)",
+    )
+    parser.add_argument("--entry", default="main", help="entry function")
+    parser.add_argument(
+        "--max-depth",
+        type=int,
+        default=None,
+        help="limit the profiled region depth",
+    )
+    parser.add_argument(
+        "--engine",
+        default="compiled",
+        help="execution engine: compiled (default), bytecode, or tree",
+    )
+    options = parser.parse_args(argv)
+    _check_engine(parser, options.engine)
+    if not options.sources and not options.profile:
+        parser.error("nothing to submit: pass source file(s) or --profile")
+    host, port = options.host, options.port
+    if options.port_file:
+        try:
+            with open(options.port_file, "r", encoding="utf-8") as handle:
+                host, port = handle.read().split()
+            port = int(port)
+        except (OSError, ValueError) as error:
+            print(
+                f"kremlin submit: bad --port-file: {error}", file=sys.stderr
+            )
+            return 1
+    if port is None:
+        parser.error("--port (or --port-file) is required")
+
+    from repro.hcpa.serialize import profile_to_json
+    from repro.service.client import KremlinClient, ServiceError
+    from repro.service.protocol import ProtocolError
+
+    documents: list[tuple[str, dict]] = []
+    for path in options.profile or []:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                documents.append((path, json.load(handle)))
+        except (OSError, ValueError) as error:
+            print(f"kremlin submit: error: {error}", file=sys.stderr)
+            return 1
+    for path in options.sources:
+        try:
+            source = _read_source(path)
+            session = _build_session(options, path)
+            profile, _ = session.profile(session.compile(source))
+        except (MiniCError, InterpreterError, OSError, ValueError) as error:
+            print(f"kremlin submit: error: {path}: {error}", file=sys.stderr)
+            return 1
+        documents.append((path, profile_to_json(profile)))
+
+    status = 0
+    try:
+        with KremlinClient(host, port) as client:
+            acks: dict[str, object] = {}
+            for path, document in documents:
+                try:
+                    ack = client.submit(document)
+                except ServiceError as error:
+                    print(
+                        f"kremlin submit: rejected {path}: {error}",
+                        file=sys.stderr,
+                    )
+                    status = 1
+                    continue
+                acks[ack.program_key] = ack
+                print(
+                    f"{path}: submitted as {ack.program_key[:12]} "
+                    f"(shard {ack.shard}, run {ack.runs})"
+                )
+            if options.plan:
+                for key, ack in acks.items():
+                    try:
+                        plan = client.plan(
+                            key, personality=options.personality
+                        )
+                    except ServiceError as error:
+                        print(
+                            f"kremlin submit: plan failed for "
+                            f"{ack.program_name}: {error}",
+                            file=sys.stderr,
+                        )
+                        status = 1
+                        continue
+                    print(_render_plan_response(plan))
+    except (OSError, ProtocolError) as error:
+        print(
+            f"kremlin submit: cannot reach server at {host}:{port}: {error}",
+            file=sys.stderr,
+        )
+        return 1
+    return status
+
+
+def _render_plan_response(plan) -> str:
+    """Text table for a typed PlanResponse (server-side merged plan)."""
+    lines = [
+        f"{plan.program_name}: merged plan over {plan.runs} run(s) "
+        f"({plan.personality} personality, {len(plan.items)} regions)"
+    ]
+    for rank, item in enumerate(plan.items, start=1):
+        lines.append(
+            f"{rank:>2}  {item.name:<20} {item.location:<24} "
+            f"SP {item.self_parallelism:>7.1f}  "
+            f"cov {item.coverage * 100.0:>5.1f}%  "
+            f"{item.classification:<9} est x{item.est_speedup:.2f}"
+        )
+    return "\n".join(lines)
 
 
 def _check_main(argv: list[str]) -> int:

@@ -456,7 +456,11 @@ class ParallelExecutor:
     serial/parallel/verify sequence. Reusable across programs; ``close()``
     (or use as a context manager) shuts the pool down."""
 
-    def __init__(self, options: ParallelOptions = ParallelOptions()):
+    def __init__(
+        self,
+        options: ParallelOptions = ParallelOptions(),
+        compiler=None,
+    ):
         if options.mode not in MODES:
             raise ValueError(
                 f"unknown mode {options.mode!r}; expected one of {MODES}"
@@ -471,6 +475,14 @@ class ParallelExecutor:
         self.options = options
         self.workers = workers
         self.mode = mode
+        #: ``(source, filename) -> CompiledProgram`` used for the
+        #: transformed source; KremlinSession injects its compile cache
+        #: here so re-executing a plan skips the recompile
+        self.compiler = compiler or (
+            lambda source, filename: kremlin_cc(
+                source, filename, analyze=False
+            )
+        )
         self._transport = None
 
     # -- lifecycle ------------------------------------------------------
@@ -549,9 +561,7 @@ class ParallelExecutor:
         outcome.transformed_source = transform.source
 
         try:
-            rewritten = kremlin_cc(
-                transform.source, program.filename, analyze=False
-            )
+            rewritten = self.compiler(transform.source, program.filename)
         except Exception as exc:
             outcome.fallback = True
             outcome.fallback_reason = f"transformed program rejected: {exc}"

@@ -1,0 +1,165 @@
+"""Blocking client for the Kremlin service.
+
+A thin, dependency-free socket client speaking the NDJSON envelope
+protocol; one instance per connection, safe to use from one thread at a
+time. The typed helpers return the same frozen payload dataclasses the
+server constructs, so CLI, tests, and load harness all consume the
+versioned API — never raw dicts.
+
+::
+
+    with KremlinClient(host, port) as client:
+        ack = client.submit(profile_to_json(profile))
+        plan = client.plan(ack.program_key, personality="openmp")
+"""
+
+from __future__ import annotations
+
+import socket
+
+from repro.api_types import (
+    ApiPayload,
+    CheckRequest,
+    CheckResult,
+    CompileRequest,
+    CompileResult,
+    PlanRequest,
+    PlanResponse,
+    ProfileAck,
+    ProfileSubmit,
+    SummaryRequest,
+    SummaryResponse,
+    response_type,
+)
+from repro.service.protocol import (
+    MAX_REQUEST_BYTES,
+    ProtocolError,
+    decode_response,
+    encode_request,
+)
+
+DEFAULT_TIMEOUT = 60.0
+
+
+class ServiceError(Exception):
+    """The server answered with a structured error envelope."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.message = message
+
+
+class KremlinClient:
+    """One connection to a Kremlin server."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = DEFAULT_TIMEOUT,
+        max_response_bytes: int = MAX_REQUEST_BYTES,
+    ):
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rb")
+        self._next_id = 0
+        self.max_response_bytes = max_response_bytes
+
+    # -- transport ------------------------------------------------------
+
+    def request(self, method: str, payload: ApiPayload) -> dict:
+        """Send one request, wait for its response, return the result body.
+
+        Raises :class:`ServiceError` for structured server errors and
+        :class:`ProtocolError` if the stream itself is broken.
+        """
+        self._next_id += 1
+        request_id = self._next_id
+        self._sock.sendall(encode_request(request_id, method, payload))
+        line = self._file.readline(self.max_response_bytes + 1024)
+        if not line:
+            raise ProtocolError(
+                "bad-envelope", "server closed the connection mid-request"
+            )
+        response_id, ok, body = decode_response(line)
+        if response_id is not None and response_id != request_id:
+            raise ProtocolError(
+                "bad-envelope",
+                f"response id {response_id!r} does not match "
+                f"request id {request_id}",
+            )
+        if not ok:
+            raise ServiceError(
+                str(body.get("code", "internal")),
+                str(body.get("message", "(no message)")),
+            )
+        return body
+
+    def request_typed(self, method: str, payload: ApiPayload) -> ApiPayload:
+        """:meth:`request`, decoded into the method's response payload."""
+        result_cls = response_type(method)
+        assert result_cls is not None, f"unknown method {method!r}"
+        return result_cls.from_json(self.request(method, payload))
+
+    # -- typed endpoints ------------------------------------------------
+
+    def ping(self) -> SummaryResponse:
+        return SummaryResponse.from_json(self.request("ping", SummaryRequest()))
+
+    def compile(
+        self, source: str, filename: str = "<input>"
+    ) -> CompileResult:
+        return self.request_typed(
+            "compile", CompileRequest(source=source, filename=filename)
+        )
+
+    def check(self, source: str, filename: str = "<input>") -> CheckResult:
+        return self.request_typed(
+            "check", CheckRequest(source=source, filename=filename)
+        )
+
+    def submit(self, profile_doc: dict) -> ProfileAck:
+        return self.request_typed(
+            "profile-submit", ProfileSubmit(profile=profile_doc)
+        )
+
+    def plan(
+        self,
+        program_key: str,
+        personality: str = "openmp",
+        exclude: tuple = (),
+        limit: int | None = None,
+    ) -> PlanResponse:
+        return self.request_typed(
+            "plan",
+            PlanRequest(
+                program_key=program_key,
+                personality=personality,
+                exclude=tuple(exclude),
+                limit=limit,
+            ),
+        )
+
+    def summary(self, program_key: str | None = None) -> SummaryResponse:
+        return self.request_typed(
+            "query-summary", SummaryRequest(program_key=program_key)
+        )
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "KremlinClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+__all__ = ["DEFAULT_TIMEOUT", "KremlinClient", "ServiceError"]

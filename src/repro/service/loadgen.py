@@ -1,0 +1,291 @@
+"""Many-client load harness for the Kremlin service.
+
+Drives N concurrent blocking clients (real sockets, real threads)
+through a deterministic request mix — compile, check, profile-submit,
+plan, query-summary — and reports client-observed throughput and latency
+percentiles. Used three ways:
+
+* ``scripts/check_service.py`` (the CI ``service-smoke`` job): spawns a
+  server subprocess, runs 32 clients, then proves the sharded store is
+  byte-identical to an offline serial merge and holds a p99 bound;
+* ``python -m repro.bench_suite --service N``: publishes requests/sec
+  alongside the paper's benchmark tables;
+* ad-hoc capacity probing against a long-running ``kremlin serve``.
+
+Determinism contract: the submission schedule is a pure function of
+``(clients, submits_per_client, docs)`` — client ``i`` submits documents
+``docs[(i * submits_per_client + j) % len(docs)]`` — so the exact
+multiset of submitted profiles is known to the caller (``report.submitted``)
+and can be re-merged offline for the byte-identity check.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import get_metrics, metrics_enabled
+from repro.service.client import KremlinClient, ServiceError
+from repro.service.store import profile_key
+
+
+@dataclass
+class LoadReport:
+    """Client-side view of one load run."""
+
+    clients: int
+    requests: int = 0
+    errors: int = 0
+    elapsed: float = 0.0
+    #: per-request client-observed latencies, seconds (unordered)
+    latencies: list = field(default_factory=list)
+    #: every profile document submitted, in schedule order
+    submitted: list = field(default_factory=list)
+    #: request counts by method
+    by_method: dict = field(default_factory=dict)
+
+    @property
+    def requests_per_second(self) -> float:
+        if self.elapsed <= 0.0:
+            return 0.0
+        return self.requests / self.elapsed
+
+    def percentile(self, p: float) -> float:
+        """Latency percentile in seconds (nearest-rank)."""
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        rank = max(1, math.ceil((p / 100.0) * len(ordered)))
+        return ordered[min(rank, len(ordered)) - 1]
+
+    def render(self) -> str:
+        return (
+            f"service load: {self.clients} clients, "
+            f"{self.requests} requests in {self.elapsed:.2f}s -> "
+            f"{self.requests_per_second:.0f} req/s, "
+            f"p50 {self.percentile(50) * 1000.0:.1f}ms, "
+            f"p99 {self.percentile(99) * 1000.0:.1f}ms, "
+            f"{self.errors} errors"
+        )
+
+
+def _client_worker(
+    host: str,
+    port: int,
+    index: int,
+    barrier: threading.Barrier,
+    docs: list,
+    sources: list,
+    submits: int,
+    personality: str,
+    out: dict,
+) -> None:
+    latencies: list = []
+    submitted: list = []
+    by_method: dict = {}
+    errors = 0
+
+    def timed(method: str, fn):
+        """Time one request; structured server errors count, not raise."""
+        nonlocal errors
+        started = time.perf_counter()
+        try:
+            return fn()
+        except ServiceError:
+            errors += 1
+            return None
+        finally:
+            latencies.append(time.perf_counter() - started)
+            by_method[method] = by_method.get(method, 0) + 1
+
+    try:
+        with KremlinClient(host, port) as client:
+            barrier.wait(timeout=60.0)
+            plan_keys: list = []
+            if sources:
+                filename, source = sources[index % len(sources)]
+                timed("compile", lambda: client.compile(source, filename))
+            for j in range(submits):
+                doc = docs[(index * submits + j) % len(docs)]
+                ack = timed("profile-submit", lambda: client.submit(doc))
+                if ack is not None:
+                    submitted.append(doc)
+                    plan_keys.append(ack.program_key)
+            if plan_keys:
+                timed(
+                    "plan",
+                    lambda: client.plan(plan_keys[-1], personality),
+                )
+            timed("query-summary", lambda: client.summary())
+    except Exception as exc:  # a dead client is a failed run, not a hang
+        out[index] = {"error": exc}
+        return
+    out[index] = {
+        "latencies": latencies,
+        "submitted": submitted,
+        "by_method": by_method,
+        "errors": errors,
+    }
+
+
+def run_load(
+    host: str,
+    port: int,
+    docs: list,
+    sources: list | None = None,
+    clients: int = 32,
+    submits_per_client: int = 4,
+    personality: str = "openmp",
+) -> LoadReport:
+    """Run the standard mixed workload; returns the aggregate report.
+
+    ``docs`` are pre-serialized profile documents to submit; ``sources``
+    are ``(filename, source)`` pairs for the compile traffic. Raises the
+    first client's transport-level exception if any client died outright
+    (structured server errors are counted, not raised).
+    """
+    if not docs:
+        raise ValueError("run_load needs at least one profile document")
+    sources = list(sources or [])
+    barrier = threading.Barrier(clients)
+    out: dict = {}
+    threads = [
+        threading.Thread(
+            target=_client_worker,
+            args=(
+                host,
+                port,
+                index,
+                barrier,
+                docs,
+                sources,
+                submits_per_client,
+                personality,
+                out,
+            ),
+            name=f"kremlin-load-{index}",
+            daemon=True,
+        )
+        for index in range(clients)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=300.0)
+    elapsed = time.perf_counter() - started
+
+    report = LoadReport(clients=clients, elapsed=elapsed)
+    for index in range(clients):
+        result = out.get(index)
+        if result is None:
+            raise RuntimeError(f"load client {index} never finished")
+        if "error" in result:
+            raise result["error"]
+        report.latencies.extend(result["latencies"])
+        report.submitted.extend(result["submitted"])
+        report.errors += result["errors"]
+        for method, count in result["by_method"].items():
+            report.by_method[method] = (
+                report.by_method.get(method, 0) + count
+            )
+    report.requests = len(report.latencies)
+    _record_metrics(report)
+    return report
+
+
+def submitted_by_program(report: LoadReport) -> dict:
+    """Group a report's submitted documents by store program key."""
+    grouped: dict = {}
+    for doc in report.submitted:
+        grouped.setdefault(profile_key(doc), []).append(doc)
+    return grouped
+
+
+def _record_metrics(report: LoadReport) -> None:
+    if not metrics_enabled():
+        return
+    registry = get_metrics()
+    registry.gauge("service.load.requests_per_second").set(
+        round(report.requests_per_second, 2)
+    )
+    registry.gauge("service.load.p99_ms").set(
+        round(report.percentile(99) * 1000.0, 3)
+    )
+    registry.counter("service.load.requests").inc(report.requests)
+    registry.counter("service.load.errors").inc(report.errors)
+
+
+# ----------------------------------------------------------------------
+# The demo workload (bench sweep + smoke script)
+# ----------------------------------------------------------------------
+
+#: two small programs with different region skeletons, so the workload
+#: exercises two store keys (usually two different shards)
+DEMO_SOURCES = (
+    (
+        "saxpy_demo.c",
+        """
+float a[1024];
+float b[1024];
+
+int main() {
+  for (int i = 0; i < 1024; i++) {
+    a[i] = (float) i;
+    b[i] = (float) (1024 - i);
+  }
+  for (int i = 0; i < 1024; i++) {
+    a[i] = 2.0 * a[i] + b[i];
+  }
+  return (int) a[10];
+}
+""",
+    ),
+    (
+        "reduce_demo.c",
+        """
+int main() {
+  int s = 0;
+  for (int i = 0; i < 2000; i = i + 1) {
+    s = s + i * i;
+  }
+  return s;
+}
+""",
+    ),
+)
+
+
+def demo_workload(max_depths=(None, 3)) -> tuple[list, list]:
+    """Build the standard workload: ``(sources, profile docs)``.
+
+    Profiles each demo program once per depth window; a depth-limited
+    profile of the same program shares its region skeleton (same store
+    key) while carrying different work/cp totals, so the store sees
+    multiple *distinct* mergeable submissions per program.
+    """
+    from repro.api import CompileOptions, KremlinSession, ProfileOptions
+    from repro.hcpa.serialize import profile_to_json
+
+    docs = []
+    for filename, source in DEMO_SOURCES:
+        for max_depth in max_depths:
+            session = KremlinSession(
+                compile_options=CompileOptions(filename=filename),
+                profile_options=ProfileOptions(max_depth=max_depth),
+            )
+            program = session.compile(source)
+            profile, _ = session.profile(program)
+            docs.append(profile_to_json(profile))
+    return list(DEMO_SOURCES), docs
+
+
+__all__ = [
+    "DEMO_SOURCES",
+    "LoadReport",
+    "demo_workload",
+    "run_load",
+    "submitted_by_program",
+]

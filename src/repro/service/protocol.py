@@ -1,0 +1,188 @@
+"""Wire protocol: versioned NDJSON request/response envelopes.
+
+One request or response per line, UTF-8 JSON, newline-terminated::
+
+    → {"kremlin": 1, "id": 7, "method": "compile", "params": {...}}
+    ← {"kremlin": 1, "id": 7, "ok": true, "result": {...}}
+    ← {"kremlin": 1, "id": 7, "ok": false,
+       "error": {"code": "unsupported-schema", "message": "...",
+                 "schema_version": 1}}
+
+``kremlin`` is the protocol version (checked before anything else, like
+the profile file's magic header); ``params``/``result`` bodies are the
+typed payloads of :mod:`repro.api_types`, which carry their own
+``schema_version``. The two versions move independently: the envelope
+shape almost never changes, payload schemas may.
+
+Requests larger than ``MAX_REQUEST_BYTES`` are rejected with an
+``oversize-request`` error and the connection is closed (a line that
+long cannot be resynchronized). Malformed JSON, a non-object envelope, a
+wrong protocol version, and an unknown method each produce a distinct
+structured error code so clients can tell operator error from version
+skew. Error codes are enumerated in :data:`ERROR_CODES` and documented
+in ``docs/SERVICE.md``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.api_types import ApiPayload, ErrorReply
+
+#: protocol (envelope) version spoken by this build
+PROTOCOL_VERSION = 1
+#: envelope lines above this many bytes are rejected (default 8 MiB —
+#: comfortably above any bench-suite profile document)
+MAX_REQUEST_BYTES = 8 * 1024 * 1024
+
+#: every error code a response envelope may carry
+ERROR_CODES = (
+    "oversize-request",
+    "malformed-request",
+    "bad-envelope",
+    "unsupported-protocol",
+    "unknown-method",
+    "unsupported-schema",
+    "bad-request",
+    "bad-profile",
+    "profile-version",
+    "compile-error",
+    "not-found",
+    "internal",
+)
+
+
+class ProtocolError(Exception):
+    """A request envelope this server must reject, with its error code."""
+
+    def __init__(self, code: str, message: str):
+        assert code in ERROR_CODES, code
+        super().__init__(message)
+        self.code = code
+        self.message = message
+        #: request id recovered from the bad envelope, when parseable —
+        #: lets the error response stay correlated
+        self.request_id = None
+
+    def reply(self) -> ErrorReply:
+        return ErrorReply(code=self.code, message=self.message)
+
+
+def encode_request(request_id: int, method: str, payload: ApiPayload) -> bytes:
+    """One request line, newline-terminated."""
+    envelope = {
+        "kremlin": PROTOCOL_VERSION,
+        "id": request_id,
+        "method": method,
+        "params": payload.to_json(),
+    }
+    return (json.dumps(envelope, sort_keys=True) + "\n").encode("utf-8")
+
+
+def encode_response(request_id, result: ApiPayload) -> bytes:
+    """A success response line."""
+    envelope = {
+        "kremlin": PROTOCOL_VERSION,
+        "id": request_id,
+        "ok": True,
+        "result": result.to_json(),
+    }
+    return (json.dumps(envelope, sort_keys=True) + "\n").encode("utf-8")
+
+
+def encode_error(request_id, error: ErrorReply) -> bytes:
+    """A failure response line."""
+    envelope = {
+        "kremlin": PROTOCOL_VERSION,
+        "id": request_id,
+        "ok": False,
+        "error": error.to_json(),
+    }
+    return (json.dumps(envelope, sort_keys=True) + "\n").encode("utf-8")
+
+
+def decode_request(line: bytes, max_bytes: int = MAX_REQUEST_BYTES):
+    """Parse one request line into ``(id, method, params)``.
+
+    Raises :class:`ProtocolError` with the precise error code for every
+    malformation; the request id is recovered when possible so the error
+    response can still be correlated.
+    """
+    if len(line) > max_bytes:
+        raise ProtocolError(
+            "oversize-request",
+            f"request line is {len(line)} bytes "
+            f"(limit {max_bytes}); connection will be closed",
+        )
+    try:
+        envelope = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(
+            "malformed-request", f"request is not valid JSON: {exc}"
+        )
+    if not isinstance(envelope, dict):
+        raise ProtocolError(
+            "bad-envelope",
+            f"request envelope must be a JSON object, "
+            f"got {type(envelope).__name__}",
+        )
+    request_id = envelope.get("id")
+
+    def fail(code: str, message: str):
+        error = ProtocolError(code, message)
+        error.request_id = request_id
+        raise error
+
+    version = envelope.get("kremlin")
+    if version != PROTOCOL_VERSION:
+        fail(
+            "unsupported-protocol",
+            f"protocol version {version!r} is not supported "
+            f"(this server speaks {PROTOCOL_VERSION})",
+        )
+    method = envelope.get("method")
+    if not isinstance(method, str):
+        fail("bad-envelope", "request envelope has no 'method' string")
+    params = envelope.get("params")
+    if not isinstance(params, dict):
+        fail("bad-envelope", "request envelope has no 'params' object")
+    return request_id, method, params
+
+
+def decode_response(line: bytes):
+    """Parse one response line into ``(id, ok, body)`` (client side)."""
+    try:
+        envelope = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(
+            "malformed-request", f"response is not valid JSON: {exc}"
+        )
+    if (
+        not isinstance(envelope, dict)
+        or envelope.get("kremlin") != PROTOCOL_VERSION
+        or "ok" not in envelope
+    ):
+        raise ProtocolError(
+            "bad-envelope", "response envelope is malformed"
+        )
+    ok = bool(envelope["ok"])
+    body = envelope.get("result" if ok else "error")
+    if not isinstance(body, dict):
+        raise ProtocolError(
+            "bad-envelope",
+            f"response envelope has no {'result' if ok else 'error'} object",
+        )
+    return envelope.get("id"), ok, body
+
+
+__all__ = [
+    "ERROR_CODES",
+    "MAX_REQUEST_BYTES",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "decode_request",
+    "decode_response",
+    "encode_error",
+    "encode_request",
+    "encode_response",
+]

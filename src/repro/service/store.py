@@ -1,0 +1,413 @@
+"""Sharded on-disk profile store: fleet profiling's system of record.
+
+The paper's pitch — gprof won because profiling was cheap enough to leave
+on everywhere — scales past one lab run when many real executions stream
+their parallelism profiles into a store that aggregates them
+continuously (§2.4 multi-run aggregation). This module is that store:
+
+* **Sharding** — programs hash (sha256 of their identity: program name +
+  region skeleton, the same compatibility predicate
+  :func:`repro.hcpa.merge.merge_profiles` enforces) onto one of N shard
+  directories, so shard placement is a pure function of the profile and
+  every writer agrees on it without coordination.
+* **Append log** — each submission appends one canonical-JSON line to
+  the program's log with a single ``O_APPEND`` write, which POSIX makes
+  atomic for regular files: any number of processes may submit
+  concurrently, in any interleaving, without locks.
+* **Canonical merge + compaction** — the merged view is defined as
+  ``merge_profiles`` over the logged profiles **in canonical order**
+  (sorted by serialized text), not arrival order. Merge is additive and
+  commutative up to aggregation (the fuzz oracle's merge laws), but its
+  dictionary numbering is order-sensitive; canonical ordering makes the
+  merged document a pure function of the *set* of submissions, so a
+  store fed by 32 racing writers is byte-identical to an offline serial
+  merge of the same profiles. Compaction (every ``compact_every``
+  submissions, and on demand) materializes that merge into a snapshot
+  file stamped with the log length it covers; readers reuse a fresh
+  snapshot and recompute only when the log has grown past it.
+
+Failure modes: a torn snapshot write is impossible (temp file +
+``os.replace``), a stale snapshot is detected by its record count, and a
+corrupt log line fails loudly with the offending line number.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from dataclasses import dataclass
+
+from repro.hcpa.merge import merge_profiles
+from repro.hcpa.serialize import (
+    ProfileFormatError,
+    profile_from_json,
+    profile_to_json,
+)
+from repro.hcpa.summaries import ParallelismProfile
+from repro.obs.metrics import get_metrics, metrics_enabled
+
+#: snapshot file header (mirrors the profile header convention)
+SNAPSHOT_FORMAT = "kremlin-profile-store-snapshot"
+SNAPSHOT_VERSION = 1
+
+DEFAULT_SHARDS = 8
+DEFAULT_COMPACT_EVERY = 8
+
+
+class ProfileStoreError(Exception):
+    """The store itself is inconsistent (corrupt log, bad snapshot)."""
+
+
+def serialize_doc(doc: dict) -> str:
+    """Canonical serialization: sorted keys, no whitespace.
+
+    Every byte-identity guarantee in this module is stated over this
+    exact rendering, so it is the only dumper the store uses.
+    """
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
+def profile_identity(doc: dict) -> str:
+    """A program's store identity: name + region skeleton.
+
+    Matches the compatibility predicate of
+    :func:`repro.hcpa.merge.merge_profiles` (region kinds and names), so
+    two profiles land in the same log exactly when they are mergeable.
+    """
+    try:
+        regions = [[r["kind"], r["name"]] for r in doc["regions"]]
+    except (TypeError, KeyError) as exc:
+        raise ProfileFormatError(f"profile document has no region tree: {exc}")
+    return serialize_doc({"program": doc.get("program"), "regions": regions})
+
+
+def profile_key(doc: dict) -> str:
+    """sha256 hex digest of :func:`profile_identity` — the store key."""
+    return hashlib.sha256(profile_identity(doc).encode("utf-8")).hexdigest()
+
+
+def canonical_order(docs) -> list:
+    """The store's merge order: profiles sorted by canonical text."""
+    return sorted(docs, key=serialize_doc)
+
+
+def canonical_merge(docs) -> ParallelismProfile:
+    """Merge profile documents in canonical order.
+
+    This is the offline reference the store is byte-identical to: feed
+    it every submitted document (any order, duplicates preserved) and it
+    produces exactly the profile the store serves.
+    """
+    if not docs:
+        raise ProfileStoreError("nothing to merge")
+    return merge_profiles([profile_from_json(d) for d in canonical_order(docs)])
+
+
+def canonical_merge_text(docs) -> str:
+    """Canonical serialization of :func:`canonical_merge`."""
+    return serialize_doc(profile_to_json(canonical_merge(docs)))
+
+
+@dataclass(frozen=True)
+class SubmitReceipt:
+    """What :meth:`ProfileStore.submit` hands back."""
+
+    program_key: str
+    program_name: str
+    shard: int
+    #: 1-based log position of this record (advisory under racing writers)
+    sequence: int
+    #: log length observed right after this append
+    runs: int
+    compacted: bool
+
+
+@dataclass(frozen=True)
+class StoredProgram:
+    """One program's rollup for listings and summaries."""
+
+    program_key: str
+    program_name: str
+    shard: int
+    runs: int
+    total_work: int
+    instructions_retired: int
+
+
+class ProfileStore:
+    """A sharded, multi-writer-safe profile store rooted at a directory.
+
+    Instances are cheap handles over the directory; many processes may
+    hold handles on the same root simultaneously. The shard count is
+    fixed at store creation and persisted in ``store.json`` — reopening
+    with a different ``shards`` value keeps the on-disk layout.
+    """
+
+    def __init__(
+        self,
+        root: str,
+        shards: int = DEFAULT_SHARDS,
+        compact_every: int = DEFAULT_COMPACT_EVERY,
+    ):
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if compact_every < 1:
+            raise ValueError(
+                f"compact_every must be >= 1, got {compact_every}"
+            )
+        self.root = root
+        self.compact_every = compact_every
+        os.makedirs(root, exist_ok=True)
+        self.shards = self._pin_layout(shards)
+        #: in-memory merged-profile cache: key -> (log length, profile)
+        self._merged_cache: dict[str, tuple[int, ParallelismProfile]] = {}
+        #: serializes compaction within this process (the server's worker
+        #: threads share one handle); cross-process safety needs no lock —
+        #: appends are O_APPEND-atomic and snapshots land via os.replace
+        self._compact_lock = threading.Lock()
+
+    def _pin_layout(self, shards: int) -> int:
+        """Persist the shard count on first open; reuse it afterwards."""
+        layout_path = os.path.join(self.root, "store.json")
+        if os.path.exists(layout_path):
+            with open(layout_path, "r", encoding="utf-8") as handle:
+                layout = json.load(handle)
+            if layout.get("format") != SNAPSHOT_FORMAT.replace(
+                "-snapshot", ""
+            ):
+                raise ProfileStoreError(
+                    f"{layout_path} is not a kremlin profile store"
+                )
+            return int(layout["shards"])
+        text = serialize_doc(
+            {
+                "format": SNAPSHOT_FORMAT.replace("-snapshot", ""),
+                "version": SNAPSHOT_VERSION,
+                "shards": shards,
+            }
+        )
+        self._write_atomic(layout_path, text)
+        return shards
+
+    # -- paths ----------------------------------------------------------
+
+    def shard_of(self, key: str) -> int:
+        try:
+            return int(key[:8], 16) % self.shards
+        except ValueError:
+            # not a sha256 hex key — nothing can be stored under it
+            raise KeyError(key) from None
+
+    def _shard_dir(self, key: str) -> str:
+        return os.path.join(self.root, f"shard-{self.shard_of(key):02d}")
+
+    def _log_path(self, key: str) -> str:
+        return os.path.join(self._shard_dir(key), f"{key}.log")
+
+    def _snapshot_path(self, key: str) -> str:
+        return os.path.join(self._shard_dir(key), f"{key}.merged.json")
+
+    # -- writes ---------------------------------------------------------
+
+    def submit(self, doc: dict) -> SubmitReceipt:
+        """Append one profile document; compact on the configured cadence.
+
+        Raises :class:`~repro.hcpa.serialize.ProfileVersionError` /
+        :class:`~repro.hcpa.serialize.ProfileFormatError` for documents
+        this build cannot read — nothing invalid ever reaches a log.
+        """
+        profile = profile_from_json(doc)  # full header + shape validation
+        key = profile_key(doc)
+        line = (serialize_doc(doc) + "\n").encode("utf-8")
+        os.makedirs(self._shard_dir(key), exist_ok=True)
+        fd = os.open(
+            self._log_path(key),
+            os.O_WRONLY | os.O_APPEND | os.O_CREAT,
+            0o644,
+        )
+        try:
+            os.write(fd, line)
+        finally:
+            os.close(fd)
+        runs = self.runs(key)
+        compacted = False
+        if runs % self.compact_every == 0:
+            # Compaction is an optimization of reads, never of correctness:
+            # the append above already succeeded, so a compaction problem
+            # (e.g. a racing writer) must not fail the submission.
+            try:
+                self.compact(key)
+                compacted = True
+            except (ProfileStoreError, OSError):
+                if metrics_enabled():
+                    get_metrics().counter("store.compact_errors").inc()
+        if metrics_enabled():
+            registry = get_metrics()
+            registry.counter("store.submissions").inc()
+            registry.counter("store.bytes_appended").inc(len(line))
+        return SubmitReceipt(
+            program_key=key,
+            program_name=profile.program_name,
+            shard=self.shard_of(key),
+            sequence=runs,
+            runs=runs,
+            compacted=compacted,
+        )
+
+    def compact(self, key: str) -> int:
+        """Materialize the canonical merge into the snapshot file.
+
+        Returns the number of log records the snapshot covers. Safe to
+        race: every writer computes the same pure function of the log
+        prefix it saw, and ``os.replace`` keeps the file atomic.
+        """
+        with self._compact_lock:
+            docs = self._read_log(key)
+            merged = canonical_merge(docs)
+            snapshot = {
+                "format": SNAPSHOT_FORMAT,
+                "version": SNAPSHOT_VERSION,
+                "program_key": key,
+                "count": len(docs),
+                "profile": profile_to_json(merged),
+            }
+            self._write_atomic(
+                self._snapshot_path(key), serialize_doc(snapshot)
+            )
+            self._merged_cache[key] = (len(docs), merged)
+        if metrics_enabled():
+            get_metrics().counter("store.compactions").inc()
+        return len(docs)
+
+    def _write_atomic(self, path: str, text: str) -> None:
+        temp = f"{path}.tmp.{os.getpid()}.{threading.get_ident()}"
+        with open(temp, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(temp, path)
+
+    # -- reads ----------------------------------------------------------
+
+    def _read_log(self, key: str) -> list:
+        path = self._log_path(key)
+        if not os.path.exists(path):
+            raise KeyError(key)
+        docs = []
+        with open(path, "r", encoding="utf-8") as handle:
+            for number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    docs.append(json.loads(line))
+                except json.JSONDecodeError as exc:
+                    raise ProfileStoreError(
+                        f"corrupt log record {path}:{number}: {exc}"
+                    )
+        if not docs:
+            raise KeyError(key)
+        return docs
+
+    def runs(self, key: str) -> int:
+        """Number of profiles logged for a program (0 if unknown)."""
+        path = self._log_path(key)
+        if not os.path.exists(path):
+            return 0
+        with open(path, "rb") as handle:
+            return sum(1 for line in handle if line.strip())
+
+    def merged(self, key: str) -> ParallelismProfile:
+        """The canonical merge of everything submitted for ``key``.
+
+        Serves the in-memory cache when the log has not grown, then the
+        on-disk snapshot, and recomputes (without persisting — only
+        :meth:`compact` writes) as a last resort.
+        """
+        count = self.runs(key)
+        if count == 0:
+            raise KeyError(key)
+        cached = self._merged_cache.get(key)
+        if cached is not None and cached[0] == count:
+            return cached[1]
+        snapshot = self._load_snapshot(key)
+        if snapshot is not None and snapshot[0] == count:
+            self._merged_cache[key] = snapshot
+            if metrics_enabled():
+                get_metrics().counter("store.snapshot_hits").inc()
+            return snapshot[1]
+        merged = canonical_merge(self._read_log(key))
+        self._merged_cache[key] = (count, merged)
+        if metrics_enabled():
+            get_metrics().counter("store.snapshot_misses").inc()
+        return merged
+
+    def merged_text(self, key: str) -> str:
+        """Canonical serialization of :meth:`merged` — the byte-identity
+        surface checked against offline merges."""
+        return serialize_doc(profile_to_json(self.merged(key)))
+
+    def _load_snapshot(
+        self, key: str
+    ) -> tuple[int, ParallelismProfile] | None:
+        path = self._snapshot_path(key)
+        if not os.path.exists(path):
+            return None
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                snapshot = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            # A vanished or torn snapshot is indistinguishable from a
+            # stale one: the log is the source of truth, so fall back to
+            # recomputing rather than failing the read.
+            return None
+        if (
+            snapshot.get("format") != SNAPSHOT_FORMAT
+            or snapshot.get("version") != SNAPSHOT_VERSION
+        ):
+            raise ProfileStoreError(f"{path} is not a store snapshot")
+        return int(snapshot["count"]), profile_from_json(snapshot["profile"])
+
+    def program_keys(self) -> list[str]:
+        """Every program key with at least one logged profile."""
+        keys = []
+        for shard in range(self.shards):
+            shard_dir = os.path.join(self.root, f"shard-{shard:02d}")
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in os.listdir(shard_dir):
+                if name.endswith(".log"):
+                    keys.append(name[: -len(".log")])
+        return sorted(keys)
+
+    def describe(self, key: str) -> StoredProgram:
+        """One program's rollup (merged totals + run count)."""
+        merged = self.merged(key)
+        return StoredProgram(
+            program_key=key,
+            program_name=merged.program_name,
+            shard=self.shard_of(key),
+            runs=self.runs(key),
+            total_work=merged.total_work,
+            instructions_retired=merged.instructions_retired,
+        )
+
+    def programs(self) -> list[StoredProgram]:
+        """Rollups for every stored program, sorted by key."""
+        return [self.describe(key) for key in self.program_keys()]
+
+
+__all__ = [
+    "DEFAULT_COMPACT_EVERY",
+    "DEFAULT_SHARDS",
+    "ProfileStore",
+    "ProfileStoreError",
+    "StoredProgram",
+    "SubmitReceipt",
+    "canonical_merge",
+    "canonical_merge_text",
+    "canonical_order",
+    "profile_identity",
+    "profile_key",
+    "serialize_doc",
+]

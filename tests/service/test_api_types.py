@@ -1,0 +1,188 @@
+"""The versioned request/response payloads (repro.api_types)."""
+
+import dataclasses
+import json
+import unittest
+
+from repro.api_types import (
+    API_SCHEMA_VERSION,
+    METHODS,
+    ApiPayloadError,
+    CheckRequest,
+    CheckResult,
+    CompileRequest,
+    CompileResult,
+    ErrorReply,
+    LoopVerdict,
+    PlanEntry,
+    PlanRequest,
+    PlanResponse,
+    ProfileAck,
+    ProfileSubmit,
+    ProgramSummary,
+    SchemaVersionError,
+    SummaryRequest,
+    SummaryResponse,
+    request_type,
+    response_type,
+    source_digest,
+)
+
+SAMPLES = [
+    CompileRequest(source="int main() { return 0; }", filename="t.c"),
+    CompileResult(
+        program_key="ab" * 32,
+        filename="t.c",
+        functions=1,
+        loops=2,
+        regions=4,
+        verdicts=(
+            LoopVerdict(name="main#loop1", location="t.c (2-4)", verdict="doall"),
+        ),
+        cached=True,
+    ),
+    CheckRequest(source="int main() { return 0; }"),
+    CheckResult(
+        program_key="cd" * 32,
+        filename="t.c",
+        verdicts=(
+            LoopVerdict(name="main#loop1", location="t.c (2-4)", verdict="serial"),
+        ),
+        diagnostics=("t.c:2: warning: something",),
+        errors=0,
+    ),
+    ProfileSubmit(profile={"format": "kremlin-parallelism-profile"}),
+    ProfileAck(
+        program_key="ef" * 32,
+        program_name="t.c",
+        shard=3,
+        sequence=7,
+        runs=7,
+    ),
+    PlanRequest(program_key="ab" * 32, personality="cilk", exclude=(4, 5)),
+    PlanResponse(
+        program_key="ab" * 32,
+        program_name="t.c",
+        personality="openmp",
+        runs=2,
+        items=(
+            PlanEntry(
+                region_id=4,
+                name="main#loop1",
+                location="t.c (2-4)",
+                coverage=0.5,
+                self_parallelism=12.0,
+                est_speedup=1.9,
+                classification="DOALL",
+                static_verdict="doall",
+                executable=True,
+            ),
+        ),
+    ),
+    SummaryRequest(program_key=None),
+    SummaryResponse(
+        shards=8,
+        programs=(
+            ProgramSummary(
+                program_key="ab" * 32,
+                program_name="t.c",
+                shard=1,
+                runs=3,
+                total_work=1000,
+                instructions_retired=900,
+            ),
+        ),
+    ),
+    ErrorReply(code="bad-request", message="nope"),
+]
+
+
+class TestRoundTrip(unittest.TestCase):
+    def test_every_payload_round_trips(self):
+        for payload in SAMPLES:
+            with self.subTest(type=type(payload).__name__):
+                wire = json.loads(json.dumps(payload.to_json()))
+                self.assertEqual(type(payload).from_json(wire), payload)
+
+    def test_payloads_are_frozen(self):
+        for payload in SAMPLES:
+            with self.assertRaises(dataclasses.FrozenInstanceError):
+                payload.anything = 1
+
+    def test_schema_version_stamped(self):
+        for payload in SAMPLES:
+            if hasattr(payload, "schema_version"):
+                self.assertEqual(
+                    payload.to_json()["schema_version"], API_SCHEMA_VERSION
+                )
+
+    def test_nested_payloads_decode_to_types(self):
+        plan = PlanResponse.from_json(SAMPLES[7].to_json())
+        self.assertIsInstance(plan.items, tuple)
+        self.assertIsInstance(plan.items[0], PlanEntry)
+        result = CompileResult.from_json(SAMPLES[1].to_json())
+        self.assertIsInstance(result.verdicts[0], LoopVerdict)
+
+    def test_lists_become_tuples(self):
+        wire = PlanRequest(program_key="ab" * 32).to_json()
+        wire["exclude"] = [1, 2, 3]
+        decoded = PlanRequest.from_json(wire)
+        self.assertEqual(decoded.exclude, (1, 2, 3))
+
+
+class TestRejection(unittest.TestCase):
+    def test_wrong_schema_version_rejected(self):
+        wire = CompileRequest(source="x").to_json()
+        wire["schema_version"] = 999
+        with self.assertRaises(SchemaVersionError) as caught:
+            CompileRequest.from_json(wire)
+        self.assertIn("999", str(caught.exception))
+        self.assertIn(str(API_SCHEMA_VERSION), str(caught.exception))
+
+    def test_missing_schema_version_rejected(self):
+        wire = CompileRequest(source="x").to_json()
+        del wire["schema_version"]
+        with self.assertRaises(SchemaVersionError):
+            CompileRequest.from_json(wire)
+
+    def test_missing_required_field_rejected(self):
+        with self.assertRaises(ApiPayloadError) as caught:
+            CompileRequest.from_json({"schema_version": API_SCHEMA_VERSION})
+        self.assertIn("source", str(caught.exception))
+
+    def test_non_object_rejected(self):
+        for bad in ([], "text", 7, None):
+            with self.assertRaises(ApiPayloadError):
+                CompileRequest.from_json(bad)
+
+    def test_schema_error_is_payload_error(self):
+        self.assertTrue(issubclass(SchemaVersionError, ApiPayloadError))
+
+
+class TestMethodTable(unittest.TestCase):
+    def test_five_methods(self):
+        self.assertEqual(
+            sorted(METHODS),
+            ["check", "compile", "plan", "profile-submit", "query-summary"],
+        )
+
+    def test_lookup(self):
+        self.assertIs(request_type("compile"), CompileRequest)
+        self.assertIs(response_type("compile"), CompileResult)
+        self.assertIs(request_type("profile-submit"), ProfileSubmit)
+        self.assertIs(response_type("profile-submit"), ProfileAck)
+        self.assertIsNone(request_type("nope"))
+        self.assertIsNone(response_type("nope"))
+
+
+class TestSourceDigest(unittest.TestCase):
+    def test_digest_is_sha256_hex(self):
+        digest = source_digest("int main() { return 0; }")
+        self.assertEqual(len(digest), 64)
+        int(digest, 16)  # hex
+        self.assertEqual(digest, source_digest("int main() { return 0; }"))
+        self.assertNotEqual(digest, source_digest("other"))
+
+
+if __name__ == "__main__":
+    unittest.main()

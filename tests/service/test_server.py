@@ -1,0 +1,257 @@
+"""The asyncio service front end: typed endpoints + structured errors."""
+
+import copy
+import json
+import socket
+import tempfile
+import unittest
+
+from repro.api import CompileOptions, KremlinSession
+from repro.api_types import API_SCHEMA_VERSION, CompileRequest
+from repro.hcpa.serialize import profile_to_json
+from repro.service.client import KremlinClient, ServiceError
+from repro.service.protocol import PROTOCOL_VERSION
+from repro.service.server import KremlinServer, ServerThread
+from repro.service.store import ProfileStore, canonical_merge_text, profile_key
+
+SOURCE = """
+int a[64];
+int main() {
+  int s = 0;
+  for (int i = 0; i < 64; i = i + 1) {
+    a[i] = i * 3;
+  }
+  for (int i = 0; i < 64; i = i + 1) {
+    s = s + a[i];
+  }
+  return s;
+}
+"""
+
+BROKEN_SOURCE = "int main() { return undeclared_name; }"
+
+
+def _profile_doc(source=SOURCE, filename="served.c"):
+    session = KremlinSession(
+        compile_options=CompileOptions(filename=filename)
+    )
+    profile, _ = session.profile(session.compile(source))
+    return profile_to_json(profile)
+
+
+class ServerCase(unittest.TestCase):
+    """One live server per test class (tiny request limit for oversize)."""
+
+    max_request_bytes = 256 * 1024
+
+    @classmethod
+    def setUpClass(cls):
+        cls.root = tempfile.mkdtemp(prefix="kremlin-server-test-")
+        cls.store = ProfileStore(cls.root, shards=4)
+        cls.server = KremlinServer(
+            cls.store, workers=2, max_request_bytes=cls.max_request_bytes
+        )
+        cls.thread = ServerThread(cls.server)
+        cls.host, cls.port = cls.thread.start()
+
+    @classmethod
+    def tearDownClass(cls):
+        import shutil
+
+        cls.thread.stop()
+        shutil.rmtree(cls.root, ignore_errors=True)
+
+    def client(self) -> KremlinClient:
+        client = KremlinClient(self.host, self.port, timeout=30)
+        self.addCleanup(client.close)
+        return client
+
+    def raw_exchange(self, payload: bytes) -> dict:
+        """Send raw bytes, return the decoded first response envelope."""
+        with socket.create_connection(
+            (self.host, self.port), timeout=30
+        ) as sock:
+            sock.sendall(payload)
+            handle = sock.makefile("rb")
+            line = handle.readline()
+        self.assertTrue(line, "server closed without answering")
+        return json.loads(line.decode("utf-8"))
+
+
+class TestEndpoints(ServerCase):
+    def test_ping(self):
+        pong = self.client().ping()
+        self.assertEqual(pong.shards, 4)
+
+    def test_compile_and_cached_flag(self):
+        # distinct filename: other tests compile SOURCE as "served.c",
+        # which would legitimately pre-warm a worker session's cache and
+        # make the first response's cached flag thread-assignment luck
+        client = self.client()
+        first = client.compile(SOURCE, "cached_flag.c")
+        self.assertEqual(first.functions, 1)
+        self.assertEqual(first.loops, 2)
+        self.assertFalse(first.cached)
+        verdicts = {v.name: v.verdict for v in first.verdicts}
+        self.assertEqual(len(verdicts), 2)
+        again = client.compile(SOURCE, "cached_flag.c")
+        self.assertTrue(again.cached)
+        self.assertEqual(again.program_key, first.program_key)
+
+    def test_check(self):
+        result = self.client().check(SOURCE, "served.c")
+        self.assertEqual(result.errors, 0)
+        self.assertEqual(len(result.verdicts), 2)
+
+    def test_submit_plan_summary_round_trip(self):
+        client = self.client()
+        doc = _profile_doc()
+        ack = client.submit(doc)
+        self.assertEqual(ack.program_key, profile_key(doc))
+        self.assertEqual(ack.program_name, "served.c")
+        self.assertGreaterEqual(ack.runs, 1)
+
+        plan = client.plan(ack.program_key, personality="gprof")
+        self.assertEqual(plan.personality, "gprof")
+        self.assertEqual(plan.program_name, "served.c")
+        self.assertGreaterEqual(plan.runs, 1)
+
+        summary = client.summary(ack.program_key)
+        self.assertEqual(len(summary.programs), 1)
+        self.assertEqual(summary.programs[0].program_name, "served.c")
+        self.assertGreater(summary.programs[0].total_work, 0)
+
+    def test_compile_error_is_structured(self):
+        with self.assertRaises(ServiceError) as caught:
+            self.client().compile(BROKEN_SOURCE, "broken.c")
+        self.assertEqual(caught.exception.code, "compile-error")
+
+    def test_unknown_program_key_not_found(self):
+        with self.assertRaises(ServiceError) as caught:
+            self.client().plan("ab" * 32)
+        self.assertEqual(caught.exception.code, "not-found")
+
+    def test_unknown_personality_bad_request(self):
+        doc = _profile_doc()
+        client = self.client()
+        ack = client.submit(doc)
+        with self.assertRaises(ServiceError) as caught:
+            client.plan(ack.program_key, personality="magic")
+        self.assertEqual(caught.exception.code, "bad-request")
+
+    def test_bad_profile_rejected(self):
+        with self.assertRaises(ServiceError) as caught:
+            self.client().submit({"not": "a profile"})
+        self.assertEqual(caught.exception.code, "bad-profile")
+
+    def test_profile_version_skew_rejected(self):
+        doc = copy.deepcopy(_profile_doc())
+        doc["version"] = 999
+        with self.assertRaises(ServiceError) as caught:
+            self.client().submit(doc)
+        self.assertEqual(caught.exception.code, "profile-version")
+
+
+class TestProtocolErrors(ServerCase):
+    def envelope(self, **overrides) -> dict:
+        base = {
+            "kremlin": PROTOCOL_VERSION,
+            "id": 1,
+            "method": "compile",
+            "params": CompileRequest(source=SOURCE).to_json(),
+        }
+        base.update(overrides)
+        return base
+
+    def send_envelope(self, **overrides) -> dict:
+        line = (json.dumps(self.envelope(**overrides)) + "\n").encode()
+        return self.raw_exchange(line)
+
+    def test_malformed_json(self):
+        reply = self.raw_exchange(b"this is not json\n")
+        self.assertFalse(reply["ok"])
+        self.assertEqual(reply["error"]["code"], "malformed-request")
+
+    def test_non_object_envelope(self):
+        reply = self.raw_exchange(b"[1, 2, 3]\n")
+        self.assertEqual(reply["error"]["code"], "bad-envelope")
+
+    def test_wrong_protocol_version(self):
+        reply = self.send_envelope(kremlin=99)
+        self.assertEqual(reply["error"]["code"], "unsupported-protocol")
+        self.assertEqual(reply["id"], 1)  # still correlated
+
+    def test_unknown_method(self):
+        reply = self.send_envelope(method="frobnicate")
+        self.assertEqual(reply["error"]["code"], "unknown-method")
+        self.assertIn("compile", reply["error"]["message"])
+
+    def test_missing_params(self):
+        envelope = self.envelope()
+        del envelope["params"]
+        reply = self.raw_exchange((json.dumps(envelope) + "\n").encode())
+        self.assertEqual(reply["error"]["code"], "bad-envelope")
+
+    def test_payload_schema_version_rejected(self):
+        params = CompileRequest(source=SOURCE).to_json()
+        params["schema_version"] = 999
+        reply = self.send_envelope(params=params)
+        self.assertEqual(reply["error"]["code"], "unsupported-schema")
+        self.assertIn(str(API_SCHEMA_VERSION), reply["error"]["message"])
+
+    def test_missing_required_payload_field(self):
+        reply = self.send_envelope(params={"schema_version": 1})
+        self.assertEqual(reply["error"]["code"], "bad-request")
+        self.assertIn("source", reply["error"]["message"])
+
+    def test_oversize_request_closes_connection(self):
+        big = json.dumps(
+            self.envelope(
+                params=CompileRequest(
+                    source="x" * (self.max_request_bytes + 1024)
+                ).to_json()
+            )
+        )
+        with socket.create_connection(
+            (self.host, self.port), timeout=30
+        ) as sock:
+            sock.sendall(big.encode() + b"\n")
+            handle = sock.makefile("rb")
+            reply = json.loads(handle.readline().decode())
+            self.assertEqual(reply["error"]["code"], "oversize-request")
+            # Framing is unrecoverable: server hangs up after answering.
+            self.assertEqual(handle.readline(), b"")
+
+
+class TestConcurrentClients(ServerCase):
+    def test_many_clients_store_matches_offline_merge(self):
+        from repro.service.loadgen import run_load, submitted_by_program
+
+        docs = [
+            _profile_doc(SOURCE, "served.c"),
+            _profile_doc(
+                SOURCE.replace("64", "32"), "served_small.c"
+            ),
+        ]
+        report = run_load(
+            self.host,
+            self.port,
+            docs,
+            sources=[("served.c", SOURCE)],
+            clients=8,
+            submits_per_client=3,
+        )
+        self.assertEqual(report.errors, 0)
+        self.assertEqual(report.by_method["profile-submit"], 24)
+        self.assertGreater(report.requests_per_second, 0)
+        # This class gets its own fresh store, so the load run's submissions
+        # are everything in it: merged view must equal the offline merge.
+        for key, submitted in submitted_by_program(report).items():
+            self.assertEqual(
+                self.store.merged_text(key),
+                canonical_merge_text(submitted),
+            )
+
+
+if __name__ == "__main__":
+    unittest.main()

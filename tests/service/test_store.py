@@ -1,0 +1,314 @@
+"""The sharded profile store: multi-writer safety and byte-identity.
+
+The load-bearing guarantee: a store fed by concurrent writers in any
+interleaving serves a merged profile *byte-identical* to an offline
+serial merge of the same documents (``canonical_merge_text``). Plain
+``merge_profiles`` is only order-independent up to aggregation — its
+dictionary numbering is arrival-order-sensitive — so the store imposes
+canonical ordering; these tests pin that contract down.
+"""
+
+import copy
+import multiprocessing
+import os
+import random
+import unittest
+
+from repro.api import CompileOptions, KremlinSession, ProfileOptions
+from repro.hcpa.serialize import (
+    ProfileFormatError,
+    ProfileVersionError,
+    profile_to_json,
+)
+from repro.service.store import (
+    ProfileStore,
+    ProfileStoreError,
+    canonical_merge_text,
+    profile_identity,
+    profile_key,
+    serialize_doc,
+)
+
+SOURCE = """
+int work(int n) {
+  int s = 0;
+  for (int i = 0; i < n; i = i + 1) {
+    s = s + i;
+  }
+  return s;
+}
+
+int main() {
+  int total = 0;
+  for (int r = 0; r < 3; r = r + 1) {
+    total = total + work(40);
+  }
+  return total;
+}
+"""
+
+OTHER_SOURCE = """
+int main() {
+  int p = 1;
+  for (int i = 1; i < 12; i = i + 1) {
+    p = p * 2;
+  }
+  return p;
+}
+"""
+
+
+def _profile_doc(source, filename, max_depth=None):
+    session = KremlinSession(
+        compile_options=CompileOptions(filename=filename),
+        profile_options=ProfileOptions(max_depth=max_depth),
+    )
+    profile, _ = session.profile(session.compile(source))
+    return profile_to_json(profile)
+
+
+class StoreCase(unittest.TestCase):
+    @classmethod
+    def setUpClass(cls):
+        # Three distinct-but-mergeable docs per program: depth windows
+        # share the region skeleton (same store key) with different totals.
+        cls.docs = [
+            _profile_doc(SOURCE, "store_prog.c", max_depth=d)
+            for d in (None, 2, 3)
+        ]
+        cls.other_docs = [
+            _profile_doc(OTHER_SOURCE, "other_prog.c", max_depth=d)
+            for d in (None, 2)
+        ]
+
+    def make_store(self, **kwargs):
+        import tempfile
+
+        root = tempfile.mkdtemp(prefix="kremlin-store-test-")
+        self.addCleanup(self._rmtree, root)
+        return ProfileStore(root, **kwargs)
+
+    @staticmethod
+    def _rmtree(root):
+        import shutil
+
+        shutil.rmtree(root, ignore_errors=True)
+
+
+class TestIdentity(StoreCase):
+    def test_same_program_same_key(self):
+        keys = {profile_key(doc) for doc in self.docs}
+        self.assertEqual(len(keys), 1)
+
+    def test_different_programs_different_keys(self):
+        self.assertNotEqual(
+            profile_key(self.docs[0]), profile_key(self.other_docs[0])
+        )
+
+    def test_identity_tracks_merge_compatibility(self):
+        # Identity is (program name, region kind+name skeleton) — exactly
+        # what merge_profiles accepts.
+        identity = profile_identity(self.docs[0])
+        self.assertIn("store_prog.c", identity)
+        self.assertIn("loop", identity)
+
+    def test_identity_rejects_junk(self):
+        with self.assertRaises(ProfileFormatError):
+            profile_key({"not": "a profile"})
+
+
+class TestSubmitAndMerge(StoreCase):
+    def test_submit_receipt(self):
+        store = self.make_store(shards=4)
+        receipt = store.submit(self.docs[0])
+        self.assertEqual(receipt.program_key, profile_key(self.docs[0]))
+        self.assertEqual(receipt.program_name, "store_prog.c")
+        self.assertEqual(receipt.sequence, 1)
+        self.assertEqual(receipt.runs, 1)
+        self.assertEqual(receipt.shard, store.shard_of(receipt.program_key))
+        second = store.submit(self.docs[1])
+        self.assertEqual(second.sequence, 2)
+
+    def test_merged_matches_offline_canonical_merge(self):
+        store = self.make_store()
+        submitted = [self.docs[0], self.docs[1], self.docs[0], self.docs[2]]
+        for doc in submitted:
+            store.submit(doc)
+        key = profile_key(self.docs[0])
+        self.assertEqual(
+            store.merged_text(key), canonical_merge_text(submitted)
+        )
+
+    def test_merge_is_submission_order_independent(self):
+        key = profile_key(self.docs[0])
+        texts = set()
+        for order in ([0, 1, 2], [2, 1, 0], [1, 2, 0]):
+            store = self.make_store()
+            for index in order:
+                store.submit(self.docs[index])
+            texts.add(store.merged_text(key))
+        self.assertEqual(len(texts), 1)
+
+    def test_programs_shard_independently(self):
+        store = self.make_store(shards=8)
+        store.submit(self.docs[0])
+        store.submit(self.other_docs[0])
+        keys = store.program_keys()
+        self.assertEqual(len(keys), 2)
+        summary = {p.program_name for p in store.programs()}
+        self.assertEqual(summary, {"store_prog.c", "other_prog.c"})
+
+    def test_runs_counts_log_lines(self):
+        store = self.make_store()
+        key = profile_key(self.docs[0])
+        self.assertEqual(store.runs(key), 0)
+        store.submit(self.docs[0])
+        store.submit(self.docs[0])
+        self.assertEqual(store.runs(key), 2)
+
+    def test_unknown_key_raises_keyerror(self):
+        store = self.make_store()
+        with self.assertRaises(KeyError):
+            store.merged("ab" * 32)
+        with self.assertRaises(KeyError):
+            store.merged("not-even-hex")
+
+
+class TestValidation(StoreCase):
+    def test_bad_document_rejected_before_logging(self):
+        store = self.make_store()
+        with self.assertRaises(ProfileFormatError):
+            store.submit({"not": "a profile"})
+        self.assertEqual(store.program_keys(), [])
+
+    def test_version_skew_rejected_as_version_error(self):
+        store = self.make_store()
+        doc = copy.deepcopy(self.docs[0])
+        doc["version"] = 999
+        with self.assertRaises(ProfileVersionError):
+            store.submit(doc)
+        self.assertEqual(store.program_keys(), [])
+
+    def test_layout_pinned_across_reopens(self):
+        store = self.make_store(shards=4)
+        reopened = ProfileStore(store.root, shards=16)
+        self.assertEqual(reopened.shards, 4)
+
+    def test_foreign_directory_rejected(self):
+        import tempfile
+
+        root = tempfile.mkdtemp(prefix="kremlin-notastore-")
+        self.addCleanup(self._rmtree, root)
+        with open(os.path.join(root, "store.json"), "w") as handle:
+            handle.write('{"format": "something-else"}')
+        with self.assertRaises(ProfileStoreError):
+            ProfileStore(root)
+
+
+class TestCompaction(StoreCase):
+    def test_snapshot_written_on_cadence(self):
+        store = self.make_store(compact_every=2)
+        key = profile_key(self.docs[0])
+        store.submit(self.docs[0])
+        self.assertFalse(os.path.exists(store._snapshot_path(key)))
+        receipt = store.submit(self.docs[1])
+        self.assertTrue(receipt.compacted)
+        self.assertTrue(os.path.exists(store._snapshot_path(key)))
+
+    def test_stale_snapshot_detected_by_count(self):
+        store = self.make_store(compact_every=2)
+        key = profile_key(self.docs[0])
+        store.submit(self.docs[0])
+        store.submit(self.docs[1])  # snapshot covers 2 records
+        store.submit(self.docs[2])  # log now ahead of the snapshot
+        fresh = ProfileStore(store.root)  # no in-memory cache
+        self.assertEqual(
+            fresh.merged_text(key),
+            canonical_merge_text([self.docs[0], self.docs[1], self.docs[2]]),
+        )
+
+    def test_snapshot_served_to_new_handle(self):
+        store = self.make_store(compact_every=1)
+        key = profile_key(self.docs[0])
+        store.submit(self.docs[0])
+        fresh = ProfileStore(store.root)
+        self.assertEqual(
+            fresh.merged_text(key), canonical_merge_text([self.docs[0]])
+        )
+
+    def test_corrupt_log_line_fails_loudly(self):
+        store = self.make_store()
+        store.submit(self.docs[0])
+        key = profile_key(self.docs[0])
+        with open(store._log_path(key), "a") as handle:
+            handle.write("{broken json\n")
+        fresh = ProfileStore(store.root)
+        with self.assertRaises(ProfileStoreError) as caught:
+            fresh.merged(key)
+        self.assertIn(":2", str(caught.exception))
+
+
+def _writer(root, docs, seed, barrier, errors):
+    """One writer process: submit `docs` in its own shuffled order."""
+    try:
+        store = ProfileStore(root)
+        order = list(range(len(docs)))
+        random.Random(seed).shuffle(order)
+        barrier.wait(timeout=60)
+        for index in order:
+            store.submit(docs[index])
+    except Exception as exc:  # pragma: no cover
+        errors.put(repr(exc))
+
+
+class TestConcurrentWriters(StoreCase):
+    def test_racing_writers_converge_to_serial_merge(self):
+        """N processes submit interleaved, shuffled, duplicated docs; the
+        final store is byte-identical to one offline canonical merge."""
+        store = self.make_store(shards=4, compact_every=3)
+        per_writer = self.docs + self.other_docs  # 5 docs each
+        writers = 4
+        context = multiprocessing.get_context("fork")
+        barrier = context.Barrier(writers)
+        errors = context.Queue()
+        processes = [
+            context.Process(
+                target=_writer,
+                args=(store.root, per_writer, seed, barrier, errors),
+            )
+            for seed in range(writers)
+        ]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join(timeout=120)
+            self.assertEqual(process.exitcode, 0)
+        self.assertTrue(errors.empty())
+
+        # Every writer submitted every doc once: 4 copies of each.
+        all_submitted = per_writer * writers
+        by_key = {}
+        for doc in all_submitted:
+            by_key.setdefault(profile_key(doc), []).append(doc)
+        reader = ProfileStore(store.root)  # cold handle: reads from disk
+        self.assertEqual(sorted(by_key), reader.program_keys())
+        for key, docs in by_key.items():
+            self.assertEqual(reader.runs(key), len(docs))
+            self.assertEqual(
+                reader.merged_text(key), canonical_merge_text(docs)
+            )
+
+
+class TestCanonicalHelpers(StoreCase):
+    def test_canonical_merge_empty_rejected(self):
+        with self.assertRaises(ProfileStoreError):
+            canonical_merge_text([])
+
+    def test_serialize_doc_is_stable(self):
+        doc = {"b": 1, "a": [2, {"d": 3, "c": 4}]}
+        self.assertEqual(serialize_doc(doc), serialize_doc(copy.deepcopy(doc)))
+        self.assertNotIn(" ", serialize_doc(doc))
+
+
+if __name__ == "__main__":
+    unittest.main()

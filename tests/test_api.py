@@ -151,6 +151,166 @@ class TestSessionCheck(unittest.TestCase):
         self.assertTrue(analysis.functions)
 
 
+PARALLEL_SOURCE = """
+int a[1024];
+int main() {
+  for (int i = 0; i < 1024; i = i + 1) {
+    a[i] = i * 3;
+  }
+  int s = 0;
+  for (int i = 0; i < 1024; i = i + 1) {
+    s = s + a[i];
+  }
+  return s;
+}
+"""
+
+
+class TestUnifiedExecuteOptions(unittest.TestCase):
+    def test_execute_options_is_parallel_options(self):
+        from repro import ExecuteOptions, ParallelOptions
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            options = ExecuteOptions(workers=3, mode="inline")
+        self.assertIsInstance(options, ParallelOptions)
+        self.assertEqual(options.workers, 3)
+        self.assertEqual(options.mode, "inline")
+        # The unified fields exist on the shim too.
+        self.assertEqual(options.engine, "compiled")
+        self.assertEqual(options.entry, "main")
+        with self.assertRaises(dataclasses.FrozenInstanceError):
+            options.workers = 9
+
+    def test_execute_options_warns_once(self):
+        import repro.api as api
+
+        api._EXECUTE_OPTIONS_WARNED = False
+        try:
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                api.ExecuteOptions()
+                api.ExecuteOptions(workers=4)
+            deprecations = [
+                w
+                for w in caught
+                if issubclass(w.category, DeprecationWarning)
+            ]
+            self.assertEqual(len(deprecations), 1)
+            self.assertIn("ParallelOptions", str(deprecations[0].message))
+        finally:
+            api._EXECUTE_OPTIONS_WARNED = True
+
+    def test_parallel_options_accepted_directly(self):
+        from repro import ParallelOptions
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            session = KremlinSession(
+                execute_options=ParallelOptions(workers=1, mode="inline")
+            )
+        self.assertEqual(session.execute_options.mode, "inline")
+
+    def test_legacy_execute_options_still_drive_execute(self):
+        from repro import ExecuteOptions
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            options = ExecuteOptions(workers=1, mode="inline", warmup=False)
+        report = KremlinSession(execute_options=options).execute(SOURCE)
+        self.assertEqual(
+            report.outcome.serial_result.value, sum(range(12))
+        )
+
+
+class TestParallelPathCompileCache(unittest.TestCase):
+    def test_execute_routes_transformed_compile_through_cache(self):
+        from repro import ParallelOptions
+        from repro.obs.metrics import collecting_metrics
+
+        session = KremlinSession(
+            execute_options=ParallelOptions(
+                workers=2, mode="inline", warmup=False
+            )
+        )
+        with collecting_metrics() as registry:
+            first = session.execute(PARALLEL_SOURCE)
+            misses_after_first = registry.counter(
+                "session.compile_cache.misses"
+            ).value
+            second = session.execute(PARALLEL_SOURCE)
+        self.assertFalse(first.outcome.fallback)
+        self.assertTrue(first.outcome.executed)
+        self.assertEqual(
+            first.outcome.serial_result.value,
+            second.outcome.serial_result.value,
+        )
+        # First run misses twice: the analyzed source and the transformed
+        # source. The second run compiles nothing new.
+        self.assertEqual(misses_after_first, 2)
+        self.assertEqual(
+            registry.counter("session.compile_cache.misses").value, 2
+        )
+        self.assertGreaterEqual(
+            registry.counter("session.compile_cache.hits").value, 2
+        )
+
+    def test_transformed_and_analyzed_programs_do_not_collide(self):
+        # Same digest+filename but different analyze flag must cache
+        # under different keys.
+        session = KremlinSession()
+        analyzed = session.compile_named(SOURCE, "x.c", analyze=True)
+        bare = session.compile_named(SOURCE, "x.c", analyze=False)
+        self.assertIsNot(analyzed, bare)
+        self.assertIsNotNone(analyzed.analysis)
+        self.assertIsNone(bare.analysis)
+
+    def test_cache_is_bounded(self):
+        session = KremlinSession(compile_cache_capacity=2)
+        programs = [
+            session.compile(SOURCE + f"\n// v{i}") for i in range(4)
+        ]
+        self.assertEqual(len(session._compile_cache), 2)
+        # Most recent entry still cached; the oldest was evicted.
+        self.assertIs(
+            session.compile(SOURCE + "\n// v3"), programs[3]
+        )
+
+
+class TestSessionServe(unittest.TestCase):
+    def test_serve_compile_request(self):
+        from repro.api_types import CompileRequest, CompileResult
+
+        session = KremlinSession()
+        result = session.serve(
+            CompileRequest(source=SOURCE, filename="served.c")
+        )
+        self.assertIsInstance(result, CompileResult)
+        self.assertEqual(result.filename, "served.c")
+        self.assertFalse(result.cached)
+        again = session.serve(
+            CompileRequest(source=SOURCE, filename="served.c")
+        )
+        self.assertTrue(again.cached)
+
+    def test_serve_check_request(self):
+        from repro.api_types import CheckRequest, CheckResult
+
+        session = KremlinSession()
+        result = session.serve(
+            CheckRequest(source=SOURCE, filename="served.c")
+        )
+        self.assertIsInstance(result, CheckResult)
+        self.assertEqual(result.errors, 0)
+        self.assertEqual(len(result.verdicts), 1)
+
+    def test_serve_rejects_other_payloads(self):
+        from repro.api_types import SummaryRequest
+
+        with self.assertRaises(TypeError):
+            KremlinSession().serve(SummaryRequest())
+
+
 class TestDeprecationShim(unittest.TestCase):
     def test_plain_analyze_is_warning_free(self):
         with warnings.catch_warnings():
