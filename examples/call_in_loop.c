@@ -1,0 +1,57 @@
+// Interprocedural summaries showcase: every hot loop calls a helper.
+//
+//   kremlin check examples/call_in_loop.c --summaries --cost
+//   kremlin run examples/call_in_loop.c --parallel --compare
+//   kremlin examples/call_in_loop.c --personality=static
+//
+// Without mod/ref summaries the analyzer had to call every one of these
+// loops UNSAFE (an unanalyzed callee could touch anything). With them:
+//
+//   - the blur loop is SAFE_DOALL: blur() writes dst[i] and reads only
+//     src[i], src[i+1] — disjoint cells across iterations;
+//   - the accumulate loop is SAFE_WITH_REDUCTION: bump() performs
+//     total = total + v, a reduction through the call;
+//   - the collatz loop stays UNSAFE: depth() is recursive with a
+//     global side effect, so its summary is the lattice top.
+
+int src[512];
+int dst[512];
+float total;
+int probes;
+
+void blur(int i) {
+  dst[i] = src[i] + src[i + 1];
+}
+
+void bump(float v) {
+  total = total + v;
+}
+
+int depth(int n) {
+  probes = probes + 1;
+  if (n <= 1) {
+    return 0;
+  }
+  if (n % 2 == 0) {
+    return 1 + depth(n / 2);
+  }
+  return 1 + depth(3 * n + 1);
+}
+
+int main() {
+  for (int i = 0; i < 512; i++) {
+    src[i] = (i * 7) % 101;
+  }
+  for (int i = 0; i < 511; i++) {
+    blur(i);
+  }
+  for (int i = 0; i < 511; i++) {
+    bump(dst[i] * 0.5);
+  }
+  for (int n = 2; n < 32; n++) {
+    probes = probes + depth(n);
+  }
+  print(total);
+  print(probes);
+  return 0;
+}

@@ -12,7 +12,10 @@ end of the planner contract:
    ``reduction(...)`` verdict — the two showcase behaviours the analyzer
    exists to produce;
 3. ``kremlin check`` runs clean (exit 0 or 2, never a crash) on each
-   example source.
+   example source;
+4. the interprocedural mod/ref summaries upgrade at least one call-bearing
+   loop to ``SAFE_DOALL`` that the purity-only analysis called UNSAFE,
+   and the ``--summaries --cost --json`` output round-trips as JSON.
 
 Exit code 0 = all checks pass. Run from the repo root:
 
@@ -104,6 +107,75 @@ def check_verdict_coverage(items) -> list[str]:
     return problems
 
 
+def check_summaries() -> list[str]:
+    """The interprocedural upgrade + the machine-readable surface."""
+    import io
+    import json
+    from contextlib import redirect_stdout
+
+    from repro.analysis.dependence import (
+        analyze_function_dependences,
+        function_purity,
+    )
+    from repro.analysis.verdict import Verdict
+
+    problems: list[str] = []
+    path = REPO_ROOT / "examples" / "call_in_loop.c"
+    try:
+        program = kremlin_cc(path.read_text(), str(path))
+    except Exception as error:  # noqa: BLE001
+        return [f"{path.name}: does not compile: {error}"]
+
+    # Re-analyze main twice: purity-only (the old binary fixpoint) vs
+    # summary-driven. At least one loop must move UNSAFE -> SAFE_DOALL.
+    module = program.module
+    main_fn = module.functions["main"]
+    purity = function_purity(module)
+    before = {
+        info.loop.header: info.verdict.verdict
+        for info in analyze_function_dependences(
+            main_fn, module=module, purity=purity
+        )
+    }
+    after = {
+        info.loop.header: info.verdict.verdict
+        for info in analyze_function_dependences(main_fn, module=module)
+    }
+    upgraded = [
+        header
+        for header, verdict in after.items()
+        if verdict is Verdict.SAFE_DOALL
+        and before.get(header) is Verdict.UNSAFE
+    ]
+    if not upgraded:
+        problems.append(
+            f"{path.name}: no call-bearing loop upgraded UNSAFE -> "
+            f"SAFE_DOALL under summaries (before={before}, after={after})"
+        )
+
+    # --summaries --cost --json must emit valid JSON with both sections.
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        code = kremlin_main(
+            ["check", str(path), "--summaries", "--cost", "--json",
+             "--no-verdicts"]
+        )
+    if code not in (0, 2):
+        problems.append(f"kremlin check --summaries {path.name} exited {code}")
+    try:
+        document = json.loads(buffer.getvalue())
+    except json.JSONDecodeError as error:
+        return problems + [f"--summaries --json is not valid JSON: {error}"]
+    if not document.get("summaries"):
+        problems.append("--summaries JSON has no summaries section")
+    if not document.get("costs"):
+        problems.append("--cost JSON has no costs section")
+    names = {record["name"] for record in document.get("summaries", [])}
+    if "blur" not in names:
+        problems.append(f"summary JSON misses 'blur' (got {sorted(names)})")
+    return problems
+
+
 def main() -> int:
     example_problems, example_items = check_examples()
     bench_problems, bench_items = check_benchmarks()
@@ -111,6 +183,7 @@ def main() -> int:
         example_problems
         + bench_problems
         + check_verdict_coverage(example_items + bench_items)
+        + check_summaries()
     )
     if problems:
         for problem in problems:
@@ -119,7 +192,8 @@ def main() -> int:
     print(
         f"check_analysis: {len(example_items + bench_items)} planner "
         "recommendations all carry static verdicts; refuted + reduction "
-        "showcases present"
+        "showcases present; interprocedural UNSAFE -> SAFE_DOALL upgrade "
+        "and --summaries/--cost JSON verified"
     )
     return 0
 

@@ -14,6 +14,7 @@ refutes, or qualifies every region the dynamic planner ranks — see
 docs/ANALYSIS.md.
 """
 
+from repro.analysis.callgraph import CallGraph, build_call_graph
 from repro.analysis.cfg import (
     postorder,
     predecessor_map,
@@ -58,6 +59,20 @@ from repro.analysis.lint import (
     run_lint,
 )
 from repro.analysis.loops import Loop, LoopForest, find_natural_loops
+from repro.analysis.static_cost import (
+    Interval,
+    RegionCost,
+    compute_static_costs,
+    costs_to_json,
+    trip_interval,
+)
+from repro.analysis.summaries import (
+    AccessRecord,
+    FunctionSummary,
+    ParamAffine,
+    compute_module_summaries,
+    summaries_to_json,
+)
 from repro.analysis.verdict import (
     UNKNOWN_TAG,
     DependenceWitness,
@@ -73,6 +88,8 @@ from repro.analysis.verdict import (
 __all__ = [
     "RULES",
     "UNKNOWN_TAG",
+    "AccessRecord",
+    "CallGraph",
     "ControlDependenceInfo",
     "Definition",
     "DepClass",
@@ -80,19 +97,27 @@ __all__ = [
     "Diagnostic",
     "DominatorTree",
     "FunctionAnalysis",
+    "FunctionSummary",
+    "Interval",
     "LintContext",
     "Loop",
     "LoopDependenceInfo",
     "LoopForest",
     "ModuleAnalysis",
+    "ParamAffine",
     "ReachingDefinitions",
+    "RegionCost",
     "RegionVerdict",
     "Severity",
     "Verdict",
     "analyze_function_dependences",
     "analyze_module",
     "analyze_program",
+    "build_call_graph",
     "compute_control_dependence",
+    "compute_module_summaries",
+    "compute_static_costs",
+    "costs_to_json",
     "definitions_in_loop",
     "detect_ir_dep_breaks",
     "dominator_tree",
@@ -106,10 +131,12 @@ __all__ = [
     "reverse_postorder",
     "rule",
     "run_lint",
+    "summaries_to_json",
     "tag_is_safe",
     "tag_rank",
     "tag_reduction_vars",
     "tag_refutes_doall",
     "tag_verdict",
+    "trip_interval",
     "upward_exposed_registers",
 ]

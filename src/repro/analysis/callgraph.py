@@ -1,4 +1,10 @@
-"""Call graph construction over the IR module."""
+"""Call graph construction over the IR module.
+
+Strongly connected components are computed once (iterative Tarjan) and
+cached on the graph; recursion queries and the interprocedural summary
+pass (`repro.analysis.summaries`) both read the same SCC partition
+instead of re-walking the edge set per query.
+"""
 
 from __future__ import annotations
 
@@ -14,23 +20,37 @@ class CallGraph:
 
     callees: dict[str, set[str]] = field(default_factory=dict)
     callers: dict[str, set[str]] = field(default_factory=dict)
+    _sccs: tuple[tuple[str, ...], ...] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def calls(self, caller: str, callee: str) -> bool:
         return callee in self.callees.get(caller, set())
 
+    def sccs(self) -> tuple[tuple[str, ...], ...]:
+        """Strongly connected components, callees before callers.
+
+        Tarjan emits components in reverse topological order of the
+        condensation, which is exactly the bottom-up order a summary
+        computation wants: by the time a component is visited, every
+        function it calls outside the component already has one.
+        """
+        if self._sccs is None:
+            self._sccs = self._tarjan()
+        return self._sccs
+
+    def in_cycle(self, name: str) -> bool:
+        """True if ``name`` sits on any call cycle (including self-calls)."""
+        if name in self.callees.get(name, set()):
+            return True
+        for component in self.sccs():
+            if name in component:
+                return len(component) > 1
+        return False
+
     def is_recursive(self, name: str) -> bool:
         """True if ``name`` participates in any call cycle."""
-        seen: set[str] = set()
-        stack = list(self.callees.get(name, set()))
-        while stack:
-            current = stack.pop()
-            if current == name:
-                return True
-            if current in seen:
-                continue
-            seen.add(current)
-            stack.extend(self.callees.get(current, set()))
-        return False
+        return self.in_cycle(name)
 
     def reachable_from(self, root: str = "main") -> set[str]:
         out: set[str] = set()
@@ -42,6 +62,58 @@ class CallGraph:
             out.add(current)
             stack.extend(self.callees.get(current, set()))
         return out
+
+    def _tarjan(self) -> tuple[tuple[str, ...], ...]:
+        index: dict[str, int] = {}
+        lowlink: dict[str, int] = {}
+        on_stack: set[str] = set()
+        stack: list[str] = []
+        components: list[tuple[str, ...]] = []
+        counter = 0
+
+        for root in self.callees:
+            if root in index:
+                continue
+            # iterative DFS: (node, iterator over its callees)
+            work = [(root, iter(sorted(self.callees.get(root, set()))))]
+            index[root] = lowlink[root] = counter
+            counter += 1
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                node, edges = work[-1]
+                advanced = False
+                for succ in edges:
+                    if succ not in self.callees:
+                        continue
+                    if succ not in index:
+                        index[succ] = lowlink[succ] = counter
+                        counter += 1
+                        stack.append(succ)
+                        on_stack.add(succ)
+                        work.append(
+                            (succ, iter(sorted(self.callees.get(succ, set()))))
+                        )
+                        advanced = True
+                        break
+                    if succ in on_stack:
+                        lowlink[node] = min(lowlink[node], index[succ])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+                if lowlink[node] == index[node]:
+                    component: list[str] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == node:
+                            break
+                    components.append(tuple(sorted(component)))
+        return tuple(components)
 
 
 def build_call_graph(module: Module) -> CallGraph:

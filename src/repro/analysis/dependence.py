@@ -29,10 +29,15 @@ Memory side (affine subscript test)
     subscript) is an *uncharacterized* dependence -> ``UNSAFE``.
 
 Side conditions
-    Impure calls (user functions that touch globals or array arguments,
-    ``rand``, ``print``) are uncharacterized dependences; multiple loop
-    exits (``break``) make the trip count data-dependent and cap the
-    verdict at ``DOACROSS_ONLY``.
+    Calls are resolved through interprocedural mod/ref summaries
+    (:mod:`repro.analysis.summaries`): a summarizable callee's global
+    and array-parameter effects are rebound through the call-site
+    argument map and join the loop's access set as synthetic accesses
+    (witness chains then walk through the call site into the callee).
+    Unsummarizable calls (RNG/IO builtins, recursive cycles with
+    effects, unresolvable objects) remain uncharacterized dependences;
+    multiple loop exits (``break``) make the trip count data-dependent
+    and cap the verdict at ``DOACROSS_ONLY``.
 """
 
 from __future__ import annotations
@@ -116,22 +121,44 @@ class InductionVar:
 
 @dataclass
 class MemAccess:
-    """One Load/Store in the loop, with its resolved object and index."""
+    """One memory access in the loop, with its resolved object and index.
 
-    instr: Load | Store
+    Besides direct Loads/Stores, a loop's access set contains *synthetic*
+    accesses derived from callee mod/ref summaries: ``instr`` is then the
+    Call, ``store`` carries the explicit direction, and ``trace`` holds
+    the witness-chain hops walking through the call site into the callee.
+    """
+
+    instr: Load | Store | Call
     block: BasicBlock
     obj: "MemObject"
     #: affine image of the index (None = non-affine); scalar cells use
     #: the zero expression
     affine: "AffineExpr | None" = None
+    #: explicit direction for call-derived accesses (None = from instr)
+    store: bool | None = None
+    #: interprocedural witness-chain hops (empty for direct accesses)
+    trace: tuple = ()
+    #: normalized reduction operator when the callee access is half of a
+    #: recognized ``g = g ⊕ v`` update (from the summary)
+    summary_op: str | None = None
 
     @property
     def is_store(self) -> bool:
+        if self.store is not None:
+            return self.store
         return isinstance(self.instr, Store)
 
     @property
     def role(self) -> str:
         return "store" if self.is_store else "load"
+
+    @property
+    def chain(self) -> list:
+        """Witness-chain hops describing this access."""
+        if self.trace:
+            return list(self.trace)
+        return [(f"{self.role} of {self.obj} here", self.instr.span)]
 
 
 @dataclass(frozen=True)
@@ -241,6 +268,22 @@ def _scale(a: AffineExpr, factor: int) -> AffineExpr:
     )
 
 
+@dataclass(frozen=True)
+class BoundedSym:
+    """An opaque value known only by its interval, re-sampled on every
+    iteration of the analyzed loop.
+
+    This is how a callee's *internal* loop variable appears after its
+    index summary is rebound at a call site: ``fill(i)`` writing
+    ``a[4·base + j]`` for ``j ∈ [0,3]`` becomes ``a[4·i + s]`` with
+    ``s = BoundedSym(0, 3)``. Distinct tags never cancel — each call
+    re-runs the callee loop, so two iterations sample independently."""
+
+    lo: int
+    hi: int
+    tag: object = None
+
+
 class _LoopContext:
     """Shared lookup tables for one loop's dependence analysis."""
 
@@ -251,11 +294,14 @@ class _LoopContext:
         rd: ReachingDefinitions,
         forest: LoopForest,
         induction_of: dict[Loop, dict[Register, InductionVar]],
+        summaries: dict | None = None,
     ):
         self.function = function
         self.loop = loop
         self.rd = rd
         self.forest = forest
+        #: interprocedural mod/ref summaries (name -> FunctionSummary)
+        self.summaries = summaries
         self.defs_in_loop = definitions_in_loop(rd, loop)
         #: loop blocks in function layout order (deterministic output)
         self.blocks = [b for b in function.blocks if b in loop.blocks]
@@ -588,14 +634,84 @@ def _resolve_object(mem: Value, rd: ReachingDefinitions) -> MemObject:
 def _collect_accesses(ctx: _LoopContext, info: LoopDependenceInfo) -> None:
     for block in ctx.blocks:
         for instr in block.instructions:
-            if not isinstance(instr, (Load, Store)):
-                continue
-            obj = _resolve_object(instr.mem, ctx.rd)
-            if instr.index is None:
-                affine: AffineExpr | None = AffineExpr()  # scalar cell
+            if isinstance(instr, (Load, Store)):
+                obj = _resolve_object(instr.mem, ctx.rd)
+                if instr.index is None:
+                    affine: AffineExpr | None = AffineExpr()  # scalar
+                else:
+                    affine = ctx.affine_of(instr.index, instr)
+                info.accesses.append(MemAccess(instr, block, obj, affine))
+            elif (
+                isinstance(instr, Call)
+                and not instr.is_builtin
+                and ctx.summaries is not None
+            ):
+                _inline_summary_accesses(ctx, info, block, instr)
+
+
+def _inline_summary_accesses(
+    ctx: _LoopContext, info: LoopDependenceInfo, block: BasicBlock, call: Call
+) -> None:
+    """Project a transparent callee's mod/ref records into this loop's
+    access set, rebinding index summaries through the call arguments."""
+    summary = ctx.summaries.get(call.callee)
+    if summary is None or not summary.transparent:
+        return  # _analyze_calls reports the impure-call witness
+    for seq, record in enumerate(summary.records):
+        if record.target[0] == "global":
+            name = record.target[1]
+            obj = MemObject(
+                "global",
+                f"@{name}",
+                ("global", name),
+                record.element,
+                record.is_array,
+            )
+        else:
+            k = record.target[1]
+            if not isinstance(k, int) or k >= len(call.args):
+                obj = MemObject(
+                    "unknown", f"arg{k}", ("unknown", (id(call), seq))
+                )
             else:
-                affine = ctx.affine_of(instr.index, instr)
-            info.accesses.append(MemAccess(instr, block, obj, affine))
+                obj = _resolve_object(call.args[k], ctx.rd)
+        info.accesses.append(
+            MemAccess(
+                call,
+                block,
+                obj,
+                _rebind_index(ctx, call, record.index, seq),
+                store=record.is_store,
+                trace=(
+                    (f"call to '{call.callee}' here", call.span),
+                    *record.trace,
+                ),
+                summary_op=record.reduction_op,
+            )
+        )
+
+
+def _rebind_index(
+    ctx: _LoopContext, call: Call, index, seq: int
+) -> AffineExpr | None:
+    """Callee index summary -> caller-loop affine expression.
+
+    Parameter terms become the affine images of the call arguments; the
+    summary's slack interval becomes a fresh :class:`BoundedSym` so the
+    subscript test samples it independently per iteration."""
+    if index is None:
+        return None
+    out = AffineExpr(const=index.const)
+    if (index.lo, index.hi) != (0, 0):
+        out.add_term(BoundedSym(index.lo, index.hi, (id(call), seq)), 1)
+    for k, coeff in index.terms:
+        if k >= len(call.args):
+            return None
+        arg = ctx.affine_of(call.args[k], call)
+        if arg is None:
+            return None
+        out = _combine(out, _scale(arg, coeff), 1)
+    return out
 
 
 def _difference_interval(
@@ -640,6 +756,20 @@ def _difference_interval(
                 else:
                     widen(None, None)
             continue
+        if isinstance(symbol, BoundedSym):
+            # Callee-internal loop values: re-sampled independently from
+            # their interval on each iteration of this loop (the callee
+            # runs afresh per call), even for an access paired with
+            # itself.
+            if ca == 0 and cb == 0:
+                continue
+            samples = [
+                ca * x1 - cb * x2
+                for x1 in (symbol.lo, symbol.hi)
+                for x2 in (symbol.lo, symbol.hi)
+            ]
+            widen(min(samples), max(samples))
+            continue
         if isinstance(symbol, Register) and symbol in ctx.inner_inductions:
             # Inner-loop variables take two independent samples from
             # their value range at the two iterations.
@@ -674,10 +804,7 @@ def _dependence_between(
     """Cross-iteration dependence between two accesses (≥1 store)."""
     if not may_alias(a.obj, b.obj):
         return None
-    chain = [
-        (f"{a.role} of {a.obj} here", a.instr.span),
-        (f"{b.role} of {b.obj} here", b.instr.span),
-    ]
+    chain = [*a.chain, *b.chain]
     if a.obj.key != b.obj.key:
         return DependenceWitness(
             kind="may-alias",
@@ -760,7 +887,20 @@ def _is_cell_reduction(
 ) -> bool:
     """``cell ⊕= v`` on a loop-invariant address: the stored value comes
     from a reduction-op BinOp whose old-value operand is exactly this
-    load (recognized via the lowering dep-break mark, or structurally)."""
+    load (recognized via the lowering dep-break mark, or structurally).
+
+    Call-derived pairs qualify when the callee summary flagged both
+    halves of the update with the same operator at the same call site
+    (reduction-through-call)."""
+    if isinstance(store.instr, Call) or isinstance(load.instr, Call):
+        # Call-derived synthetic accesses: only the summary's own
+        # reduction marks qualify — there is no stored-value chain to
+        # inspect on this side of the call.
+        return (
+            store.summary_op is not None
+            and store.summary_op == load.summary_op
+            and store.instr is load.instr
+        )
     value = store.instr.value
     if not isinstance(value, Register):
         return False
@@ -800,8 +940,8 @@ def _analyze_memory(ctx: _LoopContext, info: LoopDependenceInfo) -> None:
                 continue
             if not _only_reduction_accesses(info, store, load):
                 continue
-            reduction_pairs.add(id(store.instr))
-            reduction_pairs.add(id(load.instr))
+            reduction_pairs.add(id(store))
+            reduction_pairs.add(id(load))
             info.reductions[store.obj.name.lstrip("@")] = store.instr
 
     reported: set[tuple] = set()
@@ -809,10 +949,7 @@ def _analyze_memory(ctx: _LoopContext, info: LoopDependenceInfo) -> None:
         for b in accesses[i:]:
             if not (a.is_store or b.is_store):
                 continue
-            if (
-                id(a.instr) in reduction_pairs
-                and id(b.instr) in reduction_pairs
-            ):
+            if id(a) in reduction_pairs and id(b) in reduction_pairs:
                 continue
             witness = _dependence_between(ctx, a, b)
             if witness is None:
@@ -831,7 +968,7 @@ def _only_reduction_accesses(
     for access in info.accesses:
         if access.obj.key != store.obj.key:
             continue
-        if access.instr is store.instr or access.instr is load.instr:
+        if access is store or access is load:
             continue
         return False
     return True
@@ -847,8 +984,17 @@ def function_purity(module: Module) -> dict[str, bool]:
 
     Pure means: no global loads/stores, no array parameters (which could
     alias the loop's arrays), no impure builtins, and only pure callees.
-    Writes to a function's own allocas are fine — they are private."""
-    purity: dict[str, bool] = {}
+    Writes to a function's own allocas are fine — they are private.
+
+    One pass over the call graph's SCC condensation (callee-first):
+    a component is pure iff every member meets the direct conditions
+    and every out-of-component callee is pure — mutual recursion among
+    effect-free functions stays pure, exactly as the old fixpoint had it.
+    """
+    from repro.analysis.callgraph import build_call_graph
+
+    graph = build_call_graph(module)
+    direct: dict[str, bool] = {}
     for name, function in module.functions.items():
         pure = not any(
             isinstance(param.type, ArrayType) for param in function.params
@@ -865,31 +1011,39 @@ def function_purity(module: Module) -> dict[str, bool]:
                             pure = False
                 if not pure:
                     break
-        purity[name] = pure
-    # Propagate impurity through the call graph to a fixpoint.
-    changed = True
-    while changed:
-        changed = False
-        for name, function in module.functions.items():
-            if not purity[name]:
-                continue
-            for block in function.blocks:
-                for instr in block.instructions:
-                    if (
-                        isinstance(instr, Call)
-                        and not instr.is_builtin
-                        and not purity.get(instr.callee, False)
-                    ):
-                        purity[name] = False
-                        changed = True
+        direct[name] = pure
+
+    purity: dict[str, bool] = {}
+    for component in graph.sccs():
+        members = [n for n in component if n in module.functions]
+        pure = all(direct.get(n, False) for n in members)
+        if pure:
+            for name in members:
+                for callee in graph.callees.get(name, set()):
+                    if callee in component:
+                        continue
+                    if not purity.get(callee, False):
+                        pure = False
                         break
-                if not purity[name]:
+                if not pure:
                     break
+        for name in members:
+            purity[name] = pure
     return purity
 
 
+def _impure_call_witness(instr: Call, description: str) -> DependenceWitness:
+    return DependenceWitness(
+        kind="impure-call",
+        description=description,
+        chain=[(f"call to '{instr.callee}'", instr.span)],
+    )
+
+
 def _analyze_calls(
-    ctx: _LoopContext, info: LoopDependenceInfo, purity: dict[str, bool]
+    ctx: _LoopContext,
+    info: LoopDependenceInfo,
+    purity: dict[str, bool],
 ) -> None:
     for block in ctx.blocks:
         for instr in block.instructions:
@@ -900,26 +1054,37 @@ def _analyze_calls(
                     continue
                 info.impure_calls.append(instr)
                 info.witnesses.append(
-                    DependenceWitness(
-                        kind="impure-call",
-                        description=(
-                            f"builtin '{instr.callee}' has observable "
-                            "state (RNG or I/O); iterations are ordered "
-                            "through it"
-                        ),
-                        chain=[(f"call to '{instr.callee}'", instr.span)],
+                    _impure_call_witness(
+                        instr,
+                        f"builtin '{instr.callee}' has observable "
+                        "state (RNG or I/O); iterations are ordered "
+                        "through it",
+                    )
+                )
+            elif ctx.summaries is not None:
+                summary = ctx.summaries.get(instr.callee)
+                if summary is not None and summary.transparent:
+                    continue  # effects already inlined as accesses
+                reasons = (
+                    "; ".join(summary.reasons)
+                    if summary is not None and summary.reasons
+                    else "no summary"
+                )
+                info.impure_calls.append(instr)
+                info.witnesses.append(
+                    _impure_call_witness(
+                        instr,
+                        f"call to '{instr.callee}' cannot be "
+                        f"summarized ({reasons})",
                     )
                 )
             elif not purity.get(instr.callee, False):
                 info.impure_calls.append(instr)
                 info.witnesses.append(
-                    DependenceWitness(
-                        kind="impure-call",
-                        description=(
-                            f"call to '{instr.callee}' may read or write "
-                            "shared state (globals or array arguments)"
-                        ),
-                        chain=[(f"call to '{instr.callee}'", instr.span)],
+                    _impure_call_witness(
+                        instr,
+                        f"call to '{instr.callee}' may read or write "
+                        "shared state (globals or array arguments)",
                     )
                 )
 
@@ -1041,12 +1206,23 @@ def analyze_function_dependences(
     module: Module | None = None,
     rd: ReachingDefinitions | None = None,
     purity: dict[str, bool] | None = None,
+    summaries: dict | None = None,
 ) -> list[LoopDependenceInfo]:
-    """Classify every natural loop of ``function``; innermost first."""
+    """Classify every natural loop of ``function``; innermost first.
+
+    When ``summaries`` (or a ``module`` to compute them from) is
+    available, calls to summarizable functions contribute synthetic
+    accesses instead of impure-call witnesses; an explicit ``purity``
+    map restores the old binary treatment (legacy callers/tests).
+    """
     rd = rd or ReachingDefinitions(function)
     forest = find_natural_loops(function)
+    if summaries is None and purity is None and module is not None:
+        from repro.analysis.summaries import compute_module_summaries
+
+        summaries = compute_module_summaries(module)
     if purity is None:
-        purity = function_purity(module) if module is not None else {}
+        purity = {}
 
     induction_of = {
         loop: _detect_inductions(loop, rd) for loop in forest.loops
@@ -1054,7 +1230,9 @@ def analyze_function_dependences(
 
     out: list[LoopDependenceInfo] = []
     for loop in forest.loops:
-        ctx = _LoopContext(function, loop, rd, forest, induction_of)
+        ctx = _LoopContext(
+            function, loop, rd, forest, induction_of, summaries
+        )
         info = LoopDependenceInfo(
             loop=loop,
             function=function,

@@ -20,13 +20,18 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro.analysis.callgraph import build_call_graph
 from repro.analysis.dataflow import ReachingDefinitions
 from repro.analysis.dependence import (
     LoopDependenceInfo,
     analyze_function_dependences,
-    function_purity,
 )
 from repro.analysis.lint import Diagnostic, LintContext, run_lint
+from repro.analysis.static_cost import RegionCost, compute_static_costs
+from repro.analysis.summaries import (
+    FunctionSummary,
+    compute_module_summaries,
+)
 from repro.analysis.verdict import RegionVerdict, Verdict
 from repro.instrument.regions import StaticRegionTree
 from repro.ir.module import Module
@@ -51,6 +56,10 @@ class ModuleAnalysis:
     #: LOOP region id -> verdict (only loops the analyzer resolved)
     verdicts: dict[int, RegionVerdict] = field(default_factory=dict)
     diagnostics: list[Diagnostic] = field(default_factory=list)
+    #: interprocedural mod/ref summaries (function name -> summary)
+    summaries: dict[str, FunctionSummary] = field(default_factory=dict)
+    #: static cost bounds (LOOP region id -> RegionCost)
+    costs: dict[int, RegionCost] = field(default_factory=dict)
     #: analyzer wall time in seconds (bench_suite records this)
     elapsed: float = 0.0
 
@@ -96,12 +105,18 @@ def analyze_module(module: Module, lint: bool = True) -> ModuleAnalysis:
                 name: ReachingDefinitions(function)
                 for name, function in module.functions.items()
             }
+        with tracer.span("summaries") as span:
+            graph = build_call_graph(module)
+            analysis.summaries = compute_module_summaries(module, graph)
+            span.args["functions"] = len(analysis.summaries)
         with tracer.span("dependence") as span:
-            purity = function_purity(module)
             loop_count = 0
             for name, function in module.functions.items():
                 infos = analyze_function_dependences(
-                    function, module, rd=reaching[name], purity=purity
+                    function,
+                    module,
+                    rd=reaching[name],
+                    summaries=analysis.summaries,
                 )
                 loop_count += len(infos)
                 analysis.functions[name] = FunctionAnalysis(
@@ -109,6 +124,20 @@ def analyze_module(module: Module, lint: bool = True) -> ModuleAnalysis:
                 )
             span.args["loops"] = loop_count
         _stamp_verdicts(module.regions, analysis)
+        with tracer.span("static-cost") as span:
+            analysis.costs = compute_static_costs(
+                module,
+                {
+                    name: fa.loops
+                    for name, fa in analysis.functions.items()
+                },
+                regions=module.regions,
+                graph=graph,
+            )
+            span.args["regions"] = len(analysis.costs)
+            if module.regions is not None:
+                for region_id, cost in analysis.costs.items():
+                    module.regions.region(region_id).static_cost = cost
         if lint:
             with tracer.span("lint") as span:
                 context = LintContext(
@@ -118,6 +147,7 @@ def analyze_module(module: Module, lint: bool = True) -> ModuleAnalysis:
                         name: fa.loops
                         for name, fa in analysis.functions.items()
                     },
+                    summaries=analysis.summaries,
                 )
                 analysis.diagnostics = run_lint(context)
                 span.args["diagnostics"] = len(analysis.diagnostics)

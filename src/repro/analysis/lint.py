@@ -17,6 +17,10 @@ Built-in rules:
 ``unused-result``
     An instruction computes a value nobody reads (calls are exempt — they
     may be evaluated for effect; so are region markers and allocas).
+``pure-call-result-unused``
+    A call to a provably side-effect-free function (per the
+    interprocedural mod/ref summaries, or a pure builtin) whose result
+    is never used: the call is dead work. Impure calls stay exempt.
 ``write-never-read``
     A named source variable (or global) is assigned but its value is never
     read anywhere in the function (module, for globals).
@@ -119,6 +123,9 @@ class LintContext:
     reaching: dict[str, ReachingDefinitions]
     #: per-function loop dependence info (innermost-first)
     dependences: dict[str, list[LoopDependenceInfo]]
+    #: interprocedural mod/ref summaries (name -> FunctionSummary);
+    #: rules that consult them must tolerate None (legacy callers)
+    summaries: "dict | None" = None
 
 
 RuleFn = Callable[[Function, LintContext], Iterable[Diagnostic]]
@@ -213,6 +220,47 @@ def _unused_result(
                     severity=Severity.WARNING,
                     message=(
                         f"result of this '{instr.opcode}' is never used"
+                    ),
+                    span=instr.span,
+                )
+
+
+@rule("pure-call-result-unused")
+def _pure_call_result_unused(
+    function: Function, context: LintContext
+) -> Iterator[Diagnostic]:
+    """A call whose only product is its return value, with that value
+    never read: the call is dead work. Keys on the interprocedural
+    summaries — impure calls (or calls without a summary) stay exempt,
+    they may be evaluated for effect."""
+    if context.summaries is None:
+        return
+    from repro.analysis.dependence import PURE_BUILTINS
+
+    rd = context.reaching[function.name]
+    for block in function.blocks:
+        for instr in block.instructions:
+            if not isinstance(instr, Call) or instr.result is None:
+                continue
+            if instr.is_builtin:
+                if instr.callee not in PURE_BUILTINS:
+                    continue
+            else:
+                summary = context.summaries.get(instr.callee)
+                if summary is None or not summary.side_effect_free:
+                    continue
+            used = any(
+                rd.uses_of.get(d)
+                for d in rd.defs_of.get(instr.result, [])
+                if d.instr is instr
+            )
+            if not used:
+                yield Diagnostic(
+                    rule="pure-call-result-unused",
+                    severity=Severity.WARNING,
+                    message=(
+                        f"result of call to pure function "
+                        f"'{instr.callee}' is never used"
                     ),
                     span=instr.span,
                 )

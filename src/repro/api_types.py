@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import math
 from dataclasses import dataclass, field
 
 #: schema version written by this build into every payload
@@ -176,6 +177,37 @@ class CheckRequest(ApiPayload):
 
 
 @dataclass(frozen=True)
+class FunctionSummaryInfo(ApiPayload):
+    """One function's interprocedural mod/ref summary (nested record)."""
+
+    name: str
+    #: rendered access records, e.g. ``"writes @dst[i]"``
+    effects: tuple = ()
+    pure: bool = False
+    impure: bool = False
+    #: summary hit the lattice top (unanalyzable effects)
+    top: bool = False
+
+
+@dataclass(frozen=True)
+class RegionCostInfo(ApiPayload):
+    """One loop region's static cost bounds (nested record).
+
+    Interval ends are ``[lo, hi]`` pairs; ``None`` encodes an unbounded
+    (infinite) end, which JSON cannot carry as a float.
+    """
+
+    region_id: int
+    name: str
+    location: str
+    trip: tuple = (0, None)
+    work: tuple = (0, None)
+    sp: tuple = (1, None)
+    #: the sp interval is claimed tight (dynamic SP must fall inside)
+    precise: bool = False
+
+
+@dataclass(frozen=True)
 class CheckResult(ApiPayload):
     """Per-loop verdicts plus rendered lint diagnostics."""
 
@@ -186,9 +218,17 @@ class CheckResult(ApiPayload):
     diagnostics: tuple = ()
     errors: int = 0
     cached: bool = False
+    #: interprocedural mod/ref summaries (absent from pre-summary payloads)
+    summaries: tuple = ()
+    #: static loop cost bounds (absent from pre-summary payloads)
+    costs: tuple = ()
     schema_version: int = API_SCHEMA_VERSION
 
-    _NESTED = {"verdicts": LoopVerdict}
+    _NESTED = {
+        "verdicts": LoopVerdict,
+        "summaries": FunctionSummaryInfo,
+        "costs": RegionCostInfo,
+    }
 
 
 # ----------------------------------------------------------------------
@@ -374,6 +414,53 @@ def compile_result_for(
     )
 
 
+def function_summaries(program) -> tuple:
+    """Typed :class:`FunctionSummaryInfo` rows off a compiled program."""
+    analysis = program.analysis
+    if analysis is None or not getattr(analysis, "summaries", None):
+        return ()
+    return tuple(
+        FunctionSummaryInfo(
+            name=name,
+            effects=tuple(
+                record.describe(summary.param_names)
+                for record in summary.records
+            ),
+            pure=summary.pure,
+            impure=summary.impure,
+            top=summary.top,
+        )
+        for name, summary in sorted(analysis.summaries.items())
+    )
+
+
+def _interval_ends(interval) -> tuple:
+    return (
+        None if math.isinf(interval.lo) else interval.lo,
+        None if math.isinf(interval.hi) else interval.hi,
+    )
+
+
+def region_costs(program) -> tuple:
+    """Typed :class:`RegionCostInfo` rows off a compiled program."""
+    analysis = program.analysis
+    if analysis is None or not getattr(analysis, "costs", None):
+        return ()
+    costs = analysis.costs
+    return tuple(
+        RegionCostInfo(
+            region_id=region_id,
+            name=costs[region_id].name,
+            location=costs[region_id].location,
+            trip=_interval_ends(costs[region_id].trip),
+            work=_interval_ends(costs[region_id].work),
+            sp=_interval_ends(costs[region_id].sp),
+            precise=costs[region_id].precise,
+        )
+        for region_id in sorted(costs)
+    )
+
+
 def check_result_for(
     program, program_key: str, source: str, cached: bool = False
 ) -> CheckResult:
@@ -400,6 +487,8 @@ def check_result_for(
         diagnostics=diagnostics,
         errors=errors,
         cached=cached,
+        summaries=function_summaries(program),
+        costs=region_costs(program),
     )
 
 
@@ -430,6 +519,7 @@ __all__ = [
     "CompileRequest",
     "CompileResult",
     "ErrorReply",
+    "FunctionSummaryInfo",
     "LoopVerdict",
     "METHODS",
     "PlanEntry",
@@ -438,14 +528,17 @@ __all__ = [
     "ProfileAck",
     "ProfileSubmit",
     "ProgramSummary",
+    "RegionCostInfo",
     "SchemaVersionError",
     "SummaryRequest",
     "SummaryResponse",
     "SUPPORTED_API_VERSIONS",
     "check_result_for",
     "compile_result_for",
+    "function_summaries",
     "loop_verdicts",
     "plan_entries",
+    "region_costs",
     "request_type",
     "response_type",
     "source_digest",

@@ -785,6 +785,24 @@ def _check_main(argv: list[str]) -> int:
         metavar="NAME",
         help="run only the named lint rule(s) (repeatable)",
     )
+    parser.add_argument(
+        "--summaries",
+        action="store_true",
+        help="print the interprocedural mod/ref summary of every function",
+    )
+    parser.add_argument(
+        "--cost",
+        action="store_true",
+        help=(
+            "print the static cost bounds (trip / work / self-parallelism "
+            "intervals) of every loop region"
+        ),
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit --summaries/--cost sections as JSON instead of text",
+    )
     options = parser.parse_args(argv)
 
     status = 0
@@ -815,7 +833,7 @@ def _check_main(argv: list[str]) -> int:
             diagnostics = run_lint(context, options.rule)
         else:
             diagnostics = analysis.diagnostics
-        if not options.no_verdicts:
+        if not options.no_verdicts and not options.json:
             print(f"{path}: static loop verdicts")
             loops = program.regions.loops()
             if not loops:
@@ -827,9 +845,44 @@ def _check_main(argv: list[str]) -> int:
                 )
             if diagnostics:
                 print()
+        if options.summaries or options.cost:
+            from repro.analysis.static_cost import costs_to_json
+            from repro.analysis.summaries import summaries_to_json
+
+            if options.json:
+                document: dict = {"file": path}
+                if options.summaries:
+                    document["summaries"] = summaries_to_json(
+                        analysis.summaries
+                    )
+                if options.cost:
+                    document["costs"] = costs_to_json(analysis.costs)
+                print(json.dumps(document, indent=2))
+            else:
+                if options.summaries:
+                    print(f"{path}: interprocedural mod/ref summaries")
+                    for name in sorted(analysis.summaries):
+                        summary = analysis.summaries[name]
+                        print(f"  {name}: {summary.describe()}")
+                if options.cost:
+                    print(f"{path}: static loop cost bounds")
+                    costs = analysis.costs
+                    if not costs:
+                        print("  (no loop regions)")
+                    for region_id in sorted(costs):
+                        cost = costs[region_id]
+                        print(
+                            f"  {cost.name:<24} {cost.location:<24} "
+                            f"trip {cost.trip.render()} "
+                            f"work {cost.work.render()} "
+                            f"sp {cost.render_sp()}"
+                        )
         source_file = SourceFile(path, source)
         for diagnostic in diagnostics:
-            print(diagnostic.render(source_file))
+            if not options.json:
+                # --json keeps stdout a clean document stream; the exit
+                # code still reflects ERROR-severity findings.
+                print(diagnostic.render(source_file))
             if diagnostic.severity is Severity.ERROR:
                 status = max(status, 2)
     return status

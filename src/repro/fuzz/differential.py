@@ -77,6 +77,8 @@ class DifferentialOutcome:
     #: max_depth -> profile (from the last fast engine; all identical)
     profiles: dict = field(default_factory=dict)
     checks: int = 0
+    #: static-SP intervals the oracle hard-checked against dynamic values
+    static_sp_checked: int = 0
 
     @property
     def profile(self) -> ParallelismProfile:
@@ -217,7 +219,11 @@ def run_differential(
     if oracle:
         from repro.fuzz.oracle import run_oracle
 
-        checks += run_oracle(outcome.profiles, program=program)
+        counters: dict = {}
+        checks += run_oracle(
+            outcome.profiles, program=program, counters=counters
+        )
+        outcome.static_sp_checked = counters.get("static-sp", 0)
 
     if parallel:
         checks += _run_parallel_lane(program, max_instructions)

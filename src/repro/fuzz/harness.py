@@ -63,6 +63,8 @@ class FuzzStats:
     passed: int = 0
     skipped: int = 0
     checks: int = 0
+    #: static-SP intervals hard-checked against dynamic HCPA values
+    static_sp_checked: int = 0
     shrink_evals: int = 0
     failures: list[FuzzFailure] = field(default_factory=list)
     elapsed: float = 0.0
@@ -151,6 +153,7 @@ class FuzzHarness:
                 continue
             stats.passed += 1
             stats.checks += outcome.checks
+            stats.static_sp_checked += outcome.static_sp_checked
         stats.elapsed = time.perf_counter() - started
         stats.shrink_evals = self._shrink_evals
         self._record_metrics(stats)
@@ -167,6 +170,9 @@ class FuzzHarness:
         registry.counter("fuzz.skipped").inc(stats.skipped)
         registry.counter("fuzz.failures").inc(len(stats.failures))
         registry.counter("fuzz.checks").inc(stats.checks)
+        registry.counter("fuzz.static_sp_checked").inc(
+            stats.static_sp_checked
+        )
         registry.counter("fuzz.shrink_evals").inc(stats.shrink_evals)
         registry.gauge("fuzz.programs_per_second").set(
             round(stats.programs_per_second, 2)
@@ -255,6 +261,11 @@ def fuzz_main(argv=None) -> int:
         "--shrink-budget", type=int, default=DEFAULT_BUDGET,
         help="max differential runs spent shrinking one failure",
     )
+    parser.add_argument(
+        "--require-static-sp", action="store_true",
+        help="fail unless at least one static-SP interval was checked "
+        "against its dynamic HCPA value (guards the oracle lane itself)",
+    )
     options = parser.parse_args(argv)
 
     corpus_dir = (
@@ -274,7 +285,9 @@ def fuzz_main(argv=None) -> int:
         f"fuzz: {stats.iterations} programs "
         f"({stats.passed} passed, {stats.skipped} skipped, "
         f"{len(stats.failures)} failed), "
-        f"{stats.checks} checks in {stats.elapsed:.1f}s "
+        f"{stats.checks} checks "
+        f"({stats.static_sp_checked} static-SP intervals) "
+        f"in {stats.elapsed:.1f}s "
         f"({stats.programs_per_second:.1f} programs/s, "
         f"{stats.shrink_evals} shrink evals) "
         f"[base seed {options.seed}]"
@@ -285,4 +298,11 @@ def fuzz_main(argv=None) -> int:
             f"  seed {failure.seed}: [{failure.category}] "
             f"{failure.shrunk_lines}-line reproducer at {where}"
         )
+    if options.require_static_sp and stats.static_sp_checked == 0:
+        print(
+            "fuzz: error: no static-SP interval was ever checked "
+            "(--require-static-sp)",
+            file=sys.stderr,
+        )
+        return 1
     return 0 if stats.ok else 1

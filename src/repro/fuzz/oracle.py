@@ -32,6 +32,11 @@ harness produces:
 planned twice, re-planned from a round-tripped profile, or planned from a
 self-merged profile (scale invariance), under both the OpenMP and Cilk++
 personalities.
+
+**Static consistency** — statically safe loops with structurally
+identical iterations must measure dynamically DOALL, and the static cost
+model's self-parallelism interval must contain (when precise) or
+upper-bound (when imprecise but finite) the measured HCPA value.
 """
 
 from __future__ import annotations
@@ -374,19 +379,88 @@ def check_static_dynamic(profile: ParallelismProfile, program) -> int:
     return checked
 
 
+def check_static_sp(profile: ParallelismProfile, program) -> int:
+    """The static cost model's self-parallelism interval must bound the
+    dynamic HCPA value.
+
+    The two ends bound two different runtime quantities, because the SP
+    numerator counts the loop's own header/latch bookkeeping (self work)
+    as parallel work — which can push the *full* SP slightly above the
+    iteration count even for a perfect DOALL loop:
+
+    * **upper** (any finite interval): the body-only self-parallelism
+      ``Σ body cp / loop cp`` can never exceed the trip bound — each
+      body instance's cp is at most the loop's cp, so the sum is at
+      most ``N·cp``;
+    * **lower** (*precise* intervals only): a precise
+      :class:`~repro.analysis.static_cost.RegionCost` claims a tight
+      ``0.7·trip`` floor on the full SP — safe verdict, exact trip
+      count, structurally identical iterations, the regime where the
+      static-dynamic lane already pins the DOALL classification.
+
+    An escape means the trip-count or bound computation is wrong.
+    Returns the number of intervals checked.
+    """
+    analysis = getattr(program, "analysis", None)
+    costs = getattr(analysis, "costs", None)
+    if not costs:
+        return 0
+    aggregated = aggregate_profile(profile)
+    checked = 0
+    for region_id, cost in sorted(costs.items()):
+        region_profile = aggregated.profiles.get(region_id)
+        if region_profile is None:
+            continue  # the loop never executed in this run
+        sp = region_profile.self_parallelism
+        body_sp = sp
+        if region_profile.cp > 0:
+            body_sp = (
+                region_profile.sp_numerator - region_profile.self_work
+            ) / region_profile.cp
+        slack = 1e-6 * max(1.0, sp)
+        if cost.precise:
+            checked += 1
+            if sp < cost.sp.lo - slack:
+                raise OracleViolation(
+                    "static-sp-containment",
+                    f"region #{region_id} {region_profile.region.name}: "
+                    f"dynamic SP={sp:.3f} below precise static floor "
+                    f"{cost.sp.render()}",
+                )
+            if body_sp > cost.sp.hi + slack:
+                raise OracleViolation(
+                    "static-sp-containment",
+                    f"region #{region_id} {region_profile.region.name}: "
+                    f"dynamic body SP={body_sp:.3f} exceeds precise "
+                    f"static interval {cost.sp.render()}",
+                )
+        elif cost.sp.bounded:
+            checked += 1
+            if body_sp > cost.sp.hi + slack:
+                raise OracleViolation(
+                    "static-sp-upper-bound",
+                    f"region #{region_id} {region_profile.region.name}: "
+                    f"dynamic body SP={body_sp:.3f} exceeds static upper "
+                    f"bound {cost.sp.render()} (the bodies' summed cp "
+                    f"cannot exceed trip count x loop cp)",
+                )
+    return checked
+
+
 # ----------------------------------------------------------------------
 # Entry point
 # ----------------------------------------------------------------------
 
 
-def run_oracle(profiles: dict, program=None) -> int:
+def run_oracle(profiles: dict, program=None, counters: dict | None = None) -> int:
     """Run every oracle over the differential harness's profiles.
 
     ``profiles`` maps max_depth (None = unlimited) to the profile observed
     under that depth window. ``program`` is the :class:`CompiledProgram`
     the profiles came from (when available) — it carries the static
     analysis needed for the static-vs-dynamic consistency check. Returns
-    the number of oracle groups checked.
+    the number of oracle groups checked; ``counters`` (when given)
+    receives per-lane counts, currently ``{"static-sp": n}``.
     """
     checks = 0
     for max_depth, profile in profiles.items():
@@ -402,4 +476,10 @@ def run_oracle(profiles: dict, program=None) -> int:
         checks += check_planner_determinism(full)
         if program is not None:
             checks += check_static_dynamic(full, program)
+            static_sp = check_static_sp(full, program)
+            checks += static_sp
+            if counters is not None:
+                counters["static-sp"] = (
+                    counters.get("static-sp", 0) + static_sp
+                )
     return checks

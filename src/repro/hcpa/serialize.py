@@ -109,6 +109,11 @@ def profile_to_json(profile: ParallelismProfile) -> dict:
                 "loop_depth": region.loop_depth,
                 "span": _span_to_json(region.span),
                 "verdict": region.verdict,
+                "static_cost": (
+                    region.static_cost.to_json()
+                    if region.static_cost is not None
+                    else None
+                ),
             }
             for region in profile.regions
         ],
@@ -152,6 +157,11 @@ def profile_from_json(data: dict) -> ParallelismProfile:
         )
         # Older profiles predate the static analyzer: default to "?".
         region.verdict = record.get("verdict", "?")
+        cost_record = record.get("static_cost")
+        if cost_record is not None:
+            from repro.analysis.static_cost import cost_from_json
+
+            region.static_cost = cost_from_json(cost_record)
         if region.id != record["id"]:
             raise ProfileFormatError("region ids must be dense and ordered")
     # Re-establish parent/children links exactly as stored.

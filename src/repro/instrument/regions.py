@@ -48,6 +48,11 @@ class StaticRegion:
     #: Static DOALL-safety verdict tag for LOOP regions, stamped by
     #: :func:`repro.analysis.driver.analyze_module` (``"?"`` = unanalyzed).
     verdict: str = "?"
+    #: Static cost bounds (a :class:`repro.analysis.static_cost.RegionCost`)
+    #: stamped by the analysis driver; serialized with the profile so
+    #: loaded profiles keep their Static SP annotations (None when the
+    #: profile predates the cost model).
+    static_cost: object | None = field(default=None, repr=False)
 
     @property
     def is_function(self) -> bool:

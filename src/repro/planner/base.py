@@ -120,6 +120,18 @@ class Planner:
                     )
                 ),
             )
+        cost = getattr(profile.region, "static_cost", None)
+        static_sp = ""
+        static_sp_delta = None
+        if cost is not None:
+            static_sp = cost.render_sp()
+            measured = profile.self_parallelism
+            if cost.sp.contains(measured):
+                static_sp_delta = 0.0
+            elif measured < cost.sp.lo:
+                static_sp_delta = cost.sp.lo - measured
+            else:
+                static_sp_delta = measured - cost.sp.hi
         return PlanItem(
             profile=profile,
             est_program_speedup=estimate_program_speedup(
@@ -133,6 +145,8 @@ class Planner:
             refuted=refuted,
             executable=executable,
             chunk_hint=chunk_hint,
+            static_sp=static_sp,
+            static_sp_delta=static_sp_delta,
         )
 
     # ------------------------------------------------------------------

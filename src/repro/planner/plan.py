@@ -33,6 +33,13 @@ class PlanItem:
     #: chunking hint for the execution backend: the useful number of
     #: chunks, min(self-parallelism, average iterations), 0 = unknown
     chunk_hint: int = 0
+    #: rendered static self-parallelism interval from the cost model
+    #: (``""`` = unavailable, e.g. a profile loaded from disk; a trailing
+    #: ``~`` marks an imprecise interval)
+    static_sp: str = ""
+    #: how far the measured SP falls outside the static interval
+    #: (0.0 = contained; None = no static bounds available)
+    static_sp_delta: float | None = None
 
     @property
     def effective_classification(self) -> str:

@@ -20,6 +20,7 @@ from repro.planner.base import Planner
 from repro.planner.cilk import CilkPlanner
 from repro.planner.gprof import GprofPlanner, SelfParallelismFilterPlanner
 from repro.planner.openmp import OpenMPPlanner
+from repro.planner.static_planner import StaticPlanner
 
 _REGISTRY: dict[str, type[Planner]] = {}
 
@@ -76,3 +77,5 @@ register_personality("openmp", OpenMPPlanner)
 register_personality("cilk", CilkPlanner)
 register_personality("gprof", GprofPlanner)
 register_personality("sp-filter", SelfParallelismFilterPlanner)
+# OpenMP thresholds plus static-cost pruning and pre-ranking.
+register_personality("static", StaticPlanner)

@@ -1,0 +1,63 @@
+"""The ``static`` planner personality: static-cost-aware pre-ranking.
+
+Same thresholds and DP selection as the OpenMP personality, plus the
+static cost model (:mod:`repro.analysis.static_cost`) in two places:
+
+* **pruning** — a candidate whose static self-parallelism *upper* bound
+  cannot reach the personality's SP threshold is dropped before the DP
+  runs (its measured SP is then a profiling artifact the bound refutes);
+* **pre-ranking** — recommendations whose measured SP falls outside the
+  static interval (``static_sp_delta > 0``) sink below the ones the
+  bounds corroborate, so the programmer attacks corroborated regions
+  first. The delta itself is reported on every item.
+
+Profiles loaded from disk carry no cost annotations (the bounds are
+runtime-only); the planner then degrades to plain OpenMP behavior.
+"""
+
+from __future__ import annotations
+
+from repro.hcpa.aggregate import AggregatedProfile, RegionProfile
+from repro.hcpa.summaries import ParallelismProfile
+from repro.planner.openmp import OPENMP_PERSONALITY, OpenMPPlanner
+from repro.planner.plan import ParallelismPlan
+from repro.planner.base import PlannerPersonality
+
+STATIC_PERSONALITY = OPENMP_PERSONALITY.with_overrides(name="static")
+
+
+class StaticPlanner(OpenMPPlanner):
+    def __init__(
+        self, personality: PlannerPersonality = STATIC_PERSONALITY
+    ):
+        super().__init__(personality)
+
+    def candidates(
+        self, aggregated: AggregatedProfile, excluded: frozenset[int]
+    ) -> list[RegionProfile]:
+        out: list[RegionProfile] = []
+        for profile in super().candidates(aggregated, excluded):
+            cost = getattr(profile.region, "static_cost", None)
+            if (
+                cost is not None
+                and cost.sp.hi < self.personality.min_self_parallelism
+            ):
+                continue  # statically cannot reach the SP threshold
+            out.append(profile)
+        return out
+
+    def plan(
+        self,
+        aggregated: AggregatedProfile,
+        excluded: frozenset[int] | set[int] = frozenset(),
+        profile: ParallelismProfile | None = None,
+    ) -> ParallelismPlan:
+        plan = super().plan(aggregated, excluded, profile=profile)
+        plan.items.sort(
+            key=lambda item: (
+                item.static_sp_delta is not None
+                and item.static_sp_delta > 0,
+                -item.est_program_speedup,
+            )
+        )
+        return plan

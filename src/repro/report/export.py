@@ -21,6 +21,8 @@ _COLUMNS = [
     "static_verdict",
     "refuted",
     "self_parallelism",
+    "static_sp",
+    "static_sp_delta",
     "coverage_pct",
     "est_program_speedup",
 ]
@@ -39,6 +41,12 @@ def plan_rows(plan: ParallelismPlan) -> list[dict]:
                 "static_verdict": item.static_verdict,
                 "refuted": item.refuted,
                 "self_parallelism": round(item.self_parallelism, 2),
+                "static_sp": item.static_sp,
+                "static_sp_delta": (
+                    ""
+                    if item.static_sp_delta is None
+                    else round(item.static_sp_delta, 2)
+                ),
                 "coverage_pct": round(item.coverage * 100.0, 2),
                 "est_program_speedup": round(item.est_program_speedup, 4),
             }

@@ -53,7 +53,10 @@ def format_plan(plan: ParallelismPlan, limit: int | None = None) -> str:
     ``!`` on the Static column marks a region the parallel execution
     backend can run (``kremlin run --parallel``)."""
     table = Table(
-        headers=["#", "File (lines)", "Self-P", "Cov (%)", "Type", "Static", "Est"]
+        headers=[
+            "#", "File (lines)", "Self-P", "Static SP",
+            "Cov (%)", "Type", "Static", "Est",
+        ]
     )
     items = plan.items if limit is None else plan.items[:limit]
     any_refuted = False
@@ -71,6 +74,7 @@ def format_plan(plan: ParallelismPlan, limit: int | None = None) -> str:
             rank,
             item.location,
             f"{item.self_parallelism:.1f}",
+            item.static_sp or "-",
             f"{item.coverage * 100:.1f}",
             type_cell,
             static_cell,
@@ -99,16 +103,18 @@ def format_region_table(aggregated: AggregatedProfile) -> str:
     table = Table(
         headers=[
             "Region", "Kind", "Location", "Work",
-            "Self-P", "Total-P", "Cov (%)", "Static",
+            "Self-P", "Static SP", "Total-P", "Cov (%)", "Static",
         ]
     )
     for profile in aggregated.plannable():
+        cost = getattr(profile.region, "static_cost", None)
         table.add_row(
             profile.region.name,
             profile.region.kind.value,
             profile.region.location,
             profile.work,
             f"{profile.self_parallelism:.1f}",
+            cost.render_sp() if cost is not None else "-",
             f"{profile.total_parallelism:.1f}",
             f"{profile.coverage * 100:.1f}",
             profile.region.verdict,

@@ -74,3 +74,57 @@ class TestCallGraph:
             """
         )
         assert graph.reachable_from("main") == {"main", "used"}
+
+
+class TestSccs:
+    def test_callees_emitted_before_callers(self):
+        graph = graph_of(
+            """
+            void leaf() { }
+            void mid() { leaf(); }
+            int main() { mid(); return 0; }
+            """
+        )
+        order = [component for component in graph.sccs()]
+        assert order.index(("leaf",)) < order.index(("mid",))
+        assert order.index(("mid",)) < order.index(("main",))
+
+    def test_mutual_recursion_grouped_and_sorted(self):
+        graph = graph_of(
+            """
+            int even_check(int n) { if (n == 0) return 1; return odd_check(n - 1); }
+            int odd_check(int n) { if (n == 0) return 0; return even_check(n - 1); }
+            int main() { return even_check(4); }
+            """
+        )
+        components = graph.sccs()
+        assert ("even_check", "odd_check") in components
+        assert components.index(("even_check", "odd_check")) < components.index(
+            ("main",)
+        )
+
+    def test_self_call_is_singleton_cycle(self):
+        graph = graph_of(
+            """
+            int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }
+            int main() { return fib(5); }
+            """
+        )
+        assert ("fib",) in graph.sccs()
+        assert graph.in_cycle("fib")
+        assert not graph.in_cycle("main")
+
+    def test_sccs_cached(self):
+        graph = graph_of("int main() { return 0; }")
+        assert graph.sccs() is graph.sccs()
+
+    def test_every_function_appears_exactly_once(self):
+        graph = graph_of(
+            """
+            void a_fn() { }
+            void b_fn() { a_fn(); }
+            int main() { b_fn(); a_fn(); return 0; }
+            """
+        )
+        members = [name for component in graph.sccs() for name in component]
+        assert sorted(members) == sorted(graph.callees)

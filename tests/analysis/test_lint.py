@@ -111,6 +111,69 @@ class TestBuiltinRules:
         assert findings
         assert all(d.severity is Severity.NOTE for d in findings)
 
+    def test_pure_call_result_unused(self):
+        diags = lint_source(
+            """
+            int square(int x) { return x * x; }
+            int main() {
+              square(3);
+              return 0;
+            }
+            """
+        )
+        [diag] = by_rule(diags, "pure-call-result-unused")
+        assert diag.severity is Severity.WARNING
+        assert "'square'" in diag.message
+
+    def test_pure_builtin_result_unused(self):
+        diags = lint_source(
+            """
+            int main() {
+              sqrt(2.0);
+              return 0;
+            }
+            """
+        )
+        [diag] = by_rule(diags, "pure-call-result-unused")
+        assert "'sqrt'" in diag.message
+
+    def test_impure_call_with_unused_result_is_exempt(self):
+        diags = lint_source(
+            """
+            int count;
+            int tick() { count = count + 1; return count; }
+            int main() {
+              tick();
+              return count;
+            }
+            """
+        )
+        assert by_rule(diags, "pure-call-result-unused") == []
+
+    def test_used_pure_call_is_quiet(self):
+        diags = lint_source(
+            """
+            int square(int x) { return x * x; }
+            int main() { return square(3); }
+            """
+        )
+        assert by_rule(diags, "pure-call-result-unused") == []
+
+    def test_rule_silent_without_summaries(self):
+        # the manual-context path in lint_source omits summaries, which
+        # legacy callers may also do: the rule must stay quiet, not crash
+        diags = lint_source(
+            """
+            int square(int x) { return x * x; }
+            int main() {
+              square(3);
+              return 0;
+            }
+            """,
+            rules=["pure-call-result-unused"],
+        )
+        assert diags == []
+
     def test_clean_program_is_quiet(self):
         diags = lint_source(
             """

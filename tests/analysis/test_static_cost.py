@@ -1,0 +1,181 @@
+"""Unit tests for the static cost model (trip / work / SP intervals)."""
+
+import json
+import math
+
+from repro.analysis.static_cost import (
+    Interval,
+    cost_from_json,
+    costs_to_json,
+)
+from tests.conftest import compile_source
+
+
+def costs_of(source):
+    program = compile_source(source)
+    assert program.analysis is not None
+    return program.analysis.costs, program
+
+
+def cost_by_name(costs, name):
+    matches = [c for c in costs.values() if c.name == name]
+    assert len(matches) == 1, f"{name}: {matches}"
+    return matches[0]
+
+
+class TestInterval:
+    def test_exact_and_bounded(self):
+        assert Interval(4.0, 4.0).exact
+        assert not Interval(4.0, 8.0).exact
+        assert not Interval(0.0, math.inf).bounded
+
+    def test_contains_with_slack(self):
+        interval = Interval(2.0, 6.0)
+        assert interval.contains(2.0)
+        assert not interval.contains(6.5)
+        assert interval.contains(6.5, slack=1.0)
+
+    def test_render(self):
+        assert Interval(4.0, 64.0).render() == "[4,64]"
+        assert Interval(1.0, math.inf).render() == "[1,inf)"
+
+
+class TestTripIntervals:
+    def test_constant_bounds_are_exact(self):
+        costs, _ = costs_of(
+            """
+            int a[64];
+            int main() {
+              for (int i = 0; i < 64; i++) { a[i] = i; }
+              return 0;
+            }
+            """
+        )
+        cost = cost_by_name(costs, "main#loop1")
+        assert cost.trip == Interval(64.0, 64.0)
+        # one store + loop bookkeeping per iteration, 64 iterations
+        assert cost.work.lo >= 64.0
+        assert cost.work.bounded
+
+    def test_break_widens_trip_to_zero(self):
+        costs, _ = costs_of(
+            """
+            int a[64];
+            int main() {
+              for (int i = 0; i < 64; i++) {
+                if (a[i] > 0) { break; }
+                a[i] = 1;
+              }
+              return 0;
+            }
+            """
+        )
+        cost = cost_by_name(costs, "main#loop1")
+        assert cost.trip.lo == 0.0
+        assert cost.trip.hi == 64.0
+
+    def test_symbolic_bound_is_unknown(self):
+        costs, _ = costs_of(
+            """
+            int a[64];
+            void fill(int n) {
+              for (int i = 0; i < n; i++) { a[i] = 1; }
+            }
+            int main() { fill(10); return 0; }
+            """
+        )
+        cost = cost_by_name(costs, "fill#loop1")
+        assert not cost.trip.bounded
+        assert not cost.precise
+
+
+class TestSelfParallelismBounds:
+    def test_safe_constant_loop_is_precise(self):
+        costs, _ = costs_of(
+            """
+            float a[128];
+            int main() {
+              for (int i = 0; i < 128; i++) { a[i] = a[i] * 2.0; }
+              return 0;
+            }
+            """
+        )
+        cost = cost_by_name(costs, "main#loop1")
+        assert cost.precise
+        assert cost.sp == Interval(0.7 * 128.0, 128.0)
+        assert cost.render_sp() == "[89.6,128]"
+
+    def test_serial_loop_is_imprecise_with_trip_roof(self):
+        costs, _ = costs_of(
+            """
+            float a[128];
+            int main() {
+              for (int i = 1; i < 128; i++) { a[i] = a[i - 1]; }
+              return 0;
+            }
+            """
+        )
+        cost = cost_by_name(costs, "main#loop1")
+        assert not cost.precise
+        assert cost.sp.lo == 1.0
+        assert cost.sp.hi == 127.0
+        assert cost.render_sp().endswith(" ~")
+
+    def test_call_to_recursive_fn_leaves_work_unbounded(self):
+        costs, _ = costs_of(
+            """
+            int count;
+            int probe(int n) {
+              count = count + 1;
+              if (n <= 1) { return 0; }
+              return probe(n / 2);
+            }
+            int main() {
+              for (int i = 1; i < 8; i++) { count = count + probe(i); }
+              return 0;
+            }
+            """
+        )
+        cost = cost_by_name(costs, "main#loop1")
+        assert not cost.work.bounded
+        assert cost.trip == Interval(7.0, 7.0)
+
+
+class TestCostSerialization:
+    def test_round_trip_preserves_intervals(self):
+        costs, _ = costs_of(
+            """
+            float a[128];
+            int main() {
+              for (int i = 0; i < 128; i++) { a[i] = a[i] * 2.0; }
+              return 0;
+            }
+            """
+        )
+        document = costs_to_json(costs)
+        text = json.dumps(document, sort_keys=True)
+        decoded = [cost_from_json(record) for record in json.loads(text)]
+        assert [c.to_json() for c in decoded] == document
+
+    def test_regions_carry_costs_through_profile_serialization(self):
+        from repro.hcpa.serialize import profile_from_json, profile_to_json
+        from repro.kremlib.profiler import profile_program
+
+        _, program = costs_of(
+            """
+            float a[128];
+            int main() {
+              for (int i = 0; i < 128; i++) { a[i] = a[i] * 2.0; }
+              return 0;
+            }
+            """
+        )
+        profile, _ = profile_program(program)
+        loaded = profile_from_json(profile_to_json(profile))
+        annotated = [
+            region
+            for region in loaded.regions
+            if region.static_cost is not None
+        ]
+        assert annotated, "static costs lost in profile serialization"
+        assert annotated[0].static_cost.sp.hi >= 1.0

@@ -13,6 +13,7 @@ from repro.api_types import (
     CompileRequest,
     CompileResult,
     ErrorReply,
+    FunctionSummaryInfo,
     LoopVerdict,
     PlanEntry,
     PlanRequest,
@@ -20,6 +21,7 @@ from repro.api_types import (
     ProfileAck,
     ProfileSubmit,
     ProgramSummary,
+    RegionCostInfo,
     SchemaVersionError,
     SummaryRequest,
     SummaryResponse,
@@ -50,6 +52,25 @@ SAMPLES = [
         ),
         diagnostics=("t.c:2: warning: something",),
         errors=0,
+        summaries=(
+            FunctionSummaryInfo(
+                name="blur",
+                effects=("writes @dst[i]", "reads @src[i]"),
+                pure=False,
+            ),
+            FunctionSummaryInfo(name="square", pure=True),
+        ),
+        costs=(
+            RegionCostInfo(
+                region_id=4,
+                name="main#loop1",
+                location="t.c (2-4)",
+                trip=(64.0, 64.0),
+                work=(128.0, None),
+                sp=(44.8, 64.0),
+                precise=True,
+            ),
+        ),
     ),
     ProfileSubmit(profile={"format": "kremlin-parallelism-profile"}),
     ProfileAck(
@@ -122,6 +143,19 @@ class TestRoundTrip(unittest.TestCase):
         self.assertIsInstance(plan.items[0], PlanEntry)
         result = CompileResult.from_json(SAMPLES[1].to_json())
         self.assertIsInstance(result.verdicts[0], LoopVerdict)
+        check = CheckResult.from_json(SAMPLES[3].to_json())
+        self.assertIsInstance(check.summaries[0], FunctionSummaryInfo)
+        self.assertIsInstance(check.costs[0], RegionCostInfo)
+        self.assertEqual(check.costs[0].work, (128.0, None))
+
+    def test_check_result_without_new_fields_still_decodes(self):
+        # payloads from before the summaries/costs fields existed
+        wire = SAMPLES[3].to_json()
+        del wire["summaries"]
+        del wire["costs"]
+        decoded = CheckResult.from_json(wire)
+        self.assertEqual(decoded.summaries, ())
+        self.assertEqual(decoded.costs, ())
 
     def test_lists_become_tuples(self):
         wire = PlanRequest(program_key="ab" * 32).to_json()

@@ -346,7 +346,7 @@ class TestPlannerRegistry(unittest.TestCase):
     def test_builtins_are_registered(self):
         self.assertEqual(
             available_personalities(),
-            sorted(["openmp", "cilk", "gprof", "sp-filter"]),
+            sorted(["openmp", "cilk", "gprof", "sp-filter", "static"]),
         )
 
     def test_lookup_and_create(self):
