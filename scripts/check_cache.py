@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""CI warm-start smoke check for the persistent codegen cache.
+
+Analyzes the example programs through :class:`repro.KremlinSession` (the
+default compiled engine) against an empty cache directory, then replays
+the identical workload in a **fresh interpreter process** — a simulated
+service restart — and asserts:
+
+1. the warm process performs zero codegen: every compiled unit comes off
+   disk, so the cache hit counter equals the cold process's write
+   counter (= the number of entries on disk) and the warm write counter
+   is zero;
+2. the serialized parallelism profiles of the warm run are byte-for-byte
+   identical to the cold run's.
+
+(The warm-vs-cold *codegen time* bound — warm prepare ≤10% of cold — is
+measured by ``benchmarks/perf/harness.py``, which times the two lanes
+separately.)
+
+Exit code 0 = all checks pass. Run from the repo root:
+
+    PYTHONPATH=src python scripts/check_cache.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import CompileOptions, KremlinSession  # noqa: E402
+from repro.hcpa.serialize import profile_to_json  # noqa: E402
+from repro.interp import diskcache  # noqa: E402
+
+EXAMPLES = sorted((REPO_ROOT / "examples").glob("*.c"))
+
+
+def run_workload(cache_dir: str) -> dict:
+    """Profile every example .c through a session; return a summary."""
+    diskcache.configure(directory=cache_dir, enabled=True)
+    diskcache.reset_stats()
+    profiles = {}
+    started = time.perf_counter()
+    for path in EXAMPLES:
+        session = KremlinSession(
+            compile_options=CompileOptions(filename=path.name)
+        )
+        report = session.analyze(path.read_text())
+        profiles[path.name] = json.dumps(
+            profile_to_json(report.profile), sort_keys=True
+        )
+    return {
+        "seconds": time.perf_counter() - started,
+        "stats": diskcache.stats(),
+        "profiles": profiles,
+    }
+
+
+def main() -> int:
+    if len(sys.argv) > 1:  # warm child: emit the summary as JSON
+        print(json.dumps(run_workload(sys.argv[1])))
+        return 0
+
+    assert EXAMPLES, "no example programs found"
+    failures = []
+    with tempfile.TemporaryDirectory(prefix="kremlin-cache-smoke-") as root:
+        cold = run_workload(root)
+        entries = [n for n in os.listdir(root) if n.endswith(".json")]
+        print(
+            f"cold: {len(EXAMPLES)} programs, "
+            f"{cold['stats']['writes']} units written "
+            f"({len(entries)} entries), {cold['seconds']:.3f}s"
+        )
+        if cold["stats"]["writes"] == 0:
+            failures.append("cold pass wrote no cache entries")
+        if cold["stats"]["writes"] != len(entries):
+            failures.append(
+                f"write counter {cold['stats']['writes']} != "
+                f"{len(entries)} entries on disk"
+            )
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        env.pop("KREMLIN_CODEGEN_CACHE", None)
+        proc = subprocess.run(
+            [sys.executable, os.path.abspath(__file__), root],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=600,
+        )
+        if proc.returncode != 0:
+            print(proc.stderr, file=sys.stderr)
+            failures.append(f"warm process exited {proc.returncode}")
+            warm = None
+        else:
+            warm = json.loads(proc.stdout)
+
+    if warm is not None:
+        stats = warm["stats"]
+        print(
+            f"warm: {stats['hits']} hits, {stats['misses']} misses, "
+            f"{stats['writes']} writes, {warm['seconds']:.3f}s"
+        )
+        # Zero codegen on restart: every unit the cold process wrote is
+        # loaded back, nothing is missed, nothing is rebuilt.
+        if stats["hits"] != cold["stats"]["writes"]:
+            failures.append(
+                f"warm hits {stats['hits']} != cold unit count "
+                f"{cold['stats']['writes']}"
+            )
+        if stats["misses"] or stats["writes"] or stats["invalidations"]:
+            failures.append(f"warm restart was not codegen-free: {stats}")
+        if warm["profiles"] != cold["profiles"]:
+            failures.append("warm profiles differ from cold profiles")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("cache smoke: all checks passed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

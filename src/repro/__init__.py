@@ -33,7 +33,6 @@ import warnings
 
 from repro.api import (
     CompileOptions,
-    ExecuteOptions,
     ExecutionReport,
     KremlinReport,
     KremlinSession,
@@ -173,7 +172,6 @@ __all__ = [
     "CompiledProgram",
     "CompressionStats",
     "DEFAULT_MACHINE",
-    "ExecuteOptions",
     "ExecutionReport",
     "GprofPlanner",
     "Interpreter",

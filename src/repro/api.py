@@ -34,7 +34,6 @@ active).
 from __future__ import annotations
 
 import dataclasses
-import warnings
 from contextlib import ExitStack, contextmanager
 from dataclasses import dataclass, field
 
@@ -96,34 +95,6 @@ class PlanOptions:
     personality: str = "openmp"
     #: static region ids excluded before planning (§3's exclusion list)
     exclude: frozenset[int] = frozenset()
-
-
-_EXECUTE_OPTIONS_WARNED = False
-
-
-@dataclass(frozen=True)
-class ExecuteOptions(ParallelOptions):
-    """Deprecated alias for :class:`repro.parallel.ParallelOptions`.
-
-    Historically the session kept its own four-field options bundle for
-    the execute phase and hand-copied it into ``ParallelOptions`` on
-    every call; the two have been collapsed into the one frozen type.
-    Constructing this subclass still works (it *is* a ``ParallelOptions``)
-    but warns once per process, mirroring the ``repro.analyze`` shim.
-    """
-
-    def __post_init__(self):
-        global _EXECUTE_OPTIONS_WARNED
-        if not _EXECUTE_OPTIONS_WARNED:
-            _EXECUTE_OPTIONS_WARNED = True
-            warnings.warn(
-                "ExecuteOptions is deprecated; pass "
-                "repro.parallel.ParallelOptions (same fields, plus "
-                "engine/entry/max_instructions/min_trip) as "
-                "KremlinSession(execute_options=...)",
-                DeprecationWarning,
-                stacklevel=3,
-            )
 
 
 @dataclass
@@ -460,7 +431,6 @@ def analyze_with_options(
 __all__ = [
     "CompileOptions",
     "DEFAULT_COMPILE_CACHE_CAPACITY",
-    "ExecuteOptions",
     "ExecutionReport",
     "KremlinReport",
     "KremlinSession",

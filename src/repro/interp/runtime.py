@@ -87,7 +87,11 @@ class CompiledEngine:
             # The Interpreter only routes KremlinProfiler observers here.
             from repro.kremlib.fastpath import _compute_ts
             from repro.kremlib.profiler import ProfilerError, _ActiveRegion
-            from repro.kremlib.shadow import resolve_entry
+            from repro.kremlib.shadow import (
+                fold_max_into,
+                merged_event,
+                resolve_entry,
+            )
             from repro.obs.metrics import get_metrics, metrics_enabled
 
             metrics_on = metrics_enabled()
@@ -115,6 +119,8 @@ class CompiledEngine:
                     "_intern": observer.dictionary.intern,
                     "_resolve": resolve_entry,
                     "_cts": _compute_ts,
+                    "_vmax": fold_max_into,
+                    "_vts": merged_event,
                 }
             )
             if metrics_on:

@@ -65,7 +65,12 @@ from repro.ir.types import FLOAT, INT
 from repro.ir.values import GlobalRef, Register
 from repro.kremlib.profiler import KremlinProfiler, ProfilerError, _ActiveRegion
 from repro.kremlib.segments import SegmentEmitter
-from repro.kremlib.shadow import resolve_entry
+from repro.kremlib.shadow import (
+    fold_max_into,
+    merged_event,
+    resolve_entry,
+    vector_threshold,
+)
 from repro.obs.metrics import get_metrics, metrics_enabled
 
 
@@ -117,6 +122,9 @@ class FusedDecoder(PlainDecoder, SegmentEmitter):
         # the generated source is byte-identical to an uninstrumented
         # build — disabled observability costs nothing by construction.
         self._metrics_on = metrics_enabled()
+        # Decode-time vectorization gate, sampled once like the metrics
+        # flag: wide segments call the numpy fold kernels.
+        self._vthr = vector_threshold()
         if self._metrics_on:
             registry = get_metrics()
             self._frames_cell = registry.counter("shadow.frames").cell
@@ -146,6 +154,8 @@ class FusedDecoder(PlainDecoder, SegmentEmitter):
                 "sorted": sorted,
                 "id": id,
                 "_rcache": self.rcache,
+                "_vmax": fold_max_into,
+                "_vts": merged_event,
             }
         )
         self._seg_reset()

@@ -19,13 +19,20 @@ The host class supplies:
   host's own gensym so names never collide);
 * ``_metrics_on`` — decode-time observability gate (when False, no
   counting line is emitted anywhere);
-* ``_max_depth`` — the profiler's region-depth limit.
+* ``_max_depth`` — the profiler's region-depth limit;
+* ``_vthr`` (optional, default 0 = never) — the vectorization threshold:
+  segments whose event/operand batch reaches it call the numpy fold
+  kernels (:func:`repro.kremlib.shadow.fold_max_into` /
+  :func:`repro.kremlib.shadow.merged_event`) instead of emitting scalar
+  loops. Both forms are value-exact, so the choice never changes the
+  serialized profile.
 
 Generated-source environment contract (the host must bind these names):
 ``state`` (``[tags, tracked_depth]`` mirror), ``cps``, ``stack``,
 ``_rcache``, ``prof``, ``_ActiveRegion``, ``ProfilerError``, ``_intern``,
-``tuple``, ``sorted`` — plus ``_mfp``/``_mres``/``_mev``/``_mcell`` when
-metrics are on. A per-activation ``control`` list must be in scope.
+``tuple``, ``sorted``, ``_vmax``, ``_vts`` — plus
+``_mfp``/``_mres``/``_mev``/``_mcell`` when metrics are on. A
+per-activation ``control`` list must be in scope.
 """
 
 from __future__ import annotations
@@ -100,7 +107,12 @@ class SegmentEmitter:
         if ts:
             lines.append("if stack:")
             lines.append(f"    stack[-1].work += {self._seg_cost}")
-            if len(ts) == 1:
+            vthr = getattr(self, "_vthr", 0)
+            if vthr and len(ts) >= vthr:
+                # Wide segment: one numpy reduction over all event
+                # vectors (value-exact; see repro.kremlib.shadow).
+                lines.append(f"    _vmax(cps, ({', '.join(ts)},), _dp)")
+            elif len(ts) == 1:
                 lines += [
                     "    _k = 0",
                     f"    for _t in {ts[0]}:",
@@ -263,8 +275,13 @@ class SegmentEmitter:
             if entry_exprs:
                 lines.append(f"_mres[0] += {len(entry_exprs)}")
         tv = self._ts_name()
+        vthr = getattr(self, "_vthr", 0)
         if known:
-            if len(known) == 1:
+            if vthr and len(known) >= vthr:
+                lines.append(
+                    f"{tv} = _vts(({', '.join(known)},), {cost})"
+                )
+            elif len(known) == 1:
                 lines.append(f"{tv} = [_t + {cost} for _t in {known[0]}]")
             elif len(known) == 2:
                 lines.append(

@@ -10,6 +10,23 @@ from repro.instrument.compile import kremlin_cc
 from repro.interp.interpreter import Interpreter
 from repro.kremlib.profiler import KremlinProfiler, profile_program
 
+@pytest.fixture(scope="session", autouse=True)
+def _private_codegen_cache(tmp_path_factory):
+    """Route the persistent codegen cache into a session-private directory.
+
+    Keeps the suite hermetic: no test run reads a developer's
+    ``~/.cache/kremlin`` (which could mask a codegen regression with a
+    stale hit) or leaves entries behind. Tests exercising the cache
+    itself re-``configure`` on top of this and restore it after.
+    """
+    from repro.interp import diskcache
+
+    directory = str(tmp_path_factory.mktemp("kremlin-codegen-cache"))
+    diskcache.configure(directory=directory, enabled=True)
+    yield
+    diskcache.configure()
+
+
 #: execution configurations behaviour tests can be parametrized over:
 #: the tree-walking reference, the predecoded bytecode engine, and the
 #: bytecode engine with the KremLib profiler attached (which swaps in the

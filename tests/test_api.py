@@ -167,39 +167,26 @@ int main() {
 
 
 class TestUnifiedExecuteOptions(unittest.TestCase):
-    def test_execute_options_is_parallel_options(self):
-        from repro import ExecuteOptions, ParallelOptions
+    def test_parallel_options_fields(self):
+        from repro import ParallelOptions
 
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            options = ExecuteOptions(workers=3, mode="inline")
-        self.assertIsInstance(options, ParallelOptions)
+        options = ParallelOptions(workers=3, mode="inline")
         self.assertEqual(options.workers, 3)
         self.assertEqual(options.mode, "inline")
-        # The unified fields exist on the shim too.
         self.assertEqual(options.engine, "compiled")
         self.assertEqual(options.entry, "main")
         with self.assertRaises(dataclasses.FrozenInstanceError):
             options.workers = 9
 
-    def test_execute_options_warns_once(self):
+    def test_execute_options_shim_removed(self):
+        # The PR-7 deprecation shim had its one release of warning;
+        # ParallelOptions is the only execute-options type now.
         import repro.api as api
 
-        api._EXECUTE_OPTIONS_WARNED = False
-        try:
-            with warnings.catch_warnings(record=True) as caught:
-                warnings.simplefilter("always")
-                api.ExecuteOptions()
-                api.ExecuteOptions(workers=4)
-            deprecations = [
-                w
-                for w in caught
-                if issubclass(w.category, DeprecationWarning)
-            ]
-            self.assertEqual(len(deprecations), 1)
-            self.assertIn("ParallelOptions", str(deprecations[0].message))
-        finally:
-            api._EXECUTE_OPTIONS_WARNED = True
+        self.assertFalse(hasattr(api, "ExecuteOptions"))
+        self.assertFalse(hasattr(repro, "ExecuteOptions"))
+        self.assertNotIn("ExecuteOptions", api.__all__)
+        self.assertNotIn("ExecuteOptions", repro.__all__)
 
     def test_parallel_options_accepted_directly(self):
         from repro import ParallelOptions
@@ -211,12 +198,10 @@ class TestUnifiedExecuteOptions(unittest.TestCase):
             )
         self.assertEqual(session.execute_options.mode, "inline")
 
-    def test_legacy_execute_options_still_drive_execute(self):
-        from repro import ExecuteOptions
+    def test_parallel_options_drive_execute(self):
+        from repro import ParallelOptions
 
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            options = ExecuteOptions(workers=1, mode="inline", warmup=False)
+        options = ParallelOptions(workers=1, mode="inline", warmup=False)
         report = KremlinSession(execute_options=options).execute(SOURCE)
         self.assertEqual(
             report.outcome.serial_result.value, sum(range(12))
